@@ -1,0 +1,45 @@
+// Reproduces Fig. 5: number of served users vs number of to-be-served
+// users n (paper: n = 1000..3000, K = 20 UAVs, s = 3).
+//
+// Default sweeps the paper's exact axis n = 1000..3000 at K = 20 with
+// s = 2 (pass --s 3 for the paper's s at a much longer runtime; see
+// EXPERIMENTS.md for the scale discussion).
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "eval/figures.hpp"
+
+int main(int argc, char** argv) {
+  uavcov::CliParser cli;
+  cli.add_flag("uavs", "fleet size K", "20");
+  cli.add_flag("s", "approAlg seed-set size", "2");
+  cli.add_flag("cell", "hovering-grid cell side (m); paper uses 50", "300");
+  cli.add_flag("candidate-cap", "top-M candidate cells (0 = all covering)",
+               "40");
+  cli.add_flag("nmin", "smallest user count", "1000");
+  cli.add_flag("nmax", "largest user count", "3000");
+  cli.add_flag("nstep", "user-count step", "500");
+  cli.add_flag("reps", "repetitions averaged per point", "2");
+  cli.add_flag("seed", "base RNG seed", "7");
+  cli.add_flag("csv", "CSV output path (empty = none)", "");
+  if (!cli.parse(argc, argv)) return 0;
+
+  uavcov::eval::FigureScale scale;
+  scale.uavs = static_cast<std::int32_t>(cli.get_int("uavs"));
+  scale.s = static_cast<std::int32_t>(cli.get_int("s"));
+  scale.cell_side_m = cli.get_double("cell");
+  scale.candidate_cap =
+      static_cast<std::int32_t>(cli.get_int("candidate-cap"));
+  scale.repetitions = static_cast<std::int32_t>(cli.get_int("reps"));
+  scale.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  scale.csv_path = cli.get_string("csv");
+
+  std::cout << "=== Fig. 5 reproduction: served users vs n (K = "
+            << scale.uavs << ", s = " << scale.s << ") ===\n";
+  const uavcov::Table table = uavcov::eval::fig5_served_vs_n(
+      scale, static_cast<std::int32_t>(cli.get_int("nmin")),
+      static_cast<std::int32_t>(cli.get_int("nmax")),
+      static_cast<std::int32_t>(cli.get_int("nstep")));
+  table.print(std::cout);
+  return 0;
+}

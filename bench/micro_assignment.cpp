@@ -1,0 +1,107 @@
+// Micro-benchmarks for the §II-D assignment layer on generated scenarios:
+// one-shot optimal solve, incremental probes, and the optimal-vs-greedy
+// quality gap that justifies using max flow (Lemma 1) over a heuristic.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "baselines/common.hpp"
+#include "core/assignment.hpp"
+#include "workload/scenario_gen.hpp"
+
+namespace {
+
+using namespace uavcov;
+
+Scenario bench_scenario(std::int32_t users, std::int32_t uavs) {
+  Rng rng(99);
+  workload::ScenarioConfig config;
+  config.user_count = users;
+  config.fleet.uav_count = uavs;
+  return workload::make_disaster_scenario(config, rng);
+}
+
+std::vector<Deployment> dense_deployments(const Scenario& sc,
+                                          const CoverageModel& cov) {
+  const auto candidates = cov.candidate_locations(sc.uav_count());
+  std::vector<Deployment> deps;
+  for (UavId k = 0;
+       k < std::min<std::int32_t>(sc.uav_count(),
+                                  static_cast<std::int32_t>(
+                                      candidates.size()));
+       ++k) {
+    deps.push_back({k, candidates[static_cast<std::size_t>(k)]});
+  }
+  return deps;
+}
+
+void BM_OptimalAssignment(benchmark::State& state) {
+  const Scenario sc = bench_scenario(
+      static_cast<std::int32_t>(state.range(0)),
+      static_cast<std::int32_t>(state.range(1)));
+  const CoverageModel cov(sc);
+  const auto deps = dense_deployments(sc, cov);
+  std::int64_t served = 0;
+  for (auto _ : state) {
+    served = solve_assignment(sc, cov, deps).served;
+    benchmark::DoNotOptimize(served);
+  }
+  state.counters["served"] = static_cast<double>(served);
+}
+BENCHMARK(BM_OptimalAssignment)
+    ->Args({500, 10})
+    ->Args({1500, 20})
+    ->Args({3000, 20})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_GreedyEstimate(benchmark::State& state) {
+  const Scenario sc = bench_scenario(
+      static_cast<std::int32_t>(state.range(0)),
+      static_cast<std::int32_t>(state.range(1)));
+  const CoverageModel cov(sc);
+  const auto deps = dense_deployments(sc, cov);
+  std::int64_t served = 0;
+  for (auto _ : state) {
+    served = baselines::greedy_served_estimate(sc, cov, deps);
+    benchmark::DoNotOptimize(served);
+  }
+  state.counters["served"] = static_cast<double>(served);
+}
+BENCHMARK(BM_GreedyEstimate)
+    ->Args({500, 10})
+    ->Args({1500, 20})
+    ->Args({3000, 20})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IncrementalProbeOnScenario(benchmark::State& state) {
+  const Scenario sc = bench_scenario(1500, 20);
+  const CoverageModel cov(sc);
+  const auto deps = dense_deployments(sc, cov);
+  IncrementalAssignment ia(sc, cov);
+  for (std::size_t d = 0; d + 1 < deps.size(); ++d) {
+    ia.deploy(deps[d].uav, deps[d].loc);
+  }
+  const Deployment last = deps.back();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ia.probe(last.uav, last.loc));
+  }
+}
+BENCHMARK(BM_IncrementalProbeOnScenario)->Unit(benchmark::kMicrosecond);
+
+void BM_CoverageModelBuild(benchmark::State& state) {
+  const Scenario sc = bench_scenario(
+      static_cast<std::int32_t>(state.range(0)), 20);
+  for (auto _ : state) {
+    const CoverageModel cov(sc);
+    benchmark::DoNotOptimize(cov.radio_class_count());
+  }
+}
+BENCHMARK(BM_CoverageModelBuild)
+    ->Arg(500)
+    ->Arg(1500)
+    ->Arg(3000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

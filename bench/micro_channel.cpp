@@ -1,0 +1,65 @@
+// Micro-benchmarks for the channel substrate: per-link evaluation cost and
+// the derived-geometry solvers.
+#include <benchmark/benchmark.h>
+
+#include "channel/a2g.hpp"
+#include "channel/link_budget.hpp"
+#include "channel/radius.hpp"
+#include "common/rng.hpp"
+
+namespace {
+
+using namespace uavcov;
+
+void BM_A2gPathloss(benchmark::State& state) {
+  const ChannelParams params{};
+  Rng rng(1);
+  std::vector<double> distances;
+  for (int i = 0; i < 1024; ++i) distances.push_back(rng.uniform(10, 3000));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        a2g_pathloss_db(params, distances[i++ & 1023], 300.0));
+  }
+}
+BENCHMARK(BM_A2gPathloss);
+
+void BM_A2gRate(benchmark::State& state) {
+  const ChannelParams params{};
+  const Radio radio{};
+  const Receiver rx{};
+  Rng rng(2);
+  std::vector<double> distances;
+  for (int i = 0; i < 1024; ++i) distances.push_back(rng.uniform(10, 3000));
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        a2g_rate_bps(params, radio, rx, distances[i++ & 1023], 300.0));
+  }
+}
+BENCHMARK(BM_A2gRate);
+
+void BM_MaxServiceRadius(benchmark::State& state) {
+  const ChannelParams params{};
+  const Radio radio{};
+  const Receiver rx{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        max_service_radius(params, radio, rx, 300.0, 2e3));
+  }
+}
+BENCHMARK(BM_MaxServiceRadius)->Unit(benchmark::kMicrosecond);
+
+void BM_OptimalAltitude(benchmark::State& state) {
+  const ChannelParams params{};
+  const Radio radio{};
+  const Receiver rx{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(optimal_altitude(params, radio, rx, 2e6));
+  }
+}
+BENCHMARK(BM_OptimalAltitude)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

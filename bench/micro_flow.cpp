@@ -1,0 +1,119 @@
+// Micro-benchmarks (google-benchmark) for the flow substrate: from-scratch
+// Dinic vs the incremental probe path that Algorithm 2's greedy relies on.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "flow/dinic.hpp"
+
+namespace {
+
+using uavcov::DinicFlow;
+using uavcov::Rng;
+
+struct BipartiteInstance {
+  std::int32_t users;
+  std::int32_t uavs;
+  std::vector<std::vector<std::int32_t>> eligible;  // per uav: user list
+  std::vector<std::int64_t> capacity;
+};
+
+BipartiteInstance make_instance(std::int32_t users, std::int32_t uavs,
+                                std::int32_t degree, std::uint64_t seed) {
+  Rng rng(seed);
+  BipartiteInstance inst{users, uavs, {}, {}};
+  inst.eligible.resize(static_cast<std::size_t>(uavs));
+  for (auto& list : inst.eligible) {
+    for (std::int32_t d = 0; d < degree; ++d) {
+      list.push_back(static_cast<std::int32_t>(
+          rng.next_below(static_cast<std::uint64_t>(users))));
+    }
+    inst.capacity.push_back(
+        50 + static_cast<std::int64_t>(rng.next_below(250)));
+  }
+  return inst;
+}
+
+/// Build s/t/users base network; returns (s, t, user nodes).
+std::tuple<DinicFlow::FlowNode, DinicFlow::FlowNode,
+           std::vector<DinicFlow::FlowNode>>
+build_base(DinicFlow& f, std::int32_t users) {
+  const auto s = f.add_node();
+  const auto t = f.add_node();
+  std::vector<DinicFlow::FlowNode> user_node;
+  for (std::int32_t i = 0; i < users; ++i) {
+    user_node.push_back(f.add_node());
+    f.add_edge(s, user_node.back(), 1);
+  }
+  return {s, t, user_node};
+}
+
+void add_uav(DinicFlow& f, const BipartiteInstance& inst,
+             const std::vector<DinicFlow::FlowNode>& user_node,
+             DinicFlow::FlowNode t, std::int32_t k) {
+  const auto uav = f.add_node();
+  for (std::int32_t u : inst.eligible[static_cast<std::size_t>(k)]) {
+    f.add_edge(user_node[static_cast<std::size_t>(u)], uav, 1);
+  }
+  f.add_edge(uav, t, inst.capacity[static_cast<std::size_t>(k)]);
+}
+
+void BM_DinicFromScratch(benchmark::State& state) {
+  const auto users = static_cast<std::int32_t>(state.range(0));
+  const auto uavs = static_cast<std::int32_t>(state.range(1));
+  const auto inst = make_instance(users, uavs, /*degree=*/users / 8, 42);
+  std::int64_t flow_value = 0;
+  for (auto _ : state) {
+    DinicFlow f;
+    auto [s, t, user_node] = build_base(f, users);
+    for (std::int32_t k = 0; k < uavs; ++k) add_uav(f, inst, user_node, t, k);
+    flow_value = f.augment(s, t);
+    benchmark::DoNotOptimize(flow_value);
+  }
+  state.counters["served"] = static_cast<double>(flow_value);
+}
+BENCHMARK(BM_DinicFromScratch)
+    ->Args({500, 10})
+    ->Args({1500, 20})
+    ->Args({3000, 20})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_IncrementalProbe(benchmark::State& state) {
+  // Cost of one probe (add candidate UAV, augment, roll back) on a network
+  // that already carries K−1 deployed UAVs — Algorithm 2's inner loop.
+  const auto users = static_cast<std::int32_t>(state.range(0));
+  const auto uavs = static_cast<std::int32_t>(state.range(1));
+  const auto inst = make_instance(users, uavs, users / 8, 42);
+  DinicFlow f;
+  auto [s, t, user_node] = build_base(f, users);
+  for (std::int32_t k = 0; k + 1 < uavs; ++k) add_uav(f, inst, user_node, t, k);
+  f.augment(s, t);
+  for (auto _ : state) {
+    const auto cp = f.checkpoint();
+    add_uav(f, inst, user_node, t, uavs - 1);
+    benchmark::DoNotOptimize(f.augment(s, t));
+    f.rollback(cp);
+  }
+}
+BENCHMARK(BM_IncrementalProbe)
+    ->Args({500, 10})
+    ->Args({1500, 20})
+    ->Args({3000, 20})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CheckpointOverhead(benchmark::State& state) {
+  // Checkpoint + rollback with no changes: the fixed cost per probe.
+  DinicFlow f;
+  auto [s, t, user_node] = build_base(f, 1000);
+  (void)s;
+  (void)t;
+  (void)user_node;
+  for (auto _ : state) {
+    const auto cp = f.checkpoint();
+    f.rollback(cp);
+  }
+}
+BENCHMARK(BM_CheckpointOverhead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Micro-benchmarks for the matroid layer and Algorithm 1 — the per-subset
+// fixed costs inside approAlg's enumeration loop.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/matroid.hpp"
+#include "core/segment_plan.hpp"
+#include "graph/bfs.hpp"
+
+namespace {
+
+using namespace uavcov;
+
+void BM_SegmentPlan(benchmark::State& state) {
+  const auto K = static_cast<std::int32_t>(state.range(0));
+  const auto s = static_cast<std::int32_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(compute_segment_plan(K, s));
+  }
+}
+BENCHMARK(BM_SegmentPlan)
+    ->Args({20, 1})
+    ->Args({20, 3})
+    ->Args({100, 3})
+    ->Args({500, 4});
+
+void BM_HopMatroidCanAdd(benchmark::State& state) {
+  // Feasibility oracle cost on a paper-scale grid distance field.
+  const SegmentPlan plan = compute_segment_plan(20, 3);
+  const Grid grid(3000, 3000, 100);
+  const Graph g = build_location_graph(grid, 150.0);
+  const NodeId seeds[] = {0, 450, 899};
+  const auto dist = bfs_distances(g, seeds);
+  HopBudgetMatroid m2(dist, plan.quotas);
+  Rng rng(5);
+  std::vector<LocationId> probe_order;
+  for (int i = 0; i < 1024; ++i) {
+    probe_order.push_back(static_cast<LocationId>(
+        rng.next_below(static_cast<std::uint64_t>(grid.size()))));
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(m2.can_add(probe_order[i++ & 1023]));
+  }
+}
+BENCHMARK(BM_HopMatroidCanAdd);
+
+void BM_HopMatroidAddRemove(benchmark::State& state) {
+  const SegmentPlan plan = compute_segment_plan(20, 3);
+  std::vector<std::int32_t> dist{0, 0, 0, 1, 1, 2, 2, 3};
+  HopBudgetMatroid m2(dist, plan.quotas);
+  for (auto _ : state) {
+    m2.add(3);
+    m2.remove(3);
+  }
+}
+BENCHMARK(BM_HopMatroidAddRemove);
+
+void BM_MatroidAxiomCheck(benchmark::State& state) {
+  // Exhaustive axiom verification cost (test infrastructure).
+  const auto n = static_cast<std::int32_t>(state.range(0));
+  const auto independent = [n](std::span<const std::int32_t> set) {
+    return static_cast<std::int32_t>(set.size()) <= n / 2;  // uniform matroid
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(check_matroid_axioms(n, independent));
+  }
+}
+BENCHMARK(BM_MatroidAxiomCheck)->Arg(8)->Arg(12)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

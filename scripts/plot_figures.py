@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Plot the CSV output of the figure benches with matplotlib.
+
+Usage:
+    ./build/bench/fig4_served_vs_k --csv fig4.csv
+    python3 scripts/plot_figures.py fig4.csv --out fig4.png
+
+The first CSV column is the x axis (K, n, or s); every other column is one
+algorithm's served-user series.  Works for all three figure benches.
+"""
+import argparse
+import csv
+import sys
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csv_path", help="CSV written by a figure bench")
+    parser.add_argument("--out", default=None,
+                        help="output image (default: <csv>.png)")
+    parser.add_argument("--ylabel", default="served users")
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; install it to plot", file=sys.stderr)
+        return 1
+
+    with open(args.csv_path, newline="") as f:
+        rows = list(csv.reader(f))
+    if len(rows) < 2:
+        print("CSV has no data rows", file=sys.stderr)
+        return 1
+    header, data = rows[0], rows[1:]
+    x = [float(r[0]) for r in data]
+
+    fig, ax = plt.subplots(figsize=(6, 4))
+    markers = ["o", "s", "^", "v", "D", "x"]
+    for col in range(1, len(header)):
+        y = [float(r[col]) for r in data]
+        ax.plot(x, y, marker=markers[(col - 1) % len(markers)],
+                label=header[col])
+    ax.set_xlabel(header[0])
+    ax.set_ylabel(args.ylabel)
+    ax.grid(True, alpha=0.3)
+    ax.legend()
+    fig.tight_layout()
+    out = args.out or args.csv_path.rsplit(".", 1)[0] + ".png"
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,74 @@
+#include "baselines/common.hpp"
+
+#include "common/check.hpp"
+
+namespace uavcov::baselines {
+
+Solution finalize(const Scenario& scenario, const CoverageModel& coverage,
+                  std::span<const LocationId> locations,
+                  std::string algorithm_name, double solve_seconds) {
+  UAVCOV_CHECK_MSG(
+      static_cast<std::int32_t>(locations.size()) <= scenario.uav_count(),
+      "baseline selected more locations than UAVs");
+  std::vector<Deployment> deployments;
+  deployments.reserve(locations.size());
+  for (std::size_t i = 0; i < locations.size(); ++i) {
+    deployments.push_back({static_cast<UavId>(i), locations[i]});
+  }
+  const AssignmentResult assignment =
+      solve_assignment(scenario, coverage, deployments);
+  Solution solution;
+  solution.algorithm = std::move(algorithm_name);
+  solution.deployments = std::move(deployments);
+  solution.user_to_deployment = assignment.user_to_deployment;
+  solution.served = assignment.served;
+  solution.solve_seconds = solve_seconds;
+  return solution;
+}
+
+CoverageCounter::CoverageCounter(const Scenario& scenario,
+                                 const CoverageModel& coverage)
+    : coverage_(coverage),
+      covered_(static_cast<std::size_t>(scenario.user_count()), false) {}
+
+std::int64_t CoverageCounter::marginal(LocationId v, std::int32_t cls) const {
+  std::int64_t add = 0;
+  for (UserId u : coverage_.eligible_users(v, cls)) {
+    if (!covered_[static_cast<std::size_t>(u)]) ++add;
+  }
+  return add;
+}
+
+void CoverageCounter::add(LocationId v, std::int32_t cls) {
+  for (UserId u : coverage_.eligible_users(v, cls)) {
+    covered_[static_cast<std::size_t>(u)] = true;
+  }
+}
+
+void CoverageCounter::reset() {
+  std::fill(covered_.begin(), covered_.end(), false);
+}
+
+std::int64_t greedy_served_estimate(const Scenario& scenario,
+                                    const CoverageModel& coverage,
+                                    std::span<const Deployment> deployments) {
+  std::vector<bool> taken(static_cast<std::size_t>(scenario.user_count()),
+                          false);
+  std::int64_t served = 0;
+  for (const Deployment& d : deployments) {
+    std::int64_t cap =
+        scenario.fleet[static_cast<std::size_t>(d.uav)].capacity;
+    const std::int32_t cls = coverage.radio_class_of(d.uav);
+    for (UserId u : coverage.eligible_users(d.loc, cls)) {
+      if (cap == 0) break;
+      if (!taken[static_cast<std::size_t>(u)]) {
+        taken[static_cast<std::size_t>(u)] = true;
+        --cap;
+        ++served;
+      }
+    }
+  }
+  return served;
+}
+
+}  // namespace uavcov::baselines

@@ -1,0 +1,113 @@
+#include "baselines/greedy_assign.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.hpp"
+#include "common/stopwatch.hpp"
+#include "graph/bfs.hpp"
+
+namespace uavcov::baselines {
+
+Solution greedy_assign(const Scenario& scenario,
+                       const CoverageModel& coverage) {
+  Stopwatch watch;
+  scenario.validate();
+  const Graph g = build_location_graph(scenario.grid, scenario.uav_range_m);
+  const std::int32_t K = scenario.uav_count();
+  constexpr std::int32_t kCls = 0;  // homogeneous scoring (as published)
+
+  // --- Phase 1: greedy profit labeling over residual users. -------------
+  const std::vector<LocationId> candidates = coverage.candidate_locations();
+  std::map<LocationId, std::int64_t> profit;
+  {
+    CoverageCounter counter(scenario, coverage);
+    std::vector<LocationId> pool = candidates;
+    while (!pool.empty()) {
+      std::int64_t best_gain = 0;
+      std::size_t best_idx = pool.size();
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        const std::int64_t gain = counter.marginal(pool[i], kCls);
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_idx = i;
+        }
+      }
+      if (best_idx == pool.size()) break;  // all residual profits are zero
+      const LocationId pick = pool[best_idx];
+      profit[pick] = best_gain;
+      counter.add(pick, kCls);
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(best_idx));
+    }
+  }
+  if (profit.empty()) {
+    const std::vector<LocationId> fallback{0};
+    return finalize(scenario, coverage, fallback, "GreedyAssign",
+                    watch.elapsed_s());
+  }
+
+  // --- Phase 2: budgeted connected growth by profit / path-length. ------
+  const LocationId root =
+      std::max_element(profit.begin(), profit.end(),
+                       [](const auto& a, const auto& b) {
+                         return a.second < b.second;
+                       })
+          ->first;
+  std::vector<LocationId> network{root};
+  std::vector<bool> in_net(static_cast<std::size_t>(g.node_count()), false);
+  in_net[static_cast<std::size_t>(root)] = true;
+
+  while (static_cast<std::int32_t>(network.size()) < K) {
+    // Multi-source BFS from the current network gives, for every cell, the
+    // number of new cells a shortest attachment path would add.
+    const BfsTree tree = bfs_tree(g, network);
+    double best_ratio = 0.0;
+    LocationId best_target = kInvalidLocation;
+    for (const auto& [cell, p] : profit) {
+      if (in_net[static_cast<std::size_t>(cell)] || p <= 0) continue;
+      const std::int32_t hops = tree.distance[static_cast<std::size_t>(cell)];
+      if (hops == kUnreachable) continue;
+      if (static_cast<std::int32_t>(network.size()) + hops > K) continue;
+      const double ratio =
+          static_cast<double>(p) / static_cast<double>(std::max(hops, 1));
+      if (ratio > best_ratio) {
+        best_ratio = ratio;
+        best_target = cell;
+      }
+    }
+    if (best_target == kInvalidLocation) break;
+    // Attach the whole shortest path (relay cells spend budget too).
+    for (NodeId cur = best_target; cur != kInvalidLocation;
+         cur = tree.parent[static_cast<std::size_t>(cur)]) {
+      if (!in_net[static_cast<std::size_t>(cur)]) {
+        in_net[static_cast<std::size_t>(cur)] = true;
+        network.push_back(cur);
+      }
+    }
+  }
+
+  // Leftover budget: residual profits are all zero but idle UAVs still add
+  // capacity where coverage overlaps, so spend the rest on the adjacent
+  // cells with the most coverable users.
+  while (static_cast<std::int32_t>(network.size()) < K) {
+    LocationId best = kInvalidLocation;
+    std::int32_t best_cov = -1;
+    for (LocationId v : network) {
+      for (NodeId nb : g.neighbors(v)) {
+        if (in_net[static_cast<std::size_t>(nb)]) continue;
+        const std::int32_t c = coverage.max_coverage(nb);
+        if (c > best_cov) {
+          best_cov = c;
+          best = nb;
+        }
+      }
+    }
+    if (best == kInvalidLocation) break;
+    in_net[static_cast<std::size_t>(best)] = true;
+    network.push_back(best);
+  }
+  return finalize(scenario, coverage, network, "GreedyAssign",
+                  watch.elapsed_s());
+}
+
+}  // namespace uavcov::baselines

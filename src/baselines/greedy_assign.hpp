@@ -1,0 +1,27 @@
+// GreedyAssign — reimplementation of Khuller, Purohit, Sarpatwar,
+// "Analyzing the optimal neighborhood: algorithms for partial and budgeted
+// connected dominating set problems", SIAM J. Discrete Math 2020 (paper
+// baseline (iii)).
+//
+// The paper describes it as: "first assigns each candidate hovering
+// location a profit in a greedy way, then deploys a network consisting of
+// K UAVs such that the sum of profits in the network is maximized."
+// Implemented as:
+//   * profit labeling: repeatedly take the cell covering the most not-yet-
+//     claimed users; its profit is that residual count (so overlapping
+//     cells don't double count);
+//   * budgeted connected growth: start from the max-profit cell; while
+//     budget remains, attach the profitable cell with the best
+//     profit / (path length) ratio via its shortest hop path (quota
+//     spending includes relay cells on the path).
+// Capacity- and heterogeneity-blind; UAVs land on chosen cells in order.
+#pragma once
+
+#include "baselines/common.hpp"
+
+namespace uavcov::baselines {
+
+Solution greedy_assign(const Scenario& scenario,
+                       const CoverageModel& coverage);
+
+}  // namespace uavcov::baselines

@@ -1,0 +1,148 @@
+#include "baselines/kmeans_place.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+#include "common/stopwatch.hpp"
+#include "core/relay.hpp"
+#include "graph/bfs.hpp"
+
+namespace uavcov::baselines {
+
+namespace {
+
+/// k-means++ seeding followed by Lloyd iterations over the user points.
+std::vector<Vec2> lloyd_centroids(const std::vector<User>& users,
+                                  std::int32_t k, std::int32_t iterations,
+                                  Rng& rng) {
+  std::vector<Vec2> centroids;
+  centroids.reserve(static_cast<std::size_t>(k));
+  // k-means++: first uniform, then proportional to squared distance.
+  centroids.push_back(
+      users[static_cast<std::size_t>(rng.next_below(users.size()))].pos);
+  std::vector<double> d2(users.size());
+  while (static_cast<std::int32_t>(centroids.size()) < k) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < users.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const Vec2& c : centroids) {
+        best = std::min(best, distance2(users[i].pos, c));
+      }
+      d2[i] = best;
+      total += best;
+    }
+    if (total <= 0) {  // all users coincide with centroids
+      centroids.push_back(users[0].pos);
+      continue;
+    }
+    double pick = rng.uniform01() * total;
+    std::size_t chosen = users.size() - 1;
+    for (std::size_t i = 0; i < users.size(); ++i) {
+      pick -= d2[i];
+      if (pick <= 0) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(users[chosen].pos);
+  }
+  // Lloyd.
+  std::vector<std::int32_t> owner(users.size(), 0);
+  for (std::int32_t it = 0; it < iterations; ++it) {
+    bool moved = false;
+    for (std::size_t i = 0; i < users.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::int32_t arg = 0;
+      for (std::size_t c = 0; c < centroids.size(); ++c) {
+        const double d = distance2(users[i].pos, centroids[c]);
+        if (d < best) {
+          best = d;
+          arg = static_cast<std::int32_t>(c);
+        }
+      }
+      if (owner[i] != arg) {
+        owner[i] = arg;
+        moved = true;
+      }
+    }
+    std::vector<Vec2> sum(centroids.size(), {0, 0});
+    std::vector<std::int32_t> count(centroids.size(), 0);
+    for (std::size_t i = 0; i < users.size(); ++i) {
+      sum[static_cast<std::size_t>(owner[i])] =
+          sum[static_cast<std::size_t>(owner[i])] + users[i].pos;
+      ++count[static_cast<std::size_t>(owner[i])];
+    }
+    for (std::size_t c = 0; c < centroids.size(); ++c) {
+      if (count[c] > 0) centroids[c] = sum[c] / count[c];
+    }
+    if (!moved) break;
+  }
+  return centroids;
+}
+
+}  // namespace
+
+Solution kmeans_place(const Scenario& scenario, const CoverageModel& coverage,
+                      const KMeansParams& params) {
+  Stopwatch watch;
+  scenario.validate();
+  UAVCOV_CHECK_MSG(params.iterations >= 1, "need at least one iteration");
+  const std::int32_t K = scenario.uav_count();
+  if (scenario.users.empty()) {
+    const std::vector<LocationId> fallback{0};
+    return finalize(scenario, coverage, fallback, "KMeansPlace",
+                    watch.elapsed_s());
+  }
+
+  Rng rng(params.seed);
+  const std::int32_t k = std::min<std::int32_t>(K, scenario.user_count());
+  const std::vector<Vec2> centroids =
+      lloyd_centroids(scenario.users, k, params.iterations, rng);
+
+  // Snap centroids to distinct grid cells (nearest free cell).
+  std::vector<bool> taken(static_cast<std::size_t>(scenario.grid.size()),
+                          false);
+  std::vector<LocationId> snapped;
+  for (const Vec2& c : centroids) {
+    LocationId best = kInvalidLocation;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (LocationId v = 0; v < scenario.grid.size(); ++v) {
+      if (taken[static_cast<std::size_t>(v)]) continue;
+      const double d = distance2(scenario.grid.center(v), c);
+      if (d < best_d) {
+        best_d = d;
+        best = v;
+      }
+    }
+    if (best == kInvalidLocation) break;  // grid exhausted
+    taken[static_cast<std::size_t>(best)] = true;
+    snapped.push_back(best);
+  }
+
+  // Budgeted connection: add serving cells in coverage-descending order
+  // while the stitched network still fits the fleet.
+  std::stable_sort(snapped.begin(), snapped.end(),
+                   [&coverage](LocationId a, LocationId b) {
+                     return coverage.max_coverage(a) > coverage.max_coverage(b);
+                   });
+  const Graph g = build_location_graph(scenario.grid, scenario.uav_range_m);
+  std::vector<LocationId> kept;
+  std::vector<NodeId> network;
+  for (LocationId cell : snapped) {
+    std::vector<LocationId> attempt = kept;
+    attempt.push_back(cell);
+    const auto plan = stitch_connected(g, attempt);
+    if (plan.has_value() &&
+        static_cast<std::int32_t>(plan->nodes.size()) <= K) {
+      kept = std::move(attempt);
+      network = plan->nodes;
+    }
+  }
+  if (network.empty() && !snapped.empty()) network.push_back(snapped[0]);
+  if (network.empty()) network.push_back(0);
+  return finalize(scenario, coverage, network, "KMeansPlace",
+                  watch.elapsed_s());
+}
+
+}  // namespace uavcov::baselines

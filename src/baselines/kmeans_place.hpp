@@ -1,0 +1,24 @@
+// KMeansPlace — a clustering baseline common in the UAV-placement
+// literature (not one of the paper's four comparisons, included as an
+// extra reference point): Lloyd's k-means over user positions seeded
+// k-means++-style, centroids snapped to free grid cells, network made
+// connected by inserting relay cells along MST shortest paths (which may
+// displace the least-valuable serving cells when the fleet budget binds).
+// Capacity-blind like the other baselines; final count by optimal
+// assignment.
+#pragma once
+
+#include "baselines/common.hpp"
+#include "common/rng.hpp"
+
+namespace uavcov::baselines {
+
+struct KMeansParams {
+  std::int32_t iterations = 25;
+  std::uint64_t seed = 17;
+};
+
+Solution kmeans_place(const Scenario& scenario, const CoverageModel& coverage,
+                      const KMeansParams& params = {});
+
+}  // namespace uavcov::baselines

@@ -1,0 +1,30 @@
+// maxThroughput — reimplementation of Xu et al., "Throughput maximization
+// of UAV networks", IEEE/ACM ToN 2022 (paper baseline (iv), ratio
+// (1−1/e)/√K).
+//
+// Their algorithm places K *homogeneous* capacitated UAVs to maximize the
+// total user data rate, using the same enumerate-a-seed / hop-budgeted
+// greedy / stitch structure as approAlg but with s = 1 (a single seed).
+// Key differences retained from the publication:
+//   * homogeneous model — the greedy plans with a uniform capacity (the
+//     fleet mean) and a single radio class, so it cannot steer big UAVs
+//     toward dense cells;
+//   * throughput objective — marginal gain is (served users) × (mean
+//     achievable rate at the cell), not served users.
+// The chosen cells then receive the real heterogeneous UAVs in input
+// order, and the final count uses the optimal assignment.
+#pragma once
+
+#include "baselines/common.hpp"
+
+namespace uavcov::baselines {
+
+struct MaxThroughputParams {
+  std::int32_t candidate_cap = 0;  ///< same knob as approAlg (0 = all).
+};
+
+Solution max_throughput(const Scenario& scenario,
+                        const CoverageModel& coverage,
+                        const MaxThroughputParams& params = {});
+
+}  // namespace uavcov::baselines

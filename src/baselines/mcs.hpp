@@ -1,0 +1,27 @@
+// MCS — reimplementation of Kuo, Lin, Tsai, "Maximizing submodular set
+// function with connectivity constraint: theory and application to
+// networks", IEEE/ACM ToN 2015 (paper baseline (i), ratio
+// (1−1/e)/(5(√K+1))).
+//
+// Interpretation implemented here (their core mechanism, adapted to the
+// grid): connected greedy growth.  For each of the best `seed_trials`
+// candidate cells, grow a connected set: repeatedly add the cell adjacent
+// to the current set (in the R_uav location graph) with the largest
+// *uncapacitated* marginal user coverage, until K cells are chosen; keep
+// the best-scoring tree over all trials.  Capacity- and heterogeneity-
+// blind (as published — homogeneous routers); UAVs land on the chosen
+// cells in input order.
+#pragma once
+
+#include "baselines/common.hpp"
+
+namespace uavcov::baselines {
+
+struct McsParams {
+  std::int32_t seed_trials = 10;  ///< try growth from the top-N cells.
+};
+
+Solution mcs(const Scenario& scenario, const CoverageModel& coverage,
+             const McsParams& params = {});
+
+}  // namespace uavcov::baselines

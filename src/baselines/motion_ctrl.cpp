@@ -1,0 +1,121 @@
+#include "baselines/motion_ctrl.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/stopwatch.hpp"
+#include "graph/bfs.hpp"
+
+namespace uavcov::baselines {
+
+namespace {
+/// Compact connected initial block: BFS order over the location graph from
+/// the cell nearest the user centroid.
+std::vector<LocationId> initial_block(const Scenario& scenario,
+                                      const Graph& g, std::int32_t k) {
+  Vec2 centroid{scenario.grid.width() / 2, scenario.grid.height() / 2};
+  if (!scenario.users.empty()) {
+    Vec2 sum{0, 0};
+    for (const User& u : scenario.users) sum = sum + u.pos;
+    centroid = sum / static_cast<double>(scenario.users.size());
+  }
+  LocationId start = scenario.grid.locate(centroid);
+  if (start == kInvalidLocation) start = 0;
+  // BFS from start; take the first k cells reached.
+  const NodeId src[] = {start};
+  const auto dist = bfs_distances(g, src);
+  std::vector<LocationId> order;
+  for (LocationId v = 0; v < scenario.grid.size(); ++v) {
+    if (dist[static_cast<std::size_t>(v)] != kUnreachable) order.push_back(v);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&dist](LocationId a, LocationId b) {
+                     return dist[static_cast<std::size_t>(a)] <
+                            dist[static_cast<std::size_t>(b)];
+                   });
+  if (static_cast<std::int32_t>(order.size()) > k) {
+    order.resize(static_cast<std::size_t>(k));
+  }
+  return order;
+}
+
+bool network_connected(const Scenario& scenario,
+                       const std::vector<LocationId>& locs) {
+  std::vector<Deployment> deps;
+  deps.reserve(locs.size());
+  for (std::size_t i = 0; i < locs.size(); ++i) {
+    deps.push_back({static_cast<UavId>(i), locs[i]});
+  }
+  return deployments_connected(scenario, deps);
+}
+}  // namespace
+
+Solution motion_ctrl(const Scenario& scenario, const CoverageModel& coverage,
+                     const MotionCtrlParams& params) {
+  Stopwatch watch;
+  scenario.validate();
+  UAVCOV_CHECK_MSG(params.max_rounds >= 1, "need at least one round");
+  const Graph g = build_location_graph(scenario.grid, scenario.uav_range_m);
+
+  std::vector<LocationId> locs =
+      initial_block(scenario, g, scenario.uav_count());
+
+  // Move-scoring objective: *uncapacitated* covered-user count.  Zhao et
+  // al.'s motion control is capacity-blind (homogeneous swarm), so the
+  // faithful reimplementation steers toward raw coverage; capacities only
+  // enter through the final optimal assignment in finalize().
+  std::vector<bool> covered(static_cast<std::size_t>(scenario.user_count()),
+                            false);
+  auto estimate = [&](const std::vector<LocationId>& current) {
+    std::fill(covered.begin(), covered.end(), false);
+    std::int64_t count = 0;
+    for (std::size_t i = 0; i < current.size(); ++i) {
+      const std::int32_t cls =
+          coverage.radio_class_of(static_cast<UavId>(i));
+      for (UserId u : coverage.eligible_users(current[i], cls)) {
+        if (!covered[static_cast<std::size_t>(u)]) {
+          covered[static_cast<std::size_t>(u)] = true;
+          ++count;
+        }
+      }
+    }
+    return count;
+  };
+
+  std::int64_t current_score = estimate(locs);
+  std::vector<bool> occupied(static_cast<std::size_t>(scenario.grid.size()),
+                             false);
+  for (LocationId v : locs) occupied[static_cast<std::size_t>(v)] = true;
+
+  for (std::int32_t round = 0; round < params.max_rounds; ++round) {
+    bool improved = false;
+    for (std::size_t i = 0; i < locs.size(); ++i) {
+      const LocationId from = locs[i];
+      LocationId best_to = kInvalidLocation;
+      std::int64_t best_score = current_score;
+      for (NodeId to : g.neighbors(from)) {
+        if (occupied[static_cast<std::size_t>(to)]) continue;
+        locs[i] = to;
+        if (network_connected(scenario, locs)) {
+          const std::int64_t score = estimate(locs);
+          if (score > best_score) {
+            best_score = score;
+            best_to = to;
+          }
+        }
+        locs[i] = from;
+      }
+      if (best_to != kInvalidLocation) {
+        occupied[static_cast<std::size_t>(from)] = false;
+        occupied[static_cast<std::size_t>(best_to)] = true;
+        locs[i] = best_to;
+        current_score = best_score;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+  }
+  return finalize(scenario, coverage, locs, "MotionCtrl", watch.elapsed_s());
+}
+
+}  // namespace uavcov::baselines

@@ -1,0 +1,30 @@
+// MotionCtrl — reimplementation of Zhao, Wang, Wu, Wei, "Deployment
+// algorithms for UAV airborne networks toward on-demand coverage",
+// IEEE JSAC 2018 (paper baseline (ii)).
+//
+// Their approach steers an initially compact connected swarm with local
+// motion rules toward user demand while never breaking connectivity.  We
+// implement that as connectivity-preserving hill climbing on the grid:
+//   * initialize the K UAVs as a compact connected block around the user
+//     centroid;
+//   * rounds: each UAV in turn tries relocating to a nearby free cell
+//     (within its R_uav neighborhood); a move is kept if the network stays
+//     connected and the (greedy capacity-aware) served estimate strictly
+//     improves;
+//   * stop after a no-improvement round or `max_rounds`.
+// Capacity-order-unaware: UAV k keeps its identity while moving, but the
+// initial block ignores capacities entirely (as published).
+#pragma once
+
+#include "baselines/common.hpp"
+
+namespace uavcov::baselines {
+
+struct MotionCtrlParams {
+  std::int32_t max_rounds = 60;
+};
+
+Solution motion_ctrl(const Scenario& scenario, const CoverageModel& coverage,
+                     const MotionCtrlParams& params = {});
+
+}  // namespace uavcov::baselines

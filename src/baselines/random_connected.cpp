@@ -1,0 +1,61 @@
+#include "baselines/random_connected.hpp"
+
+#include "common/check.hpp"
+#include "common/stopwatch.hpp"
+#include "graph/bfs.hpp"
+
+namespace uavcov::baselines {
+
+Solution random_connected(const Scenario& scenario,
+                          const CoverageModel& coverage,
+                          const RandomConnectedParams& params) {
+  Stopwatch watch;
+  scenario.validate();
+  UAVCOV_CHECK_MSG(params.trials >= 1, "need at least one trial");
+  const Graph g = build_location_graph(scenario.grid, scenario.uav_range_m);
+  Rng rng(params.seed);
+
+  std::vector<LocationId> candidates = coverage.candidate_locations();
+  if (candidates.empty()) candidates.push_back(0);
+
+  std::vector<LocationId> best_set;
+  std::int64_t best_estimate = -1;
+  for (std::int32_t trial = 0; trial < params.trials; ++trial) {
+    const LocationId seed = candidates[static_cast<std::size_t>(
+        rng.next_below(candidates.size()))];
+    std::vector<LocationId> set{seed};
+    std::vector<bool> in_set(static_cast<std::size_t>(g.node_count()), false);
+    in_set[static_cast<std::size_t>(seed)] = true;
+    std::vector<LocationId> frontier(g.neighbors(seed).begin(),
+                                     g.neighbors(seed).end());
+    while (static_cast<std::int32_t>(set.size()) < scenario.uav_count() &&
+           !frontier.empty()) {
+      const std::size_t pick =
+          static_cast<std::size_t>(rng.next_below(frontier.size()));
+      const LocationId v = frontier[pick];
+      frontier[pick] = frontier.back();
+      frontier.pop_back();
+      if (in_set[static_cast<std::size_t>(v)]) continue;
+      in_set[static_cast<std::size_t>(v)] = true;
+      set.push_back(v);
+      for (NodeId nb : g.neighbors(v)) {
+        if (!in_set[static_cast<std::size_t>(nb)]) frontier.push_back(nb);
+      }
+    }
+    std::vector<Deployment> deps;
+    deps.reserve(set.size());
+    for (std::size_t i = 0; i < set.size(); ++i) {
+      deps.push_back({static_cast<UavId>(i), set[i]});
+    }
+    const std::int64_t estimate =
+        greedy_served_estimate(scenario, coverage, deps);
+    if (estimate > best_estimate) {
+      best_estimate = estimate;
+      best_set = set;
+    }
+  }
+  return finalize(scenario, coverage, best_set, "RandomConnected",
+                  watch.elapsed_s());
+}
+
+}  // namespace uavcov::baselines

@@ -1,0 +1,20 @@
+// RandomConnected — sanity-check baseline (not from the paper): grow a
+// random connected set of K cells seeded at a random candidate, repeated
+// `trials` times, keep the best.  Any serious algorithm must beat it.
+#pragma once
+
+#include "baselines/common.hpp"
+#include "common/rng.hpp"
+
+namespace uavcov::baselines {
+
+struct RandomConnectedParams {
+  std::int32_t trials = 8;
+  std::uint64_t seed = 42;
+};
+
+Solution random_connected(const Scenario& scenario,
+                          const CoverageModel& coverage,
+                          const RandomConnectedParams& params = {});
+
+}  // namespace uavcov::baselines

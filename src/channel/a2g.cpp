@@ -1,0 +1,49 @@
+#include "channel/a2g.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace uavcov {
+
+A2gEnvironment suburban_environment() { return {4.88, 0.43, 0.1, 21.0}; }
+A2gEnvironment urban_environment() { return {9.61, 0.16, 1.0, 20.0}; }
+A2gEnvironment dense_urban_environment() { return {12.08, 0.11, 1.6, 23.0}; }
+A2gEnvironment highrise_environment() { return {27.23, 0.08, 2.3, 34.0}; }
+
+double elevation_angle_deg(double horizontal_m, double altitude_m) {
+  UAVCOV_CHECK_MSG(altitude_m > 0, "altitude must be positive");
+  UAVCOV_CHECK_MSG(horizontal_m >= 0, "horizontal distance must be >= 0");
+  return rad_to_deg(std::atan2(altitude_m, horizontal_m));
+}
+
+double los_probability(const A2gEnvironment& env, double elevation_deg) {
+  return 1.0 / (1.0 + env.a * std::exp(-env.b * (elevation_deg - env.a)));
+}
+
+double free_space_pathloss_db(double distance_m, double carrier_hz) {
+  UAVCOV_CHECK_MSG(distance_m > 0 && carrier_hz > 0,
+                   "distance and carrier frequency must be positive");
+  return 20.0 *
+         std::log10(4.0 * 3.14159265358979323846 * carrier_hz * distance_m /
+                    kSpeedOfLight);
+}
+
+double a2g_pathloss_db(const ChannelParams& params, double horizontal_m,
+                       double altitude_m) {
+  const double d = std::sqrt(horizontal_m * horizontal_m +
+                             altitude_m * altitude_m);
+  const double fspl = free_space_pathloss_db(d, params.carrier_hz);
+  const double theta = elevation_angle_deg(horizontal_m, altitude_m);
+  const double p_los = los_probability(params.environment, theta);
+  const double l_los = fspl + params.environment.eta_los_db;
+  const double l_nlos = fspl + params.environment.eta_nlos_db;
+  return p_los * l_los + (1.0 - p_los) * l_nlos;
+}
+
+double u2u_pathloss_db(const ChannelParams& params, double horizontal_m) {
+  return free_space_pathloss_db(horizontal_m, params.carrier_hz);
+}
+
+}  // namespace uavcov

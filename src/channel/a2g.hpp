@@ -1,0 +1,56 @@
+// Air-to-ground (UAV-to-user) wireless channel model of §II-B, following
+// Al-Hourani et al., "Optimal LAP altitude for maximum coverage", IEEE
+// WCL 2014 — the model the paper adopts:
+//
+//   P_LoS(θ)   = 1 / (1 + a·exp(−b(θ − a)))          θ = elevation angle, deg
+//   L_LoS(d)   = FSPL(d) + η_LoS                      FSPL = 20·log10(4π f d / c)
+//   L_NLoS(d)  = FSPL(d) + η_NLoS
+//   PL(d, θ)   = P_LoS·L_LoS + (1 − P_LoS)·L_NLoS     (all in dB)
+//
+// UAV-to-UAV links are free-space only (no obstacles in the air).
+#pragma once
+
+#include "geometry/vec.hpp"
+
+namespace uavcov {
+
+/// Environment-dependent constants of the Al-Hourani model.
+struct A2gEnvironment {
+  double a = 9.61;          ///< LoS-probability S-curve parameter.
+  double b = 0.16;          ///< LoS-probability S-curve parameter [1/deg].
+  double eta_los_db = 1.0;  ///< mean excess loss on LoS links [dB].
+  double eta_nlos_db = 20.0;///< mean excess loss on NLoS links [dB].
+};
+
+/// Standard environment presets from Al-Hourani et al. (Table/ITU-R data).
+A2gEnvironment suburban_environment();   // a=4.88,  b=0.43, η=0.1/21
+A2gEnvironment urban_environment();      // a=9.61,  b=0.16, η=1/20
+A2gEnvironment dense_urban_environment();// a=12.08, b=0.11, η=1.6/23
+A2gEnvironment highrise_environment();   // a=27.23, b=0.08, η=2.3/34
+
+/// The full channel configuration used across a scenario.
+struct ChannelParams {
+  A2gEnvironment environment{};  // urban by default
+  double carrier_hz = 2.0e9;     ///< carrier frequency f_c [Hz].
+};
+
+/// Elevation angle (degrees) from a ground point to a UAV with horizontal
+/// ground distance `horizontal_m` and altitude `altitude_m`.
+double elevation_angle_deg(double horizontal_m, double altitude_m);
+
+/// LoS probability P_LoS(θ) for elevation angle θ in degrees.
+double los_probability(const A2gEnvironment& env, double elevation_deg);
+
+/// Free-space pathloss 20·log10(4π f d / c) in dB for 3-D distance d [m].
+double free_space_pathloss_db(double distance_m, double carrier_hz);
+
+/// Mean air-to-ground pathloss PL(d, θ) in dB between a ground user and a
+/// UAV at horizontal distance `horizontal_m`, altitude `altitude_m`.
+double a2g_pathloss_db(const ChannelParams& params, double horizontal_m,
+                       double altitude_m);
+
+/// UAV-to-UAV pathloss (free space) for two UAVs at common altitude with
+/// horizontal separation `horizontal_m`.
+double u2u_pathloss_db(const ChannelParams& params, double horizontal_m);
+
+}  // namespace uavcov

@@ -1,0 +1,32 @@
+#include "channel/link_budget.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace uavcov {
+
+double a2g_snr(const ChannelParams& channel, const Radio& radio,
+               const Receiver& rx, double horizontal_m, double altitude_m) {
+  const double pl = a2g_pathloss_db(channel, horizontal_m, altitude_m);
+  const double snr_db =
+      radio.tx_power_dbm + radio.antenna_gain_dbi - pl - rx.noise_dbm;
+  return db_to_linear(snr_db);
+}
+
+double a2g_rate_bps(const ChannelParams& channel, const Radio& radio,
+                    const Receiver& rx, double horizontal_m,
+                    double altitude_m) {
+  UAVCOV_CHECK_MSG(rx.bandwidth_hz > 0, "bandwidth must be positive");
+  const double snr =
+      a2g_snr(channel, radio, rx, horizontal_m, altitude_m);
+  return rx.bandwidth_hz * std::log2(1.0 + snr);
+}
+
+double thermal_noise_dbm(double bandwidth_hz, double noise_figure_db) {
+  UAVCOV_CHECK_MSG(bandwidth_hz > 0, "bandwidth must be positive");
+  return -174.0 + 10.0 * std::log10(bandwidth_hz) + noise_figure_db;
+}
+
+}  // namespace uavcov

@@ -1,0 +1,43 @@
+// Link budget of §II-B: SNR and achievable per-user data rate.
+//
+//   SNR_ij  = 10^((P_t^j + g_t^j − PL_ij − P_N) / 10)          (linear)
+//   r_ij    = B_w · log2(1 + SNR_ij)                            [bit/s]
+//
+// with P_t transmission power [dBm], g_t antenna gain [dBi], PL the mean
+// pathloss [dB], P_N the noise power [dBm], and B_w the per-user OFDMA
+// bandwidth (paper example: 180 kHz — one LTE resource block).
+#pragma once
+
+#include "channel/a2g.hpp"
+
+namespace uavcov {
+
+/// Radio front-end of one UAV's mounted base station.  Heterogeneous UAVs
+/// may differ in transmission power / antenna gain (paper §II-A).
+struct Radio {
+  double tx_power_dbm = 30.0;   ///< P_t — base-station transmit power.
+  double antenna_gain_dbi = 5.0;///< g_t — antenna gain.
+};
+
+/// Receiver-side constants shared by all users.
+struct Receiver {
+  double noise_dbm = -104.0;    ///< P_N over the allocated bandwidth.
+  double bandwidth_hz = 180e3;  ///< B_w — one OFDMA resource block.
+};
+
+/// Linear SNR for a user at horizontal distance `horizontal_m` from a UAV
+/// hovering at `altitude_m`.
+double a2g_snr(const ChannelParams& channel, const Radio& radio,
+               const Receiver& rx, double horizontal_m, double altitude_m);
+
+/// Achievable data rate r_ij [bit/s].
+double a2g_rate_bps(const ChannelParams& channel, const Radio& radio,
+                    const Receiver& rx, double horizontal_m,
+                    double altitude_m);
+
+/// Thermal noise power (dBm) for a bandwidth and noise figure — utility for
+/// configuring Receiver::noise_dbm from first principles
+/// (−174 dBm/Hz + 10·log10(B) + NF).
+double thermal_noise_dbm(double bandwidth_hz, double noise_figure_db);
+
+}  // namespace uavcov

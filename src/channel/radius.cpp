@@ -1,0 +1,60 @@
+#include "channel/radius.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace uavcov {
+
+double max_service_radius(const ChannelParams& channel, const Radio& radio,
+                          const Receiver& rx, double altitude_m,
+                          double min_rate_bps, double max_radius_m,
+                          double tolerance_m) {
+  UAVCOV_CHECK_MSG(min_rate_bps > 0, "rate requirement must be positive");
+  UAVCOV_CHECK_MSG(max_radius_m > 0 && tolerance_m > 0,
+                   "search bounds must be positive");
+  auto meets = [&](double horizontal) {
+    return a2g_rate_bps(channel, radio, rx, horizontal, altitude_m) >=
+           min_rate_bps;
+  };
+  if (!meets(0.0)) return 0.0;
+  if (meets(max_radius_m)) return max_radius_m;
+  double lo = 0.0, hi = max_radius_m;  // meets(lo), !meets(hi)
+  while (hi - lo > tolerance_m) {
+    const double mid = 0.5 * (lo + hi);
+    (meets(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+double optimal_altitude(const ChannelParams& channel, const Radio& radio,
+                        const Receiver& rx, double min_rate_bps, double lo_m,
+                        double hi_m, double tolerance_m) {
+  UAVCOV_CHECK_MSG(0 < lo_m && lo_m < hi_m, "invalid altitude bracket");
+  auto radius_at = [&](double h) {
+    return max_service_radius(channel, radio, rx, h, min_rate_bps);
+  };
+  constexpr double kInvPhi = 0.6180339887498949;  // 1/φ
+  double a = lo_m, b = hi_m;
+  double c = b - (b - a) * kInvPhi;
+  double d = a + (b - a) * kInvPhi;
+  double fc = radius_at(c), fd = radius_at(d);
+  while (b - a > tolerance_m) {
+    if (fc >= fd) {  // maximum is in [a, d]
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - (b - a) * kInvPhi;
+      fc = radius_at(c);
+    } else {  // maximum is in [c, b]
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + (b - a) * kInvPhi;
+      fd = radius_at(d);
+    }
+  }
+  return 0.5 * (a + b);
+}
+
+}  // namespace uavcov

@@ -1,0 +1,32 @@
+// Derived coverage geometry:
+//   * max_service_radius — largest horizontal distance at which a UAV still
+//     delivers a target data rate (the physical origin of R_user^k; the
+//     paper treats R_user^k as given, we can also derive it);
+//   * optimal_altitude — the altitude maximizing that radius (the paper's
+//     H_uav "can be calculated by the algorithms in [2]"; this is that
+//     calculation, by golden-section search over a unimodal objective).
+#pragma once
+
+#include "channel/link_budget.hpp"
+
+namespace uavcov {
+
+/// Largest horizontal distance (meters) at which a2g_rate_bps >= min_rate,
+/// for a UAV at `altitude_m`.  Returns 0 if even overhead (distance 0) the
+/// rate is below the requirement.  Bisection on the monotone rate-vs-
+/// distance curve; accurate to `tolerance_m`.
+double max_service_radius(const ChannelParams& channel, const Radio& radio,
+                          const Receiver& rx, double altitude_m,
+                          double min_rate_bps, double max_radius_m = 20e3,
+                          double tolerance_m = 0.1);
+
+/// Altitude (meters) in [lo, hi] maximizing the service radius for the
+/// given rate requirement — golden-section search (the radius-vs-altitude
+/// curve of the Al-Hourani model is unimodal: too low → NLoS-dominated,
+/// too high → FSPL-dominated).
+double optimal_altitude(const ChannelParams& channel, const Radio& radio,
+                        const Receiver& rx, double min_rate_bps,
+                        double lo_m = 20.0, double hi_m = 3000.0,
+                        double tolerance_m = 0.5);
+
+}  // namespace uavcov

@@ -1,0 +1,54 @@
+// Contract-checking macros and the library's error type.
+//
+// Following the C++ Core Guidelines (I.5/I.6/E.*), preconditions and
+// invariants are expressed explicitly.  `UAVCOV_CHECK` is always on (it
+// guards API misuse and costs little on the paths where it appears);
+// `UAVCOV_DCHECK` compiles away in release builds and is used on hot inner
+// loops.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace uavcov {
+
+/// Error thrown when a contract (precondition, postcondition, invariant) is
+/// violated.  Carries the failing expression and source location.
+class ContractError : public std::logic_error {
+ public:
+  explicit ContractError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void contract_failure(const char* kind, const char* expr,
+                                   const char* file, int line,
+                                   const std::string& msg);
+}  // namespace detail
+
+}  // namespace uavcov
+
+/// Always-on contract check.  `msg` may use `operator<<`-free string
+/// concatenation (it is only evaluated on failure).
+#define UAVCOV_CHECK(expr)                                                  \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::uavcov::detail::contract_failure("CHECK", #expr, __FILE__,          \
+                                         __LINE__, "");                     \
+    }                                                                       \
+  } while (false)
+
+#define UAVCOV_CHECK_MSG(expr, msg)                                         \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::uavcov::detail::contract_failure("CHECK", #expr, __FILE__,          \
+                                         __LINE__, (msg));                  \
+    }                                                                       \
+  } while (false)
+
+#ifndef NDEBUG
+#define UAVCOV_DCHECK(expr) UAVCOV_CHECK(expr)
+#else
+#define UAVCOV_DCHECK(expr) \
+  do {                      \
+  } while (false)
+#endif

@@ -1,0 +1,98 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace uavcov {
+
+void CliParser::add_flag(const std::string& name, const std::string& help,
+                         const std::string& default_value) {
+  UAVCOV_CHECK_MSG(!flags_.count(name), "duplicate flag: " + name);
+  flags_[name] = Flag{help, default_value, std::nullopt};
+  order_.push_back(name);
+}
+
+bool CliParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    UAVCOV_CHECK_MSG(arg.rfind("--", 0) == 0, "expected --flag, got: " + arg);
+    arg = arg.substr(2);
+    if (arg == "help") {
+      std::cout << help(argv[0]);
+      return false;
+    }
+    std::string name = arg, value;
+    bool have_value = false;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      have_value = true;
+    }
+    auto it = flags_.find(name);
+    UAVCOV_CHECK_MSG(it != flags_.end(), "unknown flag: --" + name);
+    if (!have_value) {
+      // `--name value` unless the next token is another flag or absent
+      // (then it is a boolean `--name` == true).
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    it->second.value = value;
+  }
+  return true;
+}
+
+const CliParser::Flag& CliParser::find(const std::string& name) const {
+  auto it = flags_.find(name);
+  UAVCOV_CHECK_MSG(it != flags_.end(), "flag not registered: --" + name);
+  return it->second;
+}
+
+std::string CliParser::get_string(const std::string& name) const {
+  const Flag& f = find(name);
+  return f.value.value_or(f.default_value);
+}
+
+long long CliParser::get_int(const std::string& name) const {
+  const std::string s = get_string(name);
+  char* end = nullptr;
+  const long long v = std::strtoll(s.c_str(), &end, 10);
+  UAVCOV_CHECK_MSG(end && *end == '\0' && !s.empty(),
+                   "flag --" + name + " is not an integer: " + s);
+  return v;
+}
+
+double CliParser::get_double(const std::string& name) const {
+  const std::string s = get_string(name);
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  UAVCOV_CHECK_MSG(end && *end == '\0' && !s.empty(),
+                   "flag --" + name + " is not a number: " + s);
+  return v;
+}
+
+bool CliParser::get_bool(const std::string& name) const {
+  const std::string s = get_string(name);
+  if (s == "true" || s == "1" || s == "yes") return true;
+  if (s == "false" || s == "0" || s == "no") return false;
+  UAVCOV_CHECK_MSG(false, "flag --" + name + " is not a boolean: " + s);
+  return false;
+}
+
+std::string CliParser::help(const std::string& program) const {
+  std::ostringstream os;
+  os << "Usage: " << program << " [flags]\n";
+  for (const auto& name : order_) {
+    const Flag& f = flags_.at(name);
+    os << "  --" << name << " (default: " << f.default_value << ")\n      "
+       << f.help << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace uavcov

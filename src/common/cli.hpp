@@ -1,0 +1,44 @@
+// Tiny command-line flag parser for the bench/example binaries.
+//
+// Supports `--name value`, `--name=value`, and boolean `--name` forms.
+// Unknown flags are an error so typos in experiment scripts fail loudly.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace uavcov {
+
+class CliParser {
+ public:
+  /// Register a flag with a help string and (textual) default.
+  void add_flag(const std::string& name, const std::string& help,
+                const std::string& default_value);
+
+  /// Parse argv.  Throws ContractError on unknown flags or malformed input.
+  /// Returns false if `--help` was requested (help text printed to stdout).
+  bool parse(int argc, const char* const* argv);
+
+  std::string get_string(const std::string& name) const;
+  long long get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  /// Render help text.
+  std::string help(const std::string& program) const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string default_value;
+    std::optional<std::string> value;
+  };
+  const Flag& find(const std::string& name) const;
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace uavcov

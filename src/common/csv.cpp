@@ -1,0 +1,32 @@
+#include "common/csv.hpp"
+
+#include "common/check.hpp"
+
+namespace uavcov {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  UAVCOV_CHECK_MSG(out_.good(), "failed to open CSV file: " + path);
+}
+
+std::string CsvWriter::quote(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << quote(cells[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace uavcov

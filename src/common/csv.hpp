@@ -1,0 +1,40 @@
+// CSV writer for experiment outputs (one file per figure; columns are the
+// paper's plotted series).  RFC-4180-style quoting.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace uavcov {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws ContractError on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Write a row; cells containing commas/quotes/newlines are quoted.
+  void write_row(const std::vector<std::string>& cells);
+
+  template <typename... Ts>
+  void write_row_of(const Ts&... values) {
+    write_row({cell(values)...});
+  }
+
+  /// Quote a single cell per RFC 4180 (exposed for tests).
+  static std::string quote(const std::string& cell);
+
+ private:
+  template <typename T>
+  static std::string cell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      return std::to_string(v);
+    }
+  }
+
+  std::ofstream out_;
+};
+
+}  // namespace uavcov

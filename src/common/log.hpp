@@ -1,0 +1,49 @@
+// Leveled stderr logging for the long-running experiment binaries.
+// Deliberately minimal: no global mutable state beyond the level, no
+// allocation on disabled paths.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace uavcov {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level (default Info).  Not thread-safe by design — set it
+/// once at startup.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+/// Stream-style logging: UAVCOV_LOG(Info) << "placed " << k << " UAVs";
+#define UAVCOV_LOG(level_name)                                        \
+  for (bool uavcov_log_once =                                         \
+           ::uavcov::log_level() <= ::uavcov::LogLevel::k##level_name; \
+       uavcov_log_once; uavcov_log_once = false)                      \
+  ::uavcov::detail::LogLine(::uavcov::LogLevel::k##level_name)
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_emit(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace uavcov

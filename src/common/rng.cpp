@@ -1,0 +1,51 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace uavcov {
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  UAVCOV_CHECK_MSG(bound > 0, "next_below bound must be positive");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t threshold = (~bound + 1) % bound;  // (2^64 - bound) % bound
+  for (;;) {
+    const std::uint64_t r = next_u64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  UAVCOV_CHECK_MSG(lo <= hi, "uniform_int requires lo <= hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>(next_u64());
+  }
+  return lo + static_cast<std::int64_t>(next_below(span));
+}
+
+double Rng::normal() {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return spare_normal_;
+  }
+  double u, v, s;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double mul = std::sqrt(-2.0 * std::log(s) / s);
+  spare_normal_ = v * mul;
+  has_spare_normal_ = true;
+  return u * mul;
+}
+
+double Rng::pareto(double alpha, double x_min) {
+  UAVCOV_CHECK_MSG(alpha > 0 && x_min > 0, "pareto parameters must be positive");
+  // Inverse-CDF sampling; 1 - U avoids log(0).
+  const double u = 1.0 - uniform01();
+  return x_min / std::pow(u, 1.0 / alpha);
+}
+
+}  // namespace uavcov

@@ -1,0 +1,3 @@
+#include "common/stopwatch.hpp"
+
+// Header-only implementation; this TU anchors the target.

@@ -1,0 +1,27 @@
+// Wall-clock stopwatch used by the experiment harness (Fig. 6(b) reproduces
+// the paper's running-time plot).
+#pragma once
+
+#include <chrono>
+
+namespace uavcov {
+
+class Stopwatch {
+ public:
+  Stopwatch() { restart(); }
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last restart().
+  double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace uavcov

@@ -1,0 +1,59 @@
+// Minimal aligned-column table printer used by the figure harnesses to
+// print paper-style result rows to stdout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace uavcov {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+///
+/// Example output:
+///   K   approAlg  maxThroughput  MotionCtrl  MCS   GreedyAssign
+///   2   301       270            198         266   255
+class Table {
+ public:
+  /// Set the header row.  Column count of subsequent rows must match.
+  void set_header(std::vector<std::string> header);
+
+  /// Append a row of pre-formatted cells.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format arithmetic values with operator<<.
+  template <typename... Ts>
+  void add_row_of(const Ts&... values) {
+    add_row({format_cell(values)...});
+  }
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render the table (header + rows) to `os` with two-space gutters.
+  void print(std::ostream& os) const;
+
+  /// Render to a string (used by tests).
+  std::string to_string() const;
+
+ private:
+  template <typename T>
+  static std::string format_cell(const T& v);
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+std::string format_double(double v, int precision = 2);
+
+template <typename T>
+std::string Table::format_cell(const T& v) {
+  if constexpr (std::is_convertible_v<T, std::string>) {
+    return std::string(v);
+  } else if constexpr (std::is_floating_point_v<T>) {
+    return format_double(static_cast<double>(v));
+  } else {
+    return std::to_string(v);
+  }
+}
+
+}  // namespace uavcov

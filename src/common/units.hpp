@@ -1,0 +1,34 @@
+// Decibel / linear conversions and physical constants used by the channel
+// models.  Kept header-only; these are one-liners on hot paths.
+#pragma once
+
+#include <cmath>
+
+namespace uavcov {
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Convert a decibel quantity to a linear ratio.
+inline double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Convert a linear ratio to decibels.
+inline double linear_to_db(double linear) { return 10.0 * std::log10(linear); }
+
+/// Convert milliwatts to dBm.
+inline double mw_to_dbm(double mw) { return 10.0 * std::log10(mw); }
+
+/// Convert dBm to milliwatts.
+inline double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+
+/// Degrees → radians.
+inline constexpr double deg_to_rad(double deg) {
+  return deg * 3.14159265358979323846 / 180.0;
+}
+
+/// Radians → degrees.
+inline constexpr double rad_to_deg(double rad) {
+  return rad * 180.0 / 3.14159265358979323846;
+}
+
+}  // namespace uavcov

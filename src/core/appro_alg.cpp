@@ -1,0 +1,316 @@
+#include "core/appro_alg.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/check.hpp"
+#include "common/stopwatch.hpp"
+#include "core/assignment.hpp"
+#include "core/matroid.hpp"
+#include "core/relay.hpp"
+#include "graph/bfs.hpp"
+
+namespace uavcov {
+
+namespace {
+
+/// Greedy submodular maximization under M1 ∩ M2 for one seed subset.
+/// Returns the chosen locations in deployment order (UAVs are taken from
+/// `uav_order` front to back, i.e. capacity descending).
+std::vector<LocationId> greedy_place(
+    IncrementalAssignment& ia, const CoverageModel& coverage,
+    const std::vector<LocationId>& pool, HopBudgetMatroid& m2,
+    const std::vector<UavId>& uav_order, std::int32_t l_max, bool lazy,
+    std::int64_t* probes) {
+  std::vector<LocationId> chosen;
+  chosen.reserve(static_cast<std::size_t>(l_max));
+  std::vector<bool> taken;  // indexed by position in `pool`
+
+  if (lazy) {
+    // Max-heap of (stale upper bound, pool index).  Stale bounds remain
+    // valid across iterations: gains shrink as the set grows (submodular)
+    // and as capacities shrink (UAVs are deployed largest-first).
+    std::priority_queue<std::pair<std::int64_t, std::int32_t>> heap;
+    for (std::size_t i = 0; i < pool.size(); ++i) {
+      heap.emplace(coverage.max_coverage(pool[i]),
+                   static_cast<std::int32_t>(i));
+    }
+    taken.assign(pool.size(), false);
+    for (std::int32_t k = 0; k < l_max && !heap.empty(); ++k) {
+      const UavId uav = uav_order[static_cast<std::size_t>(k)];
+      LocationId pick = kInvalidLocation;
+      std::int32_t pick_idx = -1;
+      std::int64_t pick_gain = -1;
+      while (!heap.empty()) {
+        const auto [bound, idx] = heap.top();
+        heap.pop();
+        const LocationId loc = pool[static_cast<std::size_t>(idx)];
+        if (taken[static_cast<std::size_t>(idx)]) continue;
+        // Once the hop quotas reject a location they reject it forever
+        // (counters only grow), so drop it permanently.
+        if (!m2.can_add(loc)) continue;
+        const std::int64_t gain = ia.probe(uav, loc);
+        ++*probes;
+        UAVCOV_DCHECK(gain <= bound);
+        // Accept when no remaining entry can beat (gain, idx) in
+        // (value, index) lexicographic order — this reproduces exactly the
+        // plain greedy's largest-index-among-argmax winner.
+        const bool accept =
+            heap.empty() || gain > heap.top().first ||
+            (gain == heap.top().first && idx > heap.top().second);
+        if (accept) {
+          pick = loc;
+          pick_idx = idx;
+          pick_gain = gain;
+          break;
+        }
+        // Stale bound refreshed; retry against the rest of the heap.
+        heap.emplace(gain, idx);
+      }
+      if (pick == kInvalidLocation) break;  // no feasible location remains
+      ia.deploy(uav, pick);
+      m2.add(pick);
+      taken[static_cast<std::size_t>(pick_idx)] = true;
+      chosen.push_back(pick);
+      (void)pick_gain;
+    }
+  } else {
+    // Plain greedy: probe every feasible pool entry each iteration.
+    taken.assign(pool.size(), false);
+    for (std::int32_t k = 0; k < l_max; ++k) {
+      const UavId uav = uav_order[static_cast<std::size_t>(k)];
+      std::int64_t best_gain = -1;
+      std::int32_t best_idx = -1;
+      for (std::size_t i = 0; i < pool.size(); ++i) {
+        if (taken[i]) continue;
+        const LocationId loc = pool[i];
+        if (!m2.can_add(loc)) continue;
+        const std::int64_t gain = ia.probe(uav, loc);
+        ++*probes;
+        // `>=` keeps the largest pool index among ties — the same winner
+        // the lazy heap (max by bound, then by index) accepts, so both
+        // greedy modes produce identical deployments.
+        if (gain >= best_gain) {
+          best_gain = gain;
+          best_idx = static_cast<std::int32_t>(i);
+        }
+      }
+      if (best_idx < 0) break;
+      const LocationId loc = pool[static_cast<std::size_t>(best_idx)];
+      ia.deploy(uav, loc);
+      m2.add(loc);
+      taken[static_cast<std::size_t>(best_idx)] = true;
+      chosen.push_back(loc);
+    }
+  }
+  return chosen;
+}
+
+}  // namespace
+
+Solution appro_alg(const Scenario& scenario, const ApproAlgParams& params,
+                   ApproAlgStats* stats) {
+  const CoverageModel coverage(scenario);
+  return appro_alg(scenario, coverage, params, stats);
+}
+
+Solution appro_alg(const Scenario& scenario, const CoverageModel& coverage,
+                   const ApproAlgParams& params, ApproAlgStats* stats) {
+  Stopwatch watch;
+  scenario.validate();
+  UAVCOV_CHECK_MSG(params.s >= 1, "s must be >= 1");
+  const std::int32_t K = scenario.uav_count();
+
+  Solution solution;
+  solution.algorithm = "approAlg";
+  solution.user_to_deployment.assign(scenario.users.size(), -1);
+
+  // Candidate hovering locations: cover >= 1 user, optionally top-M.
+  const std::vector<LocationId> candidates =
+      coverage.candidate_locations(params.candidate_cap);
+  ApproAlgStats local_stats;
+  ApproAlgStats& st = stats ? *stats : local_stats;
+  st = ApproAlgStats{};
+  st.candidates = static_cast<std::int64_t>(candidates.size());
+  if (candidates.empty()) {
+    // Nobody can be covered anywhere; the empty deployment is optimal.
+    st.seconds = watch.elapsed_s();
+    solution.solve_seconds = st.seconds;
+    return solution;
+  }
+
+  // Effective s: cannot exceed K (Algorithm 1 needs s <= K) nor the number
+  // of candidate locations.
+  const std::int32_t s = std::max<std::int32_t>(
+      1, std::min({params.s, K,
+                   static_cast<std::int32_t>(candidates.size())}));
+  const SegmentPlan plan = compute_segment_plan(K, s);
+  st.plan = plan;
+
+  const Graph g = build_location_graph(scenario.grid, scenario.uav_range_m);
+  std::vector<UavId> uav_order = scenario.uavs_by_capacity_desc();
+  if (params.capacity_ascending) {
+    std::reverse(uav_order.begin(), uav_order.end());
+  }
+
+  // Hop distances from every candidate (seeds are candidates): reused both
+  // for the pairwise pruning filter and for per-subset multi-source
+  // distances (min over the subset's rows).
+  std::vector<std::vector<std::int32_t>> cand_dist;
+  cand_dist.reserve(candidates.size());
+  for (LocationId c : candidates) cand_dist.push_back(bfs_distances(g, c));
+
+  IncrementalAssignment ia(scenario, coverage);
+
+  std::int64_t best_served = -1;
+  std::vector<Deployment> best_deployments;
+
+  // Per-subset evaluation.
+  std::vector<std::int32_t> subset;  // indices into `candidates`
+  subset.reserve(static_cast<std::size_t>(s));
+  std::vector<std::int32_t> hop(static_cast<std::size_t>(g.node_count()));
+  bool budget_exhausted = false;
+
+  auto evaluate_subset = [&]() {
+    ++st.subsets_evaluated;
+    // Multi-source hop distances d(v) = min over seeds.
+    std::fill(hop.begin(), hop.end(), kUnreachable);
+    for (std::int32_t idx : subset) {
+      const auto& row = cand_dist[static_cast<std::size_t>(idx)];
+      for (std::size_t v = 0; v < hop.size(); ++v) {
+        hop[v] = std::min(hop[v], row[v]);
+      }
+    }
+    HopBudgetMatroid m2(hop, plan.quotas);
+
+    const auto scope = ia.begin_scope();
+    const std::vector<LocationId> chosen =
+        greedy_place(ia, coverage, candidates, m2, uav_order, plan.L_max,
+                     params.lazy_greedy, &st.probes);
+    const auto relay = stitch_connected(g, chosen);
+    if (relay.has_value() &&
+        static_cast<std::int32_t>(relay->nodes.size()) <= K) {
+      ++st.subsets_stitched;
+      // Leftover UAVs (next in capacity order) hover on the relay cells —
+      // the paper deploys them "in an arbitrary way"; index order here.
+      for (std::size_t r = chosen.size(); r < relay->nodes.size(); ++r) {
+        ia.deploy(uav_order[r], relay->nodes[r]);
+      }
+      if (ia.served() > best_served) {
+        best_served = ia.served();
+        best_deployments = ia.deployments();
+      }
+    }
+    ia.end_scope(scope);
+    if (params.max_seed_subsets > 0 &&
+        st.subsets_evaluated >= params.max_seed_subsets) {
+      budget_exhausted = true;
+    }
+  };
+
+  // DFS enumeration of s-subsets of `candidates` with optional pairwise-
+  // hop pruning (prefix property: every pair in a kept subset is within
+  // L_max − 1 hops, so pruning applies as soon as a prefix violates it).
+  auto enumerate = [&](auto&& self, std::int32_t start) -> void {
+    if (budget_exhausted) return;
+    if (static_cast<std::int32_t>(subset.size()) == s) {
+      ++st.subsets_enumerated;
+      evaluate_subset();
+      return;
+    }
+    for (std::int32_t i = start;
+         i < static_cast<std::int32_t>(candidates.size()); ++i) {
+      if (params.prune_seed_pairs) {
+        bool compatible = true;
+        for (std::int32_t j : subset) {
+          const std::int32_t hops =
+              cand_dist[static_cast<std::size_t>(j)][static_cast<std::size_t>(
+                  candidates[static_cast<std::size_t>(i)])];
+          if (hops == kUnreachable || hops > plan.L_max - 1) {
+            compatible = false;
+            break;
+          }
+        }
+        if (!compatible) continue;
+      }
+      subset.push_back(i);
+      self(self, i + 1);
+      subset.pop_back();
+      if (budget_exhausted) return;
+    }
+  };
+  enumerate(enumerate, 0);
+
+  if (best_served >= 0 && params.fill_leftover_uavs &&
+      static_cast<std::int32_t>(best_deployments.size()) < K) {
+    // Engineering extension (see ApproAlgParams::fill_leftover_uavs): the
+    // paper grounds the K − q_j UAVs that neither serve nor relay; we
+    // spend them greedily on cells adjacent to the winning network while
+    // they still add served users.
+    const auto scope = ia.begin_scope();
+    std::vector<bool> used_uav(static_cast<std::size_t>(K), false);
+    std::vector<bool> occupied(static_cast<std::size_t>(g.node_count()),
+                               false);
+    for (const Deployment& d : best_deployments) {
+      ia.deploy(d.uav, d.loc);
+      used_uav[static_cast<std::size_t>(d.uav)] = true;
+      occupied[static_cast<std::size_t>(d.loc)] = true;
+    }
+    std::vector<UavId> leftovers;
+    for (UavId k : uav_order) {
+      if (!used_uav[static_cast<std::size_t>(k)]) leftovers.push_back(k);
+    }
+    for (UavId k : leftovers) {
+      // Frontier = unoccupied cells adjacent (<= R_uav) to the network
+      // that can cover at least one user.
+      std::vector<LocationId> frontier;
+      std::vector<bool> seen(static_cast<std::size_t>(g.node_count()),
+                             false);
+      for (const Deployment& d : ia.deployments()) {
+        for (NodeId nb : g.neighbors(d.loc)) {
+          if (occupied[static_cast<std::size_t>(nb)] ||
+              seen[static_cast<std::size_t>(nb)] ||
+              coverage.max_coverage(nb) == 0) {
+            continue;
+          }
+          seen[static_cast<std::size_t>(nb)] = true;
+          frontier.push_back(nb);
+        }
+      }
+      std::int64_t best_gain = 0;
+      LocationId best_cell = kInvalidLocation;
+      for (LocationId cell : frontier) {
+        const std::int64_t gain = ia.probe(k, cell);
+        ++st.probes;
+        if (gain > best_gain) {
+          best_gain = gain;
+          best_cell = cell;
+        }
+      }
+      if (best_cell == kInvalidLocation) break;  // no positive gain left
+      ia.deploy(k, best_cell);
+      occupied[static_cast<std::size_t>(best_cell)] = true;
+    }
+    if (ia.served() > best_served) {
+      best_served = ia.served();
+      best_deployments = ia.deployments();
+    }
+    ia.end_scope(scope);
+  }
+
+  if (best_served >= 0) {
+    // Final optimal assignment for the winning deployment (Lemma 1).
+    const AssignmentResult assignment =
+        solve_assignment(scenario, coverage, best_deployments);
+    solution.deployments = std::move(best_deployments);
+    solution.user_to_deployment = std::move(assignment.user_to_deployment);
+    solution.served = assignment.served;
+    UAVCOV_CHECK_MSG(solution.served == best_served,
+                     "final assignment disagrees with incremental count");
+  }
+  st.seconds = watch.elapsed_s();
+  solution.solve_seconds = st.seconds;
+  return solution;
+}
+
+}  // namespace uavcov

@@ -1,0 +1,66 @@
+// Algorithm 2 (§III-E): the O(sqrt(s/K))-approximation for the maximum
+// connected coverage problem.
+//
+// Pipeline per seed subset V*_j ⊆ V, |V*_j| = s:
+//   1. hop distances d(v) to the seeds (multi-source BFS over G);
+//   2. greedy submodular maximization under M1 (each UAV once, capacities
+//      descending) ∩ M2 (hop quotas Q_h) — the 1/(ρ+1) = 1/3 greedy of
+//      Fisher–Nemhauser–Wolsey, with lazy evaluation and incremental
+//      max-flow marginal gains;
+//   3. relay stitching (MST over pairwise hop distances, union of shortest
+//      paths); reject if the stitched network needs more than K UAVs;
+//   4. deploy the leftover (small-capacity) UAVs on the relay cells and
+//      evaluate the served-user count.
+// The best subset wins; its deployment gets a final optimal assignment.
+//
+// Scaling knobs (all default to the paper-faithful behavior except the
+// lossless seed-pair pruning — see DESIGN.md §3):
+//   * candidate_cap    — keep only the top-M locations by coverable users
+//                        (0 = every location that covers at least 1 user);
+//   * prune_seed_pairs — skip subsets with pairwise hop distance > L_max−1
+//                        (lossless for the approximation guarantee: the
+//                        seeds used by the analysis lie on one Euler
+//                        subpath with at most L_max nodes);
+//   * lazy_greedy      — lazy vs plain greedy evaluation (same output).
+#pragma once
+
+#include "core/appro_alg_stats.hpp"
+#include "core/coverage.hpp"
+#include "core/scenario.hpp"
+#include "core/segment_plan.hpp"
+#include "core/solution.hpp"
+
+namespace uavcov {
+
+struct ApproAlgParams {
+  std::int32_t s = 3;
+  std::int32_t candidate_cap = 0;
+  bool prune_seed_pairs = true;
+  bool lazy_greedy = true;
+  /// Ablation knob: deploy smallest-capacity UAVs first instead of the
+  /// paper's largest-first rule.  Quantifies how much of approAlg's win
+  /// comes from steering big UAVs onto coverage spots (§I's argument).
+  bool capacity_ascending = false;
+  /// Engineering extension beyond the paper (which grounds the K − q_j
+  /// UAVs left after relay stitching): greedily deploy them on cells
+  /// adjacent to the winning network while the marginal gain is positive.
+  /// Connectivity is preserved by construction.  Set false for the
+  /// paper-faithful behavior; the ablation bench measures the difference.
+  bool fill_leftover_uavs = true;
+  /// Safety valve for pathological inputs: stop after this many evaluated
+  /// subsets (0 = unlimited).  Deterministic: enumeration order is fixed.
+  std::int64_t max_seed_subsets = 0;
+};
+
+/// Runs Algorithm 2.  `stats`, when non-null, receives search counters and
+/// the Algorithm 1 plan (used by the benches and tests).
+Solution appro_alg(const Scenario& scenario, const ApproAlgParams& params,
+                   ApproAlgStats* stats = nullptr);
+
+/// Overload reusing a precomputed coverage model (the model only depends on
+/// the scenario, so sweeps over s reuse it).
+Solution appro_alg(const Scenario& scenario, const CoverageModel& coverage,
+                   const ApproAlgParams& params,
+                   ApproAlgStats* stats = nullptr);
+
+}  // namespace uavcov

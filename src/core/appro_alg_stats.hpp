@@ -1,0 +1,21 @@
+// Search counters reported by Algorithm 2 (separate header so callers that
+// only want the stats type need not pull in the full solver).
+#pragma once
+
+#include <cstdint>
+
+#include "core/segment_plan.hpp"
+
+namespace uavcov {
+
+struct ApproAlgStats {
+  SegmentPlan plan;                   ///< Algorithm 1 output used.
+  std::int64_t candidates = 0;        ///< candidate locations after pruning.
+  std::int64_t subsets_enumerated = 0;///< seed subsets generated.
+  std::int64_t subsets_evaluated = 0; ///< subsets surviving all filters.
+  std::int64_t subsets_stitched = 0;  ///< subsets with a <= K stitching.
+  std::int64_t probes = 0;            ///< marginal-gain flow probes.
+  double seconds = 0.0;               ///< end-to-end wall clock.
+};
+
+}  // namespace uavcov

@@ -1,0 +1,136 @@
+#include "core/coverage.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "channel/radius.hpp"
+#include "common/check.hpp"
+
+namespace uavcov {
+
+namespace {
+/// Key for grouping UAVs with identical radios (exact bit comparison is
+/// fine — specs come from configuration, not arithmetic).
+struct RadioKey {
+  double tx, gain, range;
+  bool operator<(const RadioKey& o) const {
+    return std::tie(tx, gain, range) < std::tie(o.tx, o.gain, o.range);
+  }
+};
+}  // namespace
+
+CoverageModel::CoverageModel(const Scenario& scenario) : scenario_(scenario) {
+  scenario.validate();
+
+  // 1. Group the fleet into radio classes.
+  std::map<RadioKey, std::int32_t> class_of;
+  uav_class_.reserve(scenario.fleet.size());
+  for (const UavSpec& u : scenario.fleet) {
+    const RadioKey key{u.radio.tx_power_dbm, u.radio.antenna_gain_dbi,
+                       u.user_range_m};
+    auto [it, inserted] = class_of.try_emplace(
+        key, static_cast<std::int32_t>(class_specs_.size()));
+    if (inserted) class_specs_.push_back({u.radio, u.user_range_m});
+    uav_class_.push_back(it->second);
+  }
+
+  // 2. Effective service radius per (class, distinct r_min): the rate is
+  //    monotone decreasing in horizontal distance, so eligibility is a
+  //    disc of radius min(R_user, radius where rate == r_min).
+  const std::int32_t classes = radio_class_count();
+  std::map<std::pair<std::int32_t, double>, double> radius_cache;
+  auto effective_radius = [&](std::int32_t c, double min_rate) {
+    auto [it, inserted] = radius_cache.try_emplace({c, min_rate}, 0.0);
+    if (inserted) {
+      const ClassSpec& spec = class_specs_[static_cast<std::size_t>(c)];
+      const double rate_radius = max_service_radius(
+          scenario_.channel, spec.radio, scenario_.receiver,
+          scenario_.altitude_m, min_rate, /*max_radius_m=*/
+          std::max(spec.user_range_m * 4.0, 1000.0));
+      it->second = std::min(spec.user_range_m, rate_radius);
+    }
+    return it->second;
+  };
+
+  // 3. Scatter users into per-(location, class) buckets.
+  const std::size_t slots =
+      static_cast<std::size_t>(scenario.grid.size()) *
+      static_cast<std::size_t>(classes);
+  std::vector<std::vector<UserId>> buckets(slots);
+  for (UserId i = 0; i < scenario.user_count(); ++i) {
+    const User& user = scenario.users[static_cast<std::size_t>(i)];
+    for (std::int32_t c = 0; c < classes; ++c) {
+      const double radius = effective_radius(c, user.min_rate_bps);
+      if (radius <= 0) continue;
+      for (LocationId v : scenario.grid.centers_within(user.pos, radius)) {
+        buckets[static_cast<std::size_t>(v) * static_cast<std::size_t>(classes) +
+                static_cast<std::size_t>(c)]
+            .push_back(i);
+      }
+    }
+  }
+
+  // 4. Flatten into CSR slices (user ids are appended in ascending order
+  //    already because the outer loop runs over i ascending).
+  eligible_.resize(slots);
+  std::int64_t total = 0;
+  for (const auto& b : buckets) total += static_cast<std::int64_t>(b.size());
+  users_flat_.reserve(static_cast<std::size_t>(total));
+  for (std::size_t slot = 0; slot < slots; ++slot) {
+    const std::int64_t begin = static_cast<std::int64_t>(users_flat_.size());
+    users_flat_.insert(users_flat_.end(), buckets[slot].begin(),
+                       buckets[slot].end());
+    eligible_[slot] = {begin, static_cast<std::int64_t>(users_flat_.size())};
+  }
+
+  max_coverage_.assign(static_cast<std::size_t>(scenario.grid.size()), 0);
+  for (LocationId v = 0; v < scenario.grid.size(); ++v) {
+    for (std::int32_t c = 0; c < classes; ++c) {
+      max_coverage_[static_cast<std::size_t>(v)] = std::max(
+          max_coverage_[static_cast<std::size_t>(v)],
+          static_cast<std::int32_t>(eligible_users(v, c).size()));
+    }
+  }
+}
+
+std::span<const UserId> CoverageModel::eligible_users(LocationId v,
+                                                      std::int32_t c) const {
+  UAVCOV_DCHECK(v >= 0 && v < scenario_.grid.size());
+  UAVCOV_DCHECK(c >= 0 && c < radio_class_count());
+  const auto [begin, end] =
+      eligible_[static_cast<std::size_t>(v) *
+                    static_cast<std::size_t>(radio_class_count()) +
+                static_cast<std::size_t>(c)];
+  return {users_flat_.data() + begin, static_cast<std::size_t>(end - begin)};
+}
+
+std::vector<LocationId> CoverageModel::candidate_locations(
+    std::int32_t cap) const {
+  std::vector<LocationId> out;
+  for (LocationId v = 0; v < scenario_.grid.size(); ++v) {
+    if (max_coverage(v) > 0) out.push_back(v);
+  }
+  std::stable_sort(out.begin(), out.end(), [this](LocationId a, LocationId b) {
+    return max_coverage(a) > max_coverage(b);
+  });
+  if (cap > 0 && static_cast<std::int32_t>(out.size()) > cap) {
+    out.resize(static_cast<std::size_t>(cap));
+  }
+  std::sort(out.begin(), out.end());  // deterministic id order for callers
+  return out;
+}
+
+bool CoverageModel::is_eligible(const Scenario& scenario, UserId u,
+                                LocationId v, UavId k) const {
+  const User& user = scenario.users[static_cast<std::size_t>(u)];
+  const UavSpec& uav = scenario.fleet[static_cast<std::size_t>(k)];
+  const double horizontal = distance(user.pos, scenario.grid.center(v));
+  if (horizontal > uav.user_range_m) return false;
+  const double rate =
+      a2g_rate_bps(scenario.channel, uav.radio, scenario.receiver, horizontal,
+                   scenario.altitude_m);
+  return rate >= user.min_rate_bps;
+}
+
+}  // namespace uavcov

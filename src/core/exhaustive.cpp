@@ -1,0 +1,72 @@
+#include "core/exhaustive.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+#include "core/assignment.hpp"
+#include "graph/bfs.hpp"
+
+namespace uavcov {
+
+Solution exhaustive_optimal(const Scenario& scenario,
+                            const CoverageModel& coverage) {
+  scenario.validate();
+  const std::int32_t m = scenario.grid.size();
+  const std::int32_t K = scenario.uav_count();
+  UAVCOV_CHECK_MSG(m <= 16, "exhaustive solver limited to 16 locations");
+  UAVCOV_CHECK_MSG(K <= 5, "exhaustive solver limited to 5 UAVs");
+
+  const Graph g = build_location_graph(scenario.grid, scenario.uav_range_m);
+
+  Solution best;
+  best.algorithm = "exhaustive";
+  best.user_to_deployment.assign(scenario.users.size(), -1);
+  best.served = 0;
+
+  std::vector<LocationId> locs;
+  for (std::uint32_t mask = 1; mask < (1u << m); ++mask) {
+    const std::int32_t t = __builtin_popcount(mask);
+    if (t > K) continue;
+    locs.clear();
+    for (LocationId v = 0; v < m; ++v) {
+      if (mask & (1u << v)) locs.push_back(v);
+    }
+    if (!is_induced_subgraph_connected(g, locs)) continue;
+
+    // Try every injective UAV → location mapping: choose t UAVs out of K
+    // and permute them over the t locations.
+    std::vector<UavId> uav_subset(static_cast<std::size_t>(t));
+    auto choose = [&](auto&& self, std::int32_t start,
+                      std::int32_t depth) -> void {
+      if (depth == t) {
+        std::vector<UavId> perm = uav_subset;
+        std::sort(perm.begin(), perm.end());
+        do {
+          std::vector<Deployment> deps(static_cast<std::size_t>(t));
+          for (std::int32_t i = 0; i < t; ++i) {
+            deps[static_cast<std::size_t>(i)] = {
+                perm[static_cast<std::size_t>(i)],
+                locs[static_cast<std::size_t>(i)]};
+          }
+          const AssignmentResult result =
+              solve_assignment(scenario, coverage, deps);
+          if (result.served > best.served) {
+            best.served = result.served;
+            best.deployments = deps;
+            best.user_to_deployment = result.user_to_deployment;
+          }
+        } while (std::next_permutation(perm.begin(), perm.end()));
+        return;
+      }
+      for (std::int32_t u = start; u < K; ++u) {
+        uav_subset[static_cast<std::size_t>(depth)] = u;
+        self(self, u + 1, depth + 1);
+      }
+    };
+    choose(choose, 0, 0);
+  }
+  return best;
+}
+
+}  // namespace uavcov

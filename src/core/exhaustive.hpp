@@ -1,0 +1,20 @@
+// Exhaustive optimal solver for tiny instances — the ground truth the
+// integration tests compare approAlg and the baselines against.
+//
+// Enumerates every connected location subset of size 1..K and every
+// injective mapping of UAVs onto it (heterogeneous radios/capacities make
+// the mapping matter), then solves the optimal assignment.  Exponential —
+// guarded to toy sizes.
+#pragma once
+
+#include "core/coverage.hpp"
+#include "core/scenario.hpp"
+#include "core/solution.hpp"
+
+namespace uavcov {
+
+/// Preconditions: grid size <= 16 and K <= 5 (enforced).
+Solution exhaustive_optimal(const Scenario& scenario,
+                            const CoverageModel& coverage);
+
+}  // namespace uavcov

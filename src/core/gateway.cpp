@@ -1,0 +1,102 @@
+#include "core/gateway.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.hpp"
+#include "core/assignment.hpp"
+#include "graph/bfs.hpp"
+
+namespace uavcov {
+
+GatewayResult extend_to_gateway(const Scenario& scenario,
+                                const CoverageModel& coverage,
+                                Solution& solution, Vec2 vehicle_pos) {
+  GatewayResult result;
+  auto within_vehicle_range = [&](LocationId cell) {
+    return slant_range(vehicle_pos, scenario.grid.center(cell),
+                       scenario.altitude_m) <= scenario.uav_range_m;
+  };
+
+  // Already connected?
+  for (std::size_t d = 0; d < solution.deployments.size(); ++d) {
+    if (within_vehicle_range(solution.deployments[d].loc)) {
+      result.connected = true;
+      result.gateway_deployment = static_cast<std::int32_t>(d);
+      return result;
+    }
+  }
+  if (solution.deployments.empty()) return result;
+
+  // Unused UAVs available for the backhaul chain.
+  std::vector<bool> used(static_cast<std::size_t>(scenario.uav_count()),
+                         false);
+  for (const Deployment& d : solution.deployments) {
+    used[static_cast<std::size_t>(d.uav)] = true;
+  }
+  std::vector<UavId> spare;
+  for (UavId k = 0; k < scenario.uav_count(); ++k) {
+    if (!used[static_cast<std::size_t>(k)]) spare.push_back(k);
+  }
+  if (spare.empty()) return result;
+
+  // Multi-source BFS from all cells within vehicle range toward the
+  // network; the chain is the shortest path to any deployed cell.
+  const Graph g = build_location_graph(scenario.grid, scenario.uav_range_m);
+  std::vector<NodeId> sources;
+  for (LocationId v = 0; v < scenario.grid.size(); ++v) {
+    if (within_vehicle_range(v)) sources.push_back(v);
+  }
+  if (sources.empty()) return result;  // vehicle out of reach entirely
+  const BfsTree tree = bfs_tree(g, sources);
+
+  std::int32_t best_dist = std::numeric_limits<std::int32_t>::max();
+  LocationId attach = kInvalidLocation;
+  std::vector<bool> occupied(static_cast<std::size_t>(scenario.grid.size()),
+                             false);
+  for (const Deployment& d : solution.deployments) {
+    occupied[static_cast<std::size_t>(d.loc)] = true;
+    const std::int32_t dist =
+        tree.distance[static_cast<std::size_t>(d.loc)];
+    if (dist < best_dist) {
+      best_dist = dist;
+      attach = d.loc;
+    }
+  }
+  if (attach == kInvalidLocation || best_dist == kUnreachable) return result;
+
+  // Walk from the attachment point back toward the vehicle-range source;
+  // every unoccupied cell on the way needs one spare UAV.
+  std::vector<LocationId> chain;
+  for (NodeId cur = attach; cur != kInvalidLocation;
+       cur = tree.parent[static_cast<std::size_t>(cur)]) {
+    if (!occupied[static_cast<std::size_t>(cur)]) chain.push_back(cur);
+  }
+  if (chain.size() > spare.size()) return result;  // fleet exhausted
+
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    solution.deployments.push_back({spare[i], chain[i]});
+  }
+  result.relays_added = static_cast<std::int32_t>(chain.size());
+  result.connected = true;
+  // The gateway is the deployment hovering inside the vehicle's range:
+  // the chain's last cell (a BFS source), or the attachment point when
+  // the chain is empty but attach itself is in range (handled above).
+  for (std::size_t d = 0; d < solution.deployments.size(); ++d) {
+    if (within_vehicle_range(solution.deployments[d].loc)) {
+      result.gateway_deployment = static_cast<std::int32_t>(d);
+      break;
+    }
+  }
+  UAVCOV_CHECK_MSG(result.gateway_deployment >= 0,
+                   "backhaul chain must end inside vehicle range");
+
+  // Relay UAVs can serve users too — refresh the optimal assignment.
+  const AssignmentResult refreshed =
+      solve_assignment(scenario, coverage, solution.deployments);
+  solution.user_to_deployment = refreshed.user_to_deployment;
+  solution.served = refreshed.served;
+  return result;
+}
+
+}  // namespace uavcov

@@ -1,0 +1,33 @@
+// Gateway/backhaul extension (paper Fig. 1): "at least one of the UAVs
+// serves as a gateway UAV … connected to the Internet with the help of
+// satellites or emergency communication vehicles."
+//
+// `extend_to_gateway` takes a solved deployment and, if no deployed UAV is
+// within UAV range of the emergency vehicle, spends unused fleet UAVs as a
+// relay chain from the network to the vehicle (shortest hop path over the
+// grid), then re-runs the optimal assignment (relay UAVs may pick up
+// users).  The result keeps every §II-C constraint.
+#pragma once
+
+#include "core/coverage.hpp"
+#include "core/solution.hpp"
+
+namespace uavcov {
+
+struct GatewayResult {
+  bool connected = false;        ///< network now reaches the vehicle.
+  std::int32_t relays_added = 0; ///< UAVs spent on the backhaul chain.
+  /// Deployment index of the gateway UAV (the one within range of the
+  /// vehicle), or -1 if not connected.
+  std::int32_t gateway_deployment = -1;
+};
+
+/// `vehicle_pos` is the emergency communication vehicle's ground position;
+/// a UAV within `scenario.uav_range_m` (3-D, accounting for altitude) of
+/// it can act as the gateway.  Returns the outcome and mutates `solution`
+/// (deployments + refreshed assignment) when relays were added.
+GatewayResult extend_to_gateway(const Scenario& scenario,
+                                const CoverageModel& coverage,
+                                Solution& solution, Vec2 vehicle_pos);
+
+}  // namespace uavcov

@@ -1,0 +1,50 @@
+#include "core/redeploy.hpp"
+
+#include <map>
+
+#include "core/assignment.hpp"
+
+namespace uavcov {
+
+const Solution& RedeployController::update(const Scenario& scenario) {
+  // Cheap path: keep the standing placement, refresh the assignment (user
+  // positions changed, so eligibility did too).
+  if (!solution_.deployments.empty()) {
+    const CoverageModel coverage(scenario);
+    const AssignmentResult refreshed =
+        solve_assignment(scenario, coverage, solution_.deployments);
+    solution_.user_to_deployment = refreshed.user_to_deployment;
+    solution_.served = refreshed.served;
+    const double floor = policy_.degradation_threshold *
+                         static_cast<double>(served_at_last_solve_);
+    if (static_cast<double>(solution_.served) >= floor) {
+      return solution_;  // still good enough
+    }
+  }
+  // Full path: re-run Algorithm 2 from scratch.
+  const std::vector<Deployment> before = solution_.deployments;
+  solution_ = appro_alg(scenario, policy_.appro);
+  served_at_last_solve_ = solution_.served;
+  ++full_solves_;
+  account_travel(scenario, before, solution_.deployments);
+  return solution_;
+}
+
+void RedeployController::account_travel(
+    const Scenario& scenario, const std::vector<Deployment>& before,
+    const std::vector<Deployment>& after) {
+  // Greedy nearest matching of each relocated UAV to its new cell; UAVs
+  // absent from either plan contribute nothing (they launch from/return
+  // to the staging area, which is out of scope).
+  std::map<UavId, LocationId> old_loc, new_loc;
+  for (const Deployment& d : before) old_loc[d.uav] = d.loc;
+  for (const Deployment& d : after) new_loc[d.uav] = d.loc;
+  for (const auto& [uav, to] : new_loc) {
+    const auto it = old_loc.find(uav);
+    if (it == old_loc.end()) continue;
+    uav_travel_m_ +=
+        distance(scenario.grid.center(it->second), scenario.grid.center(to));
+  }
+}
+
+}  // namespace uavcov

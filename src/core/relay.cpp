@@ -1,0 +1,73 @@
+#include "core/relay.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "graph/bfs.hpp"
+#include "graph/mst.hpp"
+
+namespace uavcov {
+
+std::optional<RelayPlan> stitch_connected(const Graph& g,
+                                          std::span<const NodeId> chosen) {
+  const auto k = static_cast<NodeId>(chosen.size());
+  RelayPlan plan;
+  plan.nodes.assign(chosen.begin(), chosen.end());
+  if (k <= 1) return plan;
+
+  // Pairwise hop distances via one BFS per chosen node, and BFS trees for
+  // path reconstruction.
+  std::vector<BfsTree> trees;
+  trees.reserve(static_cast<std::size_t>(k));
+  for (NodeId i = 0; i < k; ++i) {
+    const NodeId src[] = {chosen[static_cast<std::size_t>(i)]};
+    trees.push_back(bfs_tree(g, src));
+  }
+  std::vector<double> w(static_cast<std::size_t>(k) *
+                        static_cast<std::size_t>(k));
+  for (NodeId i = 0; i < k; ++i) {
+    for (NodeId j = 0; j < k; ++j) {
+      const std::int32_t hops =
+          trees[static_cast<std::size_t>(i)]
+              .distance[static_cast<std::size_t>(chosen[static_cast<std::size_t>(j)])];
+      w[static_cast<std::size_t>(i) * static_cast<std::size_t>(k) +
+        static_cast<std::size_t>(j)] =
+          (i == j) ? 0.0
+                   : (hops == kUnreachable ? kInfiniteWeight
+                                           : static_cast<double>(hops));
+    }
+  }
+
+  const auto parent = prim_mst_dense(w, k);
+  if (!parent.has_value()) return std::nullopt;
+  // An MST edge with infinite weight means a pair was unreachable.
+  for (NodeId v = 1; v < k; ++v) {
+    const NodeId p = (*parent)[static_cast<std::size_t>(v)];
+    if (w[static_cast<std::size_t>(v) * static_cast<std::size_t>(k) +
+          static_cast<std::size_t>(p)] >= kInfiniteWeight) {
+      return std::nullopt;
+    }
+  }
+
+  // Union of the shortest paths realizing the MST edges.
+  std::vector<bool> in_plan(static_cast<std::size_t>(g.node_count()), false);
+  for (NodeId v : chosen) in_plan[static_cast<std::size_t>(v)] = true;
+  for (NodeId v = 1; v < k; ++v) {
+    const NodeId p = (*parent)[static_cast<std::size_t>(v)];
+    // Walk the BFS-tree parents from chosen[v] back to chosen[p] (the BFS
+    // rooted at chosen[p] reaches chosen[v]; follow its parent pointers).
+    const BfsTree& tree = trees[static_cast<std::size_t>(p)];
+    for (NodeId cur = chosen[static_cast<std::size_t>(v)];
+         cur != kInvalidLocation;
+         cur = tree.parent[static_cast<std::size_t>(cur)]) {
+      if (!in_plan[static_cast<std::size_t>(cur)]) {
+        in_plan[static_cast<std::size_t>(cur)] = true;
+        plan.nodes.push_back(cur);
+        ++plan.relay_count;
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace uavcov

@@ -1,0 +1,31 @@
+// Relay stitching (Algorithm 2, lines 13–15 / Fig. 3): connect the greedily
+// chosen locations V'_j into one UAV network.
+//
+//   1. complete graph G'_j over V'_j, edge weight = pairwise hop distance
+//      in the full location graph G;
+//   2. minimum spanning tree T'_j of G'_j;
+//   3. G_j = union of the shortest hop paths realizing T'_j's edges.
+//
+// Returns the node set V_j of G_j (chosen nodes first, then relays) or
+// nullopt if some pair is unreachable in G.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace uavcov {
+
+struct RelayPlan {
+  /// All nodes of the connected subgraph G_j: the input `chosen` nodes (in
+  /// their original order) followed by the added relay nodes.
+  std::vector<NodeId> nodes;
+  std::int32_t relay_count = 0;
+};
+
+std::optional<RelayPlan> stitch_connected(const Graph& g,
+                                          std::span<const NodeId> chosen);
+
+}  // namespace uavcov

@@ -1,0 +1,44 @@
+#include "core/scenario.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace uavcov {
+
+std::int64_t Scenario::total_capacity() const {
+  std::int64_t total = 0;
+  for (const UavSpec& u : fleet) total += u.capacity;
+  return total;
+}
+
+void Scenario::validate() const {
+  UAVCOV_CHECK_MSG(altitude_m > 0, "altitude must be positive");
+  UAVCOV_CHECK_MSG(uav_range_m > 0, "R_uav must be positive");
+  UAVCOV_CHECK_MSG(!fleet.empty(), "fleet must contain at least one UAV");
+  for (const UavSpec& u : fleet) {
+    UAVCOV_CHECK_MSG(u.capacity >= 1, "UAV capacity must be >= 1");
+    UAVCOV_CHECK_MSG(u.user_range_m > 0, "R_user must be positive");
+    UAVCOV_CHECK_MSG(u.user_range_m <= uav_range_m,
+                     "paper model assumes R_user <= R_uav");
+  }
+  for (const User& u : users) {
+    UAVCOV_CHECK_MSG(u.min_rate_bps > 0, "user min rate must be positive");
+    UAVCOV_CHECK_MSG(u.pos.x >= 0 && u.pos.x <= grid.width() && u.pos.y >= 0 &&
+                         u.pos.y <= grid.height(),
+                     "user outside the disaster area");
+  }
+}
+
+std::vector<UavId> Scenario::uavs_by_capacity_desc() const {
+  std::vector<UavId> order(fleet.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [this](UavId a, UavId b) {
+    return fleet[static_cast<std::size_t>(a)].capacity >
+           fleet[static_cast<std::size_t>(b)].capacity;
+  });
+  return order;
+}
+
+}  // namespace uavcov

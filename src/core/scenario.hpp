@@ -1,0 +1,65 @@
+// Problem instance model (§II-A): disaster area, ground users, candidate
+// hovering grid, and the heterogeneous UAV fleet.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "channel/link_budget.hpp"
+#include "geometry/grid.hpp"
+#include "geometry/vec.hpp"
+
+namespace uavcov {
+
+using UserId = std::int32_t;
+using UavId = std::int32_t;
+
+/// A ground user: position on the z = 0 plane and minimum data-rate
+/// requirement r_min (paper example: 2 kbps).
+struct User {
+  Vec2 pos;
+  double min_rate_bps = 2e3;
+};
+
+/// One heterogeneous UAV: service capacity C_k (max simultaneous users),
+/// its base station's radio, and its user communication radius R_user^k.
+/// Heterogeneity = different capacities and possibly different radios
+/// (paper: DJI Matrice 600 RTK vs 300 RTK payload classes).
+struct UavSpec {
+  std::int32_t capacity = 100;
+  Radio radio{};
+  double user_range_m = 500.0;
+};
+
+/// Full problem instance.  Aggregate — construct with designated
+/// initializers; `grid` has no default (its dimensions are scenario data).
+struct Scenario {
+  Grid grid;                     ///< hovering plane partition (side λ cells).
+  double altitude_m = 300.0;     ///< common hovering altitude H_uav.
+  double uav_range_m = 600.0;    ///< UAV-to-UAV communication range R_uav.
+  ChannelParams channel{};       ///< A2G channel model parameters.
+  Receiver receiver{};           ///< user-side receiver constants.
+  std::vector<User> users;       ///< the n users U.
+  std::vector<UavSpec> fleet;    ///< the K UAVs, any order.
+
+  std::int32_t user_count() const {
+    return static_cast<std::int32_t>(users.size());
+  }
+  std::int32_t uav_count() const {
+    return static_cast<std::int32_t>(fleet.size());
+  }
+  /// Total fleet capacity (an upper bound on served users).
+  std::int64_t total_capacity() const;
+
+  /// Sanity-check the instance (throws ContractError on bad data):
+  /// users inside the area, positive capacities/ranges, K >= 1, and
+  /// R_user^k <= R_uav (paper §II-B).
+  void validate() const;
+
+  /// UAV indices sorted by capacity descending (ties by index).  Algorithm 2
+  /// deploys in this order so large-capacity UAVs take the coverage spots.
+  std::vector<UavId> uavs_by_capacity_desc() const;
+};
+
+}  // namespace uavcov

@@ -1,0 +1,174 @@
+#include "core/segment_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.hpp"
+
+namespace uavcov {
+
+std::int64_t relay_upper_bound(std::int32_t s,
+                               const std::vector<std::int64_t>& p) {
+  UAVCOV_CHECK_MSG(s >= 1, "s must be >= 1");
+  UAVCOV_CHECK_MSG(static_cast<std::int32_t>(p.size()) == s + 1,
+                   "expected s + 1 segment budgets");
+  for (std::int64_t pi : p) UAVCOV_CHECK_MSG(pi >= 0, "budgets must be >= 0");
+  std::int64_t g = s;
+  for (std::int32_t i = 2; i <= s; ++i) {
+    const std::int64_t pi = p[static_cast<std::size_t>(i - 1)];
+    g += pi;                                     // seed-to-seed connectors
+    g += (pi * pi + 2 * pi + (pi % 2)) / 4;      // relay chains, middle segs
+  }
+  const std::int64_t p1 = p.front();
+  const std::int64_t ps1 = p.back();
+  g += p1 * (p1 + 1) / 2;                        // relay chains, end segment
+  g += ps1 * (ps1 + 1) / 2;
+  return g;
+}
+
+std::int32_t hop_limit(std::int32_t s, const std::vector<std::int64_t>& p) {
+  UAVCOV_CHECK_MSG(static_cast<std::int32_t>(p.size()) == s + 1,
+                   "expected s + 1 segment budgets");
+  std::int64_t h = std::max(p.front(), p.back());
+  for (std::int32_t i = 2; i <= s; ++i) {
+    h = std::max(h, (p[static_cast<std::size_t>(i - 1)] + 1) / 2);  // ⌈p/2⌉
+  }
+  return static_cast<std::int32_t>(h);
+}
+
+std::vector<std::int64_t> hop_quotas(std::int32_t s, std::int64_t L,
+                                     const std::vector<std::int64_t>& p) {
+  UAVCOV_CHECK_MSG(static_cast<std::int32_t>(p.size()) == s + 1,
+                   "expected s + 1 segment budgets");
+  std::int64_t budget_total = 0;
+  for (std::int64_t pi : p) budget_total += pi;
+  UAVCOV_CHECK_MSG(budget_total == L - s,
+                   "budgets must sum to L - s (Eq. 1 precondition)");
+  const std::int32_t hmax = hop_limit(s, p);
+  std::vector<std::int64_t> q(static_cast<std::size_t>(hmax) + 1);
+  q[0] = L;
+  for (std::int32_t h = 1; h <= hmax; ++h) {
+    std::int64_t qh = std::max<std::int64_t>(p.front() - (h - 1), 0) +
+                      std::max<std::int64_t>(p.back() - (h - 1), 0);
+    for (std::int32_t i = 2; i <= s; ++i) {
+      qh += std::max<std::int64_t>(
+          p[static_cast<std::size_t>(i - 1)] - 2 * (h - 1), 0);
+    }
+    q[static_cast<std::size_t>(h)] = qh;
+  }
+  return q;
+}
+
+namespace {
+/// Minimum of g(L, ·) over the paper's balanced budget profiles, returning
+/// the minimizing budgets.  O(s · L) profiles, O(s) evaluation each.
+std::pair<std::int64_t, std::vector<std::int64_t>> min_relay_bound(
+    std::int32_t s, std::int64_t L) {
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  std::vector<std::int64_t> best_p;
+  auto consider = [&](std::vector<std::int64_t> p) {
+    const std::int64_t g = relay_upper_bound(s, p);
+    if (g < best) {
+      best = g;
+      best_p = std::move(p);
+    }
+  };
+  const std::int64_t D = L - s;  // nodes to distribute over s + 1 segments
+  if (s == 1) {
+    // No middle segments: split D between the two end segments as evenly
+    // as possible (g is convex in each end budget).
+    consider({(D + 1) / 2, D / 2});
+  } else {
+    // Middle budgets take values p or p+1 (j of them get the +1); the ends
+    // split the remainder evenly (§III-D's balancedness argument).
+    for (std::int64_t p_val = 0; p_val <= D; ++p_val) {
+      for (std::int32_t j = 0; j <= s - 2; ++j) {
+        const std::int64_t middle_sum = (s - 1) * p_val + j;
+        if (middle_sum > D) continue;
+        std::vector<std::int64_t> budgets(static_cast<std::size_t>(s) + 1, 0);
+        for (std::int32_t i = 2; i <= s; ++i) {
+          budgets[static_cast<std::size_t>(i - 1)] =
+              (i - 2 < j) ? p_val + 1 : p_val;
+        }
+        const std::int64_t rest = D - middle_sum;
+        budgets.front() = (rest + 1) / 2;
+        budgets.back() = rest / 2;
+        consider(std::move(budgets));
+      }
+    }
+  }
+  return {best, std::move(best_p)};
+}
+}  // namespace
+
+SegmentPlan compute_segment_plan(std::int32_t K, std::int32_t s) {
+  UAVCOV_CHECK_MSG(s >= 1, "s must be >= 1");
+  UAVCOV_CHECK_MSG(K >= s, "need at least s UAVs (K >= s)");
+
+  SegmentPlan plan;
+  plan.s = s;
+  plan.K = K;
+
+  // Binary search for the largest feasible L.  Invariant: `lo` feasible
+  // (g(lo) <= K; lo = s gives g = s <= K), `hi` infeasible (g >= L > K at
+  // L = K + 1).  Note: the paper's Algorithm 1 uses [s, K] and can miss
+  // L = K when K is small; the half-open bracket fixes that corner while
+  // keeping the same O(s^2 K log K) cost.
+  std::int64_t lo = s, hi = static_cast<std::int64_t>(K) + 1;
+  auto [g_lo, p_lo] = min_relay_bound(s, lo);
+  UAVCOV_CHECK_MSG(g_lo <= K, "L = s must be feasible");
+  while (lo + 1 < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    auto [g_mid, p_mid] = min_relay_bound(s, mid);
+    if (g_mid <= K) {
+      lo = mid;
+      g_lo = g_mid;
+      p_lo = std::move(p_mid);
+    } else {
+      hi = mid;
+    }
+  }
+
+  plan.L_max = static_cast<std::int32_t>(lo);
+  plan.p = std::move(p_lo);
+  plan.relay_bound = g_lo;
+  plan.h_max = hop_limit(s, plan.p);
+  plan.quotas = hop_quotas(s, lo, plan.p);
+  return plan;
+}
+
+std::int64_t min_relay_bound_brute_force(std::int32_t s, std::int64_t L) {
+  UAVCOV_CHECK_MSG(s >= 1 && L >= s, "need L >= s >= 1");
+  UAVCOV_CHECK_MSG(L - s <= 24 && s <= 6, "brute force limited to tiny inputs");
+  std::vector<std::int64_t> p(static_cast<std::size_t>(s) + 1, 0);
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  // Enumerate every composition of L - s into s + 1 nonnegative parts.
+  auto recurse = [&](auto&& self, std::size_t idx,
+                     std::int64_t remaining) -> void {
+    if (idx + 1 == p.size()) {
+      p[idx] = remaining;
+      best = std::min(best, relay_upper_bound(s, p));
+      return;
+    }
+    for (std::int64_t v = 0; v <= remaining; ++v) {
+      p[idx] = v;
+      self(self, idx + 1, remaining - v);
+    }
+  };
+  recurse(recurse, 0, L - s);
+  return best;
+}
+
+double theoretical_approximation_ratio(std::int32_t K, std::int32_t s) {
+  UAVCOV_CHECK_MSG(K >= 2 && s >= 1, "need K >= 2, s >= 1");
+  const double under_sqrt = 4.0 * s * K + 4.0 * s * s - 8.5 * s;
+  UAVCOV_CHECK_MSG(under_sqrt >= 0, "ratio undefined for these K, s");
+  const auto l1 = static_cast<std::int64_t>(std::floor(std::sqrt(under_sqrt))) -
+                  2 * static_cast<std::int64_t>(s) + 2;
+  UAVCOV_CHECK_MSG(l1 >= 1, "L_1 must be positive");
+  const auto delta = (2 * static_cast<std::int64_t>(K) - 2 + l1 - 1) / l1;
+  return 1.0 / (3.0 * static_cast<double>(std::max<std::int64_t>(delta, 1)));
+}
+
+}  // namespace uavcov

@@ -1,0 +1,57 @@
+// Algorithm 1 (§III-D): choose L_max and the optimal segment budgets
+// p*_1..p*_{s+1}.
+//
+// Background: the analysis walks an Euler subpath P_j with L nodes, of
+// which s become enumerated "seeds" and the remaining L − s fall into the
+// s + 1 inter-seed segments with p_1..p_{s+1} nodes (Fig. 2(d)).  Stitching
+// a greedy solution that respects those budgets back into one connected
+// network costs at most (Lemma 2 / Eq. 2)
+//
+//   g(L, p) = s + Σ_{i=2..s} p_i + p_1(p_1+1)/2
+//             + Σ_{i=2..s} (p_i² + 2p_i + (p_i mod 2)) / 4
+//             + p_{s+1}(p_{s+1}+1)/2
+//
+// UAVs, which must stay ≤ K.  Algorithm 1 binary-searches the largest
+// feasible L and, per L, minimizes g over the (balanced) budget profiles.
+// The per-hop quotas Q_h of Eq. (1) then parameterize matroid M2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace uavcov {
+
+/// Output of Algorithm 1 plus derived quantities used by Algorithm 2.
+struct SegmentPlan {
+  std::int32_t s = 0;                 ///< number of enumerated seeds.
+  std::int32_t K = 0;                 ///< fleet size.
+  std::int32_t L_max = 0;             ///< nodes the greedy may select.
+  std::vector<std::int64_t> p;        ///< s + 1 budgets p*_1..p*_{s+1}.
+  std::int32_t h_max = 0;             ///< max allowed hop distance to seeds.
+  std::vector<std::int64_t> quotas;   ///< Q_0..Q_hmax (Eq. 1), Q_0 = L_max.
+  std::int64_t relay_bound = 0;       ///< g(L_max, p*) ≤ K.
+};
+
+/// Eq. (2): upper bound on deployed UAVs after relay stitching.
+std::int64_t relay_upper_bound(std::int32_t s,
+                               const std::vector<std::int64_t>& p);
+
+/// Eq. (1): quota vector Q_0..Q_hmax for budgets `p` and total L.
+std::vector<std::int64_t> hop_quotas(std::int32_t s, std::int64_t L,
+                                     const std::vector<std::int64_t>& p);
+
+/// h_max = max{p_1, p_{s+1}, max_{i=2..s} ⌈p_i/2⌉}.
+std::int32_t hop_limit(std::int32_t s, const std::vector<std::int64_t>& p);
+
+/// Algorithm 1.  Preconditions: 1 <= s <= K.
+SegmentPlan compute_segment_plan(std::int32_t K, std::int32_t s);
+
+/// Reference implementation for tests: exhaustively minimizes g(L, p) over
+/// *all* compositions p_1+..+p_{s+1} = L − s (exponential; small inputs).
+std::int64_t min_relay_bound_brute_force(std::int32_t s, std::int64_t L);
+
+/// Theorem 1's closed form L_1 = ⌊sqrt(4sK + 4s² − 8.5s)⌋ − 2s + 2 and the
+/// resulting approximation ratio 1 / (3·⌈(2K−2)/L_1⌉).
+double theoretical_approximation_ratio(std::int32_t K, std::int32_t s);
+
+}  // namespace uavcov

@@ -1,0 +1,46 @@
+// Solution representation shared by approAlg, the baselines, and the
+// exhaustive reference, plus a full feasibility audit.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/coverage.hpp"
+#include "core/scenario.hpp"
+
+namespace uavcov {
+
+/// One deployed UAV: which UAV of the fleet hovers at which grid location.
+struct Deployment {
+  UavId uav = 0;
+  LocationId loc = 0;
+  bool operator==(const Deployment&) const = default;
+};
+
+struct Solution {
+  std::string algorithm;               ///< producer name, e.g. "approAlg".
+  std::vector<Deployment> deployments; ///< at most K entries.
+  /// Per user: index into `deployments` of the serving UAV, or -1.
+  std::vector<std::int32_t> user_to_deployment;
+  std::int64_t served = 0;             ///< number of served users.
+  double solve_seconds = 0.0;          ///< wall-clock of the solver.
+
+  /// Users served by deployment `d`.
+  std::int64_t load_of(std::int32_t d) const;
+};
+
+/// Audits every problem constraint (§II-C); throws ContractError with a
+/// description of the first violation:
+///   * <= K deployments; UAV ids and locations all distinct & in range;
+///   * served users eligible (range + rate) under their serving UAV;
+///   * per-UAV load <= capacity;
+///   * UAV network connected (edges = pairs within R_uav);
+///   * `served` consistent with the assignment vector.
+void validate_solution(const Scenario& scenario, const CoverageModel& coverage,
+                       const Solution& solution);
+
+/// True if the deployment's location set forms a connected UAV network.
+bool deployments_connected(const Scenario& scenario,
+                           const std::vector<Deployment>& deployments);
+
+}  // namespace uavcov

@@ -1,0 +1,86 @@
+#include "energy/power.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace uavcov::energy {
+
+double hover_power_w(const Airframe& airframe) {
+  UAVCOV_CHECK_MSG(airframe.mass_kg > 0 && airframe.payload_kg >= 0,
+                   "mass must be positive");
+  UAVCOV_CHECK_MSG(airframe.rotor_disc_area_m2 > 0,
+                   "rotor disc area must be positive");
+  UAVCOV_CHECK_MSG(
+      airframe.propulsive_efficiency > 0 &&
+          airframe.propulsive_efficiency <= 1.0,
+      "propulsive efficiency must be in (0, 1]");
+  const double weight_n =
+      (airframe.mass_kg + airframe.payload_kg) * kGravity;
+  const double ideal =
+      std::pow(weight_n, 1.5) /
+      std::sqrt(2.0 * kAirDensity * airframe.rotor_disc_area_m2);
+  return ideal / airframe.propulsive_efficiency;
+}
+
+double total_power_w(const Airframe& airframe) {
+  UAVCOV_CHECK_MSG(airframe.avionics_w >= 0 && airframe.basestation_w >= 0,
+                   "electronics draw must be nonnegative");
+  return hover_power_w(airframe) + airframe.avionics_w +
+         airframe.basestation_w;
+}
+
+double endurance_s(const Airframe& airframe) {
+  UAVCOV_CHECK_MSG(airframe.battery_wh > 0, "battery must be positive");
+  return airframe.battery_wh * 3600.0 / total_power_w(airframe);
+}
+
+EnduranceReport endurance_report(const Solution& solution,
+                                 const std::vector<Airframe>& airframes,
+                                 double mission_s) {
+  UAVCOV_CHECK_MSG(mission_s >= 0, "mission duration must be nonnegative");
+  EnduranceReport report;
+  report.network_lifetime_s = std::numeric_limits<double>::infinity();
+  for (std::size_t d = 0; d < solution.deployments.size(); ++d) {
+    const UavId k = solution.deployments[d].uav;
+    UAVCOV_CHECK_MSG(
+        k >= 0 && static_cast<std::size_t>(k) < airframes.size(),
+        "no airframe description for a deployed UAV");
+    const double t = endurance_s(airframes[static_cast<std::size_t>(k)]);
+    report.per_uav_endurance_s.push_back(t);
+    if (t < report.network_lifetime_s) {
+      report.network_lifetime_s = t;
+      report.limiting_deployment = static_cast<std::int32_t>(d);
+    }
+    if (t < mission_s) {
+      report.infeasible.push_back(static_cast<std::int32_t>(d));
+    }
+  }
+  if (solution.deployments.empty()) report.network_lifetime_s = 0.0;
+  return report;
+}
+
+std::vector<Airframe> airframes_for_fleet(const Scenario& scenario,
+                                          std::int32_t heavy_threshold) {
+  // DJI M600-class (heavy): 9.5 kg frame, 5.5 kg payload budget, six
+  // rotors, 6 × TB47S ≈ 600 Wh.  M300-class (light): 6.3 kg, 2.7 kg,
+  // 2 × TB60 ≈ 590 Wh but a smaller disc.
+  Airframe heavy;
+  heavy.mass_kg = 9.5;
+  heavy.payload_kg = 5.5;
+  heavy.rotor_disc_area_m2 = 1.7;
+  heavy.battery_wh = 600.0;
+  heavy.basestation_w = 90.0;  // the more powerful base station
+
+  Airframe light;  // defaults are the M300-ish numbers
+
+  std::vector<Airframe> out;
+  out.reserve(scenario.fleet.size());
+  for (const UavSpec& u : scenario.fleet) {
+    out.push_back(u.capacity >= heavy_threshold ? heavy : light);
+  }
+  return out;
+}
+
+}  // namespace uavcov::energy

@@ -1,0 +1,73 @@
+// UAV energy model: hover power, mission endurance, and network lifetime.
+//
+// The paper grounds heterogeneity in payload *and battery capacity*
+// (§I/§II-A: "different UAVs have different capacities, in terms of
+// payloads, battery capacities") and the 72-golden-hour context makes
+// endurance operationally central.  This module provides the standard
+// rotary-wing hover model so fleets can be described physically:
+//
+//   hover power  P_h = (m g)^{3/2} / sqrt(2 ρ A)  / η     (momentum theory)
+//   total power  P   = P_h + P_avionics + P_basestation
+//   endurance    T   = E_battery / P
+//
+// with ρ the air density, A the total rotor disc area, η the propulsive
+// efficiency.  Numbers land in the right range for the paper's airframes
+// (DJI M300-class: ~40 min clean, ~25 min with a 2.7 kg payload).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "core/solution.hpp"
+
+namespace uavcov::energy {
+
+/// Physical description of one UAV airframe + payload.
+struct Airframe {
+  double mass_kg = 6.3;            ///< airframe + battery (DJI M300-ish).
+  double payload_kg = 2.7;         ///< mounted base station.
+  double rotor_disc_area_m2 = 0.89;///< four 21-inch rotors.
+  double propulsive_efficiency = 0.65;
+  double avionics_w = 60.0;        ///< flight controller, radios, cameras.
+  double basestation_w = 45.0;     ///< SkyRAN/SkyCore compute + PA.
+  double battery_wh = 590.0;       ///< e.g. 2 × TB60 ≈ 590 Wh usable.
+};
+
+/// Air density at sea level, 15 °C [kg/m³].
+inline constexpr double kAirDensity = 1.225;
+/// Standard gravity [m/s²].
+inline constexpr double kGravity = 9.80665;
+
+/// Ideal hover power for the loaded airframe [W].
+double hover_power_w(const Airframe& airframe);
+
+/// Total electrical draw while hovering on station [W].
+double total_power_w(const Airframe& airframe);
+
+/// Hover endurance [s].
+double endurance_s(const Airframe& airframe);
+
+/// Energy audit of a deployed network.
+struct EnduranceReport {
+  std::vector<double> per_uav_endurance_s;  ///< parallel to deployments.
+  double network_lifetime_s = 0.0;  ///< first UAV to drop (min endurance).
+  std::int32_t limiting_deployment = -1;
+  /// Deployments that cannot stay up for `mission_s` (empty = feasible).
+  std::vector<std::int32_t> infeasible;
+};
+
+/// Audits `solution` with one airframe description per fleet UAV
+/// (`airframes[k]` describes fleet UAV k).  `mission_s` is the required
+/// time on station.
+EnduranceReport endurance_report(const Solution& solution,
+                                 const std::vector<Airframe>& airframes,
+                                 double mission_s);
+
+/// Heterogeneous fleet airframes matching the paper's M600/M300 story:
+/// UAVs with capacity above `heavy_threshold` get the big airframe
+/// (more payload, bigger battery), the rest the small one.
+std::vector<Airframe> airframes_for_fleet(const Scenario& scenario,
+                                          std::int32_t heavy_threshold = 200);
+
+}  // namespace uavcov::energy

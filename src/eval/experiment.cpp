@@ -1,0 +1,75 @@
+#include "eval/experiment.hpp"
+
+#include "baselines/greedy_assign.hpp"
+#include "baselines/max_throughput.hpp"
+#include "baselines/mcs.hpp"
+#include "baselines/motion_ctrl.hpp"
+#include "baselines/random_connected.hpp"
+#include "common/check.hpp"
+
+namespace uavcov::eval {
+
+std::vector<AlgoResult> run_all(const RunConfig& config,
+                                ApproAlgStats* appro_stats) {
+  Rng rng(config.seed);
+  const Scenario scenario =
+      workload::make_disaster_scenario(config.scenario, rng);
+  const CoverageModel coverage(scenario);
+
+  std::vector<AlgoResult> results;
+  auto record = [&](const Solution& solution) {
+    if (config.validate) validate_solution(scenario, coverage, solution);
+    results.push_back(
+        {solution.algorithm, solution.served, solution.solve_seconds});
+  };
+
+  if (config.run_appro) {
+    record(appro_alg(scenario, coverage, config.appro, appro_stats));
+  }
+  if (config.run_max_throughput) {
+    baselines::MaxThroughputParams params;
+    params.candidate_cap = config.appro.candidate_cap;
+    record(baselines::max_throughput(scenario, coverage, params));
+  }
+  if (config.run_motion_ctrl) {
+    record(baselines::motion_ctrl(scenario, coverage));
+  }
+  if (config.run_mcs) {
+    record(baselines::mcs(scenario, coverage));
+  }
+  if (config.run_greedy_assign) {
+    record(baselines::greedy_assign(scenario, coverage));
+  }
+  if (config.run_random) {
+    record(baselines::random_connected(scenario, coverage));
+  }
+  return results;
+}
+
+std::vector<AlgoResult> run_averaged(const RunConfig& config,
+                                     std::int32_t repetitions) {
+  UAVCOV_CHECK_MSG(repetitions >= 1, "need at least one repetition");
+  std::vector<AlgoResult> mean;
+  for (std::int32_t rep = 0; rep < repetitions; ++rep) {
+    RunConfig run = config;
+    run.seed = config.seed + static_cast<std::uint64_t>(rep);
+    const std::vector<AlgoResult> results = run_all(run);
+    if (mean.empty()) {
+      mean = results;
+    } else {
+      UAVCOV_CHECK_MSG(mean.size() == results.size(),
+                       "algorithm set changed between repetitions");
+      for (std::size_t i = 0; i < mean.size(); ++i) {
+        mean[i].served += results[i].served;
+        mean[i].seconds += results[i].seconds;
+      }
+    }
+  }
+  for (AlgoResult& r : mean) {
+    r.served = (r.served + repetitions / 2) / repetitions;  // rounded mean
+    r.seconds /= repetitions;
+  }
+  return mean;
+}
+
+}  // namespace uavcov::eval

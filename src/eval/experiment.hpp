@@ -1,0 +1,45 @@
+// Experiment harness: run approAlg and the four paper baselines (plus the
+// random sanity baseline) on one generated scenario, validate every
+// solution, and collect (served, seconds) per algorithm.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/appro_alg.hpp"
+#include "workload/scenario_gen.hpp"
+
+namespace uavcov::eval {
+
+struct AlgoResult {
+  std::string name;
+  std::int64_t served = 0;
+  double seconds = 0.0;
+};
+
+struct RunConfig {
+  workload::ScenarioConfig scenario{};
+  ApproAlgParams appro{};
+  std::uint64_t seed = 1;
+  bool run_appro = true;
+  bool run_max_throughput = true;
+  bool run_motion_ctrl = true;
+  bool run_mcs = true;
+  bool run_greedy_assign = true;
+  bool run_random = false;
+  bool validate = true;  ///< audit every solution against §II-C.
+};
+
+/// Generates the scenario from `config.seed` and runs the selected
+/// algorithms.  Order of results: approAlg, maxThroughput, MotionCtrl,
+/// MCS, GreedyAssign, RandomConnected (selected ones only).
+std::vector<AlgoResult> run_all(const RunConfig& config,
+                                ApproAlgStats* appro_stats = nullptr);
+
+/// Average `repetitions` runs with seeds seed, seed+1, ... (served counts
+/// and seconds are arithmetic means).
+std::vector<AlgoResult> run_averaged(const RunConfig& config,
+                                     std::int32_t repetitions);
+
+}  // namespace uavcov::eval

@@ -1,0 +1,108 @@
+#include "eval/figures.hpp"
+
+#include <memory>
+
+#include "common/csv.hpp"
+#include "common/log.hpp"
+
+namespace uavcov::eval {
+
+namespace {
+RunConfig base_config(const FigureScale& scale) {
+  RunConfig config;
+  config.scenario.user_count = scale.users;
+  config.scenario.cell_side_m = scale.cell_side_m;
+  config.scenario.fleet.uav_count = scale.uavs;
+  config.appro.s = scale.s;
+  config.appro.candidate_cap = scale.candidate_cap;
+  config.seed = scale.seed;
+  return config;
+}
+
+void append_sweep_row(Table& table, CsvWriter* csv, const std::string& x,
+                      const std::vector<AlgoResult>& results, bool seconds) {
+  std::vector<std::string> row{x};
+  for (const AlgoResult& r : results) {
+    row.push_back(seconds ? format_double(r.seconds, 3)
+                          : std::to_string(r.served));
+  }
+  table.add_row(row);
+  if (csv) csv->write_row(row);
+}
+
+std::vector<std::string> header_for(const std::vector<AlgoResult>& results,
+                                    const std::string& x_name) {
+  std::vector<std::string> header{x_name};
+  for (const AlgoResult& r : results) header.push_back(r.name);
+  return header;
+}
+}  // namespace
+
+Table fig4_served_vs_k(const FigureScale& scale, std::int32_t k_min,
+                       std::int32_t k_max, std::int32_t k_step) {
+  Table table;
+  std::unique_ptr<CsvWriter> csv;
+  for (std::int32_t k = k_min; k <= k_max; k += k_step) {
+    RunConfig config = base_config(scale);
+    config.scenario.fleet.uav_count = k;
+    const auto results = run_averaged(config, scale.repetitions);
+    if (table.row_count() == 0) {
+      table.set_header(header_for(results, "K"));
+      if (!scale.csv_path.empty()) {
+        csv = std::make_unique<CsvWriter>(scale.csv_path);
+        csv->write_row(header_for(results, "K"));
+      }
+    }
+    append_sweep_row(table, csv.get(), std::to_string(k), results, false);
+    UAVCOV_LOG(Info) << "fig4: K=" << k << " done";
+  }
+  return table;
+}
+
+Table fig5_served_vs_n(const FigureScale& scale, std::int32_t n_min,
+                       std::int32_t n_max, std::int32_t n_step) {
+  Table table;
+  std::unique_ptr<CsvWriter> csv;
+  for (std::int32_t n = n_min; n <= n_max; n += n_step) {
+    RunConfig config = base_config(scale);
+    config.scenario.user_count = n;
+    const auto results = run_averaged(config, scale.repetitions);
+    if (table.row_count() == 0) {
+      table.set_header(header_for(results, "n"));
+      if (!scale.csv_path.empty()) {
+        csv = std::make_unique<CsvWriter>(scale.csv_path);
+        csv->write_row(header_for(results, "n"));
+      }
+    }
+    append_sweep_row(table, csv.get(), std::to_string(n), results, false);
+    UAVCOV_LOG(Info) << "fig5: n=" << n << " done";
+  }
+  return table;
+}
+
+Table fig6_s_tradeoff(const FigureScale& scale, Table& runtime_table,
+                      std::int32_t s_min, std::int32_t s_max) {
+  Table served_table;
+  std::unique_ptr<CsvWriter> csv;
+  for (std::int32_t s = s_min; s <= s_max; ++s) {
+    RunConfig config = base_config(scale);
+    config.appro.s = s;
+    const auto results = run_averaged(config, scale.repetitions);
+    if (served_table.row_count() == 0) {
+      served_table.set_header(header_for(results, "s"));
+      runtime_table.set_header(header_for(results, "s"));
+      if (!scale.csv_path.empty()) {
+        csv = std::make_unique<CsvWriter>(scale.csv_path);
+        csv->write_row(header_for(results, "s"));
+      }
+    }
+    append_sweep_row(served_table, csv.get(), std::to_string(s), results,
+                     false);
+    append_sweep_row(runtime_table, nullptr, std::to_string(s), results,
+                     true);
+    UAVCOV_LOG(Info) << "fig6: s=" << s << " done";
+  }
+  return served_table;
+}
+
+}  // namespace uavcov::eval

@@ -1,0 +1,36 @@
+// Solution quality metrics beyond the served-user count: what a network
+// operator would inspect before flying the mission.
+#pragma once
+
+#include <vector>
+
+#include "core/coverage.hpp"
+#include "core/solution.hpp"
+
+namespace uavcov::eval {
+
+struct SolutionMetrics {
+  std::int64_t served = 0;
+  double coverage_fraction = 0.0;    ///< served / n.
+  double capacity_utilization = 0.0; ///< served / deployed capacity.
+  /// Jain's fairness index over per-UAV load/capacity ratios (1 = all
+  /// UAVs equally loaded relative to their size; → 1/q = one UAV does
+  /// all the work).
+  double load_fairness = 0.0;
+  double mean_user_rate_bps = 0.0;   ///< mean achievable rate, served users.
+  double min_user_rate_bps = 0.0;
+  std::int32_t deployed_uavs = 0;
+  std::int32_t relay_only_uavs = 0;  ///< deployed UAVs serving zero users.
+  /// UAVs whose failure disconnects the network (articulation points of
+  /// the deployment graph) — the mission's single points of failure.
+  std::vector<UavId> critical_uavs;
+};
+
+SolutionMetrics compute_metrics(const Scenario& scenario,
+                                const CoverageModel& coverage,
+                                const Solution& solution);
+
+/// Jain's fairness index of a sample (empty → 0).
+double jain_fairness(const std::vector<double>& values);
+
+}  // namespace uavcov::eval

@@ -1,0 +1,3 @@
+#include "flow/incremental.hpp"
+
+// Header-only implementation; this TU anchors the target.

@@ -1,0 +1,43 @@
+// RAII helper around DinicFlow's checkpoint/rollback: a FlowProbe opens a
+// journaled region on construction and rolls it back on destruction unless
+// commit() was called.  This is how Algorithm 2 evaluates "what if UAV k
+// hovered at v_l?" without disturbing the flow of the committed prefix.
+#pragma once
+
+#include "flow/dinic.hpp"
+
+namespace uavcov {
+
+class FlowProbe {
+ public:
+  explicit FlowProbe(DinicFlow& flow)
+      : flow_(flow), checkpoint_(flow.checkpoint()) {}
+
+  ~FlowProbe() {
+    if (!closed_) flow_.rollback(checkpoint_);
+  }
+
+  FlowProbe(const FlowProbe&) = delete;
+  FlowProbe& operator=(const FlowProbe&) = delete;
+
+  /// Keep the probed changes permanently (the winning candidate).
+  void commit() {
+    UAVCOV_CHECK_MSG(!closed_, "probe already closed");
+    flow_.commit(checkpoint_);
+    closed_ = true;
+  }
+
+  /// Roll back early (before destruction).
+  void rollback() {
+    UAVCOV_CHECK_MSG(!closed_, "probe already closed");
+    flow_.rollback(checkpoint_);
+    closed_ = true;
+  }
+
+ private:
+  DinicFlow& flow_;
+  DinicFlow::Checkpoint checkpoint_;
+  bool closed_ = false;
+};
+
+}  // namespace uavcov

@@ -1,0 +1,44 @@
+#include "flow/oracles.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace uavcov::oracle {
+
+namespace {
+std::int64_t search(const std::vector<std::vector<std::int32_t>>& eligible,
+                    std::vector<std::int64_t>& remaining, std::size_t item) {
+  if (item == eligible.size()) return 0;
+  // Option 1: leave item unassigned.
+  std::int64_t best = search(eligible, remaining, item + 1);
+  // Option 2: assign to any eligible bin with remaining capacity.
+  for (std::int32_t b : eligible[item]) {
+    auto& slot = remaining[static_cast<std::size_t>(b)];
+    if (slot > 0) {
+      --slot;
+      best = std::max(best, 1 + search(eligible, remaining, item + 1));
+      ++slot;
+    }
+  }
+  return best;
+}
+}  // namespace
+
+std::int64_t brute_force_assignment(
+    const std::vector<std::vector<std::int32_t>>& eligible,
+    const std::vector<std::int64_t>& bin_capacity) {
+  UAVCOV_CHECK_MSG(eligible.size() <= 14,
+                   "brute-force assignment limited to 14 items");
+  for (const auto& bins : eligible) {
+    for (std::int32_t b : bins) {
+      UAVCOV_CHECK_MSG(
+          b >= 0 && static_cast<std::size_t>(b) < bin_capacity.size(),
+          "bin index out of range");
+    }
+  }
+  std::vector<std::int64_t> remaining = bin_capacity;
+  return search(eligible, remaining, 0);
+}
+
+}  // namespace uavcov::oracle

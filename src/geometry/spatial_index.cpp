@@ -1,0 +1,45 @@
+#include "geometry/spatial_index.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace uavcov {
+
+SpatialIndex::SpatialIndex(std::vector<Vec2> points, double bucket_side)
+    : points_(std::move(points)), bucket_side_(bucket_side) {
+  UAVCOV_CHECK_MSG(bucket_side_ > 0, "bucket side must be positive");
+  cells_.reserve(points_.size());
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    const Vec2 p = points_[i];
+    cells_.emplace_back(bucket_key(bucket_x(p.x), bucket_y(p.y)),
+                        static_cast<std::int32_t>(i));
+  }
+  std::sort(cells_.begin(), cells_.end());
+}
+
+std::int64_t SpatialIndex::bucket_x(double x) const {
+  return static_cast<std::int64_t>(std::floor(x / bucket_side_));
+}
+
+std::int64_t SpatialIndex::bucket_y(double y) const {
+  return static_cast<std::int64_t>(std::floor(y / bucket_side_));
+}
+
+std::int64_t SpatialIndex::bucket_key(std::int64_t bx, std::int64_t by) const {
+  // Interleave-free key: pack into 64 bits with a large odd multiplier.
+  // Collisions across distinct buckets would only cost extra distance
+  // checks, but with 2^32 stride they cannot occur for |bx|,|by| < 2^31.
+  return bx * (std::int64_t{1} << 32) + by;
+}
+
+std::vector<std::int32_t> SpatialIndex::query_radius(Vec2 q,
+                                                     double radius) const {
+  UAVCOV_CHECK_MSG(radius >= 0, "radius must be nonnegative");
+  std::vector<std::int32_t> out;
+  for_each_within(q, radius, [&out](std::int32_t idx) { out.push_back(idx); });
+  return out;
+}
+
+}  // namespace uavcov

@@ -1,0 +1,64 @@
+// Uniform-bucket spatial hash over a set of 2-D points.
+//
+// Used to answer "which users are within R_user of this hovering location?"
+// without an O(n·m) scan when building coverage sets for large scenarios.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/vec.hpp"
+
+namespace uavcov {
+
+class SpatialIndex {
+ public:
+  /// Builds an index over `points` with square buckets of side `bucket_side`.
+  /// Points may lie anywhere (negative coordinates included).
+  SpatialIndex(std::vector<Vec2> points, double bucket_side);
+
+  std::size_t size() const { return points_.size(); }
+  const std::vector<Vec2>& points() const { return points_; }
+
+  /// Indices (into the original `points` vector) of all points with
+  /// distance(p, q) <= radius.  Order is unspecified but deterministic.
+  std::vector<std::int32_t> query_radius(Vec2 q, double radius) const;
+
+  /// Visit each in-range point without allocating.
+  template <typename Fn>
+  void for_each_within(Vec2 q, double radius, Fn&& fn) const;
+
+ private:
+  std::int64_t bucket_key(std::int64_t bx, std::int64_t by) const;
+  std::int64_t bucket_x(double x) const;
+  std::int64_t bucket_y(double y) const;
+
+  std::vector<Vec2> points_;
+  double bucket_side_;
+  // Sorted (key, point-index) pairs; lookups binary-search key ranges.
+  std::vector<std::pair<std::int64_t, std::int32_t>> cells_;
+};
+
+template <typename Fn>
+void SpatialIndex::for_each_within(Vec2 q, double radius, Fn&& fn) const {
+  const double r2 = radius * radius;
+  const std::int64_t bx_lo = bucket_x(q.x - radius);
+  const std::int64_t bx_hi = bucket_x(q.x + radius);
+  const std::int64_t by_lo = bucket_y(q.y - radius);
+  const std::int64_t by_hi = bucket_y(q.y + radius);
+  for (std::int64_t by = by_lo; by <= by_hi; ++by) {
+    for (std::int64_t bx = bx_lo; bx <= bx_hi; ++bx) {
+      const std::int64_t key = bucket_key(bx, by);
+      auto lo = std::lower_bound(
+          cells_.begin(), cells_.end(), std::make_pair(key, std::int32_t{-1}));
+      for (auto it = lo; it != cells_.end() && it->first == key; ++it) {
+        const std::int32_t idx = it->second;
+        if (distance2(points_[static_cast<std::size_t>(idx)], q) <= r2) {
+          fn(idx);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace uavcov

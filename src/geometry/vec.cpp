@@ -1,0 +1,3 @@
+#include "geometry/vec.hpp"
+
+// Header-only implementation; this TU anchors the target.

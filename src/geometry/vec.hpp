@@ -1,0 +1,63 @@
+// 2-D / 3-D vector types for ground-user and UAV positions.
+//
+// Coordinates are meters.  Users live on the ground plane (z = 0); UAVs
+// hover at a common altitude H_uav (paper §II-A), so most geometry is 2-D
+// with the altitude folded in where 3-D distance is needed.
+#pragma once
+
+#include <cmath>
+
+namespace uavcov {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr bool operator==(const Vec2&) const = default;
+
+  constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  constexpr double norm2() const { return dot(*this); }
+  double norm() const { return std::sqrt(norm2()); }
+};
+
+/// Euclidean distance between two ground-plane points.
+inline double distance(Vec2 a, Vec2 b) { return (a - b).norm(); }
+
+/// Squared distance (cheaper; used in range tests).
+inline constexpr double distance2(Vec2 a, Vec2 b) { return (a - b).norm2(); }
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  constexpr Vec3() = default;
+  constexpr Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+  constexpr Vec3(Vec2 xy, double z_) : x(xy.x), y(xy.y), z(z_) {}
+
+  constexpr Vec3 operator-(Vec3 o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr bool operator==(const Vec3&) const = default;
+
+  constexpr double norm2() const { return x * x + y * y + z * z; }
+  double norm() const { return std::sqrt(norm2()); }
+
+  constexpr Vec2 xy() const { return {x, y}; }
+};
+
+inline double distance(Vec3 a, Vec3 b) { return (a - b).norm(); }
+
+/// 3-D distance between a ground point and a point at altitude h above
+/// another ground point — the UAV-to-user slant range of the paper.
+inline double slant_range(Vec2 ground, Vec2 uav_xy, double altitude) {
+  const double horizontal2 = distance2(ground, uav_xy);
+  return std::sqrt(horizontal2 + altitude * altitude);
+}
+
+}  // namespace uavcov

@@ -1,0 +1,89 @@
+#include "graph/articulation.hpp"
+
+#include <algorithm>
+
+#include "graph/dsu.hpp"
+
+namespace uavcov {
+
+std::vector<NodeId> articulation_points(const Graph& g) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  std::vector<std::int32_t> disc(n, -1), low(n, 0);
+  std::vector<NodeId> parent(n, -1);
+  std::vector<bool> is_cut(n, false);
+  std::int32_t timer = 0;
+
+  // Iterative DFS (explicit stack) to stay safe on long relay chains.
+  struct Frame {
+    NodeId node;
+    std::size_t next_edge;
+    std::int32_t children;
+  };
+  std::vector<Frame> stack;
+  for (NodeId root = 0; root < g.node_count(); ++root) {
+    if (disc[static_cast<std::size_t>(root)] != -1) continue;
+    stack.push_back({root, 0, 0});
+    disc[static_cast<std::size_t>(root)] =
+        low[static_cast<std::size_t>(root)] = timer++;
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const auto neighbors = g.neighbors(frame.node);
+      if (frame.next_edge < neighbors.size()) {
+        const NodeId next = neighbors[frame.next_edge++];
+        if (disc[static_cast<std::size_t>(next)] == -1) {
+          parent[static_cast<std::size_t>(next)] = frame.node;
+          ++frame.children;
+          disc[static_cast<std::size_t>(next)] =
+              low[static_cast<std::size_t>(next)] = timer++;
+          stack.push_back({next, 0, 0});
+        } else if (next != parent[static_cast<std::size_t>(frame.node)]) {
+          low[static_cast<std::size_t>(frame.node)] =
+              std::min(low[static_cast<std::size_t>(frame.node)],
+                       disc[static_cast<std::size_t>(next)]);
+        }
+      } else {
+        stack.pop_back();
+        const NodeId u = frame.node;
+        const NodeId p = parent[static_cast<std::size_t>(u)];
+        if (p != -1) {
+          low[static_cast<std::size_t>(p)] = std::min(
+              low[static_cast<std::size_t>(p)],
+              low[static_cast<std::size_t>(u)]);
+          // Non-root p is a cut vertex if child u cannot reach above p.
+          if (parent[static_cast<std::size_t>(p)] != -1 &&
+              low[static_cast<std::size_t>(u)] >=
+                  disc[static_cast<std::size_t>(p)]) {
+            is_cut[static_cast<std::size_t>(p)] = true;
+          }
+        } else if (frame.children >= 2) {
+          is_cut[static_cast<std::size_t>(u)] = true;  // root with 2+ trees
+        }
+      }
+    }
+  }
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (is_cut[static_cast<std::size_t>(v)]) out.push_back(v);
+  }
+  return out;
+}
+
+bool is_articulation_point_brute_force(const Graph& g, NodeId v) {
+  const NodeId n = g.node_count();
+  // Components among the surviving nodes after deleting `removed`
+  // (pass -1 to delete nothing).
+  auto components_without = [&g, n](NodeId removed) {
+    Dsu dsu(n);
+    for (NodeId u = 0; u < n; ++u) {
+      if (u == removed) continue;
+      for (NodeId w : g.neighbors(u)) {
+        if (w != removed && w > u) dsu.unite(u, w);
+      }
+    }
+    // The removed node still sits in the DSU as a singleton; discount it.
+    return dsu.component_count() - (removed >= 0 ? 1 : 0);
+  };
+  return components_without(v) > components_without(-1);
+}
+
+}  // namespace uavcov

@@ -1,0 +1,22 @@
+// Articulation points (cut vertices) via Tarjan's low-link DFS.
+//
+// Used by the robustness report: an articulation point in the deployed
+// UAV network is a single UAV whose failure (battery, crash) disconnects
+// survivors from the rescue team — §II-A's connectivity requirement makes
+// these the network's critical nodes.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace uavcov {
+
+/// Articulation points of `g` (all components considered), ascending ids.
+std::vector<NodeId> articulation_points(const Graph& g);
+
+/// Test-support oracle: node v is an articulation point iff removing it
+/// increases the number of connected components among the remaining nodes.
+bool is_articulation_point_brute_force(const Graph& g, NodeId v);
+
+}  // namespace uavcov

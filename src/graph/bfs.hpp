@@ -1,0 +1,51 @@
+// Breadth-first search utilities: single- and multi-source hop distances,
+// shortest-hop path reconstruction, connectivity tests.
+//
+// Hop distance in the location graph is the metric of matroid M2 (nodes at
+// most h_max hops from the seed set) and of the relay-stitching step
+// (MST edge weights are pairwise hop distances).
+#pragma once
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace uavcov {
+
+/// Sentinel for "unreachable" in hop-distance vectors.
+inline constexpr std::int32_t kUnreachable =
+    std::numeric_limits<std::int32_t>::max();
+
+/// Hop distances from `source` to every node (kUnreachable if disconnected).
+std::vector<std::int32_t> bfs_distances(const Graph& g, NodeId source);
+
+/// Hop distances from the nearest node of `sources` (multi-source BFS).
+/// This computes d_l of §III-C: min hops from node v_l to the seed set.
+std::vector<std::int32_t> bfs_distances(const Graph& g,
+                                        std::span<const NodeId> sources);
+
+/// Like multi-source bfs_distances, but also returns for each node its
+/// parent on a shortest path toward the nearest source (kInvalidLocation
+/// for sources/unreachable nodes).
+struct BfsTree {
+  std::vector<std::int32_t> distance;
+  std::vector<NodeId> parent;
+};
+BfsTree bfs_tree(const Graph& g, std::span<const NodeId> sources);
+
+/// One shortest-hop path from `from` to `to` (inclusive of endpoints).
+/// Returns empty vector if unreachable.
+std::vector<NodeId> shortest_hop_path(const Graph& g, NodeId from, NodeId to);
+
+/// True if the subgraph induced by `nodes` is connected (single node and
+/// empty sets count as connected).  Induced edges only.
+bool is_induced_subgraph_connected(const Graph& g,
+                                   std::span<const NodeId> nodes);
+
+/// Connected component label per node (labels are 0-based, assigned in
+/// order of lowest-index member).
+std::vector<std::int32_t> connected_components(const Graph& g);
+
+}  // namespace uavcov

@@ -1,0 +1,3 @@
+#include "graph/dsu.hpp"
+
+// Header-only implementation; this TU anchors the target.

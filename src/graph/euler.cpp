@@ -1,0 +1,90 @@
+#include "graph/euler.hpp"
+
+#include <algorithm>
+
+namespace uavcov {
+
+std::optional<std::vector<NodeId>> euler_path(
+    NodeId node_count, const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  UAVCOV_CHECK_MSG(node_count >= 0, "node count must be nonnegative");
+  if (edges.empty()) {
+    return std::vector<NodeId>{};  // trivially empty walk
+  }
+  // Adjacency as (neighbor, edge id); each edge consumed once.
+  std::vector<std::vector<std::pair<NodeId, std::size_t>>> adj(
+      static_cast<std::size_t>(node_count));
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const auto [u, v] = edges[e];
+    UAVCOV_CHECK_MSG(u >= 0 && u < node_count && v >= 0 && v < node_count,
+                     "edge endpoint out of range");
+    adj[static_cast<std::size_t>(u)].emplace_back(v, e);
+    adj[static_cast<std::size_t>(v)].emplace_back(u, e);
+  }
+  // Eulerian path conditions: 0 or 2 odd-degree vertices, edges connected.
+  NodeId start = edges[0].first;
+  std::int32_t odd = 0;
+  for (NodeId v = 0; v < node_count; ++v) {
+    if (adj[static_cast<std::size_t>(v)].size() % 2 == 1) {
+      ++odd;
+      start = v;
+    }
+  }
+  if (odd != 0 && odd != 2) return std::nullopt;
+
+  // Hierholzer with explicit stack.
+  std::vector<std::size_t> next(static_cast<std::size_t>(node_count), 0);
+  std::vector<bool> used(edges.size(), false);
+  std::vector<NodeId> stack{start};
+  std::vector<NodeId> path;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    auto& cursor = next[static_cast<std::size_t>(u)];
+    auto& edges_u = adj[static_cast<std::size_t>(u)];
+    while (cursor < edges_u.size() && used[edges_u[cursor].second]) ++cursor;
+    if (cursor == edges_u.size()) {
+      path.push_back(u);
+      stack.pop_back();
+    } else {
+      used[edges_u[cursor].second] = true;
+      stack.push_back(edges_u[cursor].first);
+    }
+  }
+  if (path.size() != edges.size() + 1) return std::nullopt;  // disconnected
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<NodeId> tree_double_euler_path(
+    NodeId node_count,
+    const std::vector<std::pair<NodeId, NodeId>>& tree_edges) {
+  UAVCOV_CHECK_MSG(node_count >= 1, "tree must have at least one node");
+  UAVCOV_CHECK_MSG(
+      static_cast<NodeId>(tree_edges.size()) == node_count - 1,
+      "a spanning tree on K nodes must have exactly K-1 edges");
+  if (node_count == 1) return {0};
+  // Duplicate every edge except the first: (K-1) + (K-2) = 2K-3 edges.
+  std::vector<std::pair<NodeId, NodeId>> multi = tree_edges;
+  multi.insert(multi.end(), tree_edges.begin() + 1, tree_edges.end());
+  auto path = euler_path(node_count, multi);
+  UAVCOV_CHECK_MSG(path.has_value(),
+                   "doubled tree must admit an Eulerian path");
+  UAVCOV_CHECK_MSG(
+      path->size() == 2 * static_cast<std::size_t>(node_count) - 2,
+      "Eulerian path over the doubled tree must visit 2K-2 nodes");
+  return *path;
+}
+
+std::vector<std::vector<NodeId>> split_path(const std::vector<NodeId>& path,
+                                            std::int32_t L) {
+  UAVCOV_CHECK_MSG(L >= 1, "chunk length must be positive");
+  std::vector<std::vector<NodeId>> chunks;
+  for (std::size_t i = 0; i < path.size(); i += static_cast<std::size_t>(L)) {
+    const std::size_t end =
+        std::min(path.size(), i + static_cast<std::size_t>(L));
+    chunks.emplace_back(path.begin() + static_cast<std::ptrdiff_t>(i),
+                        path.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return chunks;
+}
+
+}  // namespace uavcov

@@ -1,0 +1,38 @@
+// Eulerian paths on multigraphs (Hierholzer), plus the tree-doubling
+// construction from the paper's analysis (§III-A, Fig. 2(a)–(c)): duplicate
+// K−2 of a spanning tree's K−1 edges to obtain a multigraph with an
+// Eulerian path of 2K−3 edges, then split it into subpaths of L nodes.
+//
+// Algorithm 2 itself never walks an Euler path (it only needs L_max from
+// Algorithm 1), but the integration tests verify the analysis pipeline on
+// concrete trees using these routines.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace uavcov {
+
+/// Eulerian path over a connected multigraph given as an edge list on nodes
+/// [0, node_count).  Returns the node visit sequence (edges.size() + 1
+/// nodes), or std::nullopt if no Eulerian path exists (more than two odd-
+/// degree vertices, or disconnected edge set).
+std::optional<std::vector<NodeId>> euler_path(
+    NodeId node_count, const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+/// Paper construction: given a spanning tree with K nodes and K−1 edges,
+/// duplicate all but one edge (K−2 duplicates) and return an Eulerian path
+/// with 2K−3 edges / 2K−2 node visits.  For K == 1 returns the single node.
+std::vector<NodeId> tree_double_euler_path(
+    NodeId node_count, const std::vector<std::pair<NodeId, NodeId>>& tree_edges);
+
+/// Split a node-visit sequence into ⌈len/L⌉ chunks of exactly L nodes (last
+/// chunk may be shorter) — the subpaths P_1..P_Δ of Fig. 2(c).
+std::vector<std::vector<NodeId>> split_path(const std::vector<NodeId>& path,
+                                            std::int32_t L);
+
+}  // namespace uavcov

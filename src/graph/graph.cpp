@@ -1,0 +1,73 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+namespace uavcov {
+
+Graph Graph::from_edges(NodeId node_count,
+                        const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  UAVCOV_CHECK_MSG(node_count >= 0, "node count must be nonnegative");
+  Graph g;
+  g.offsets_.assign(static_cast<std::size_t>(node_count) + 1, 0);
+  for (const auto& [u, v] : edges) {
+    UAVCOV_CHECK_MSG(u >= 0 && u < node_count && v >= 0 && v < node_count,
+                     "edge endpoint out of range");
+    UAVCOV_CHECK_MSG(u != v, "self-loops are not allowed");
+    ++g.offsets_[static_cast<std::size_t>(u) + 1];
+    ++g.offsets_[static_cast<std::size_t>(v) + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.targets_.resize(static_cast<std::size_t>(g.offsets_.back()));
+  std::vector<std::int64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    g.targets_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)] = v;
+    g.targets_[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] = u;
+  }
+  for (NodeId u = 0; u < node_count; ++u) {
+    auto nb = g.neighbors(u);
+    std::sort(const_cast<NodeId*>(nb.data()),
+              const_cast<NodeId*>(nb.data() + nb.size()));
+    for (std::size_t i = 1; i < nb.size(); ++i) {
+      UAVCOV_CHECK_MSG(nb[i] != nb[i - 1], "parallel edges are not allowed");
+    }
+  }
+  return g;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  auto nb = neighbors(u);
+  return std::binary_search(nb.begin(), nb.end(), v);
+}
+
+namespace {
+Graph build_location_graph_impl(const Grid& grid, double range,
+                                const std::vector<bool>* active) {
+  UAVCOV_CHECK_MSG(range > 0, "UAV communication range must be positive");
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  const NodeId m = grid.size();
+  for (NodeId u = 0; u < m; ++u) {
+    if (active && !(*active)[static_cast<std::size_t>(u)]) continue;
+    for (LocationId v : grid.centers_within(grid.center(u), range)) {
+      if (v <= u) continue;  // emit each undirected edge once
+      if (active && !(*active)[static_cast<std::size_t>(v)]) continue;
+      edges.emplace_back(u, v);
+    }
+  }
+  return Graph::from_edges(m, edges);
+}
+}  // namespace
+
+Graph build_location_graph(const Grid& grid, double range) {
+  return build_location_graph_impl(grid, range, nullptr);
+}
+
+Graph build_location_graph(const Grid& grid, double range,
+                           const std::vector<bool>& active) {
+  UAVCOV_CHECK_MSG(static_cast<NodeId>(active.size()) == grid.size(),
+                   "active mask size must equal grid size");
+  return build_location_graph_impl(grid, range, &active);
+}
+
+}  // namespace uavcov

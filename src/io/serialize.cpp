@@ -1,0 +1,237 @@
+#include "io/serialize.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace uavcov::io {
+
+namespace {
+
+void open_checked(std::ifstream& in, const std::string& path) {
+  in.open(path);
+  UAVCOV_CHECK_MSG(in.good(), "cannot open for reading: " + path);
+}
+
+void open_checked(std::ofstream& out, const std::string& path) {
+  out.open(path);
+  UAVCOV_CHECK_MSG(out.good(), "cannot open for writing: " + path);
+}
+
+/// Reads the next non-comment, non-empty line; returns false at EOF.
+bool next_record(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+struct Record {
+  std::string key;
+  std::istringstream args;
+};
+
+Record parse_record(const std::string& line) {
+  Record r;
+  r.args.str(line);
+  r.args >> r.key;
+  return r;
+}
+
+template <typename T>
+T read_arg(Record& r, const char* what) {
+  T value;
+  r.args >> value;
+  UAVCOV_CHECK_MSG(!r.args.fail(),
+                   std::string("malformed ") + what + " in record '" +
+                       r.key + "'");
+  return value;
+}
+
+void expect_magic(std::istream& in, const std::string& magic) {
+  std::string line;
+  UAVCOV_CHECK_MSG(next_record(in, line), "empty input, expected " + magic);
+  Record r = parse_record(line);
+  const auto version = read_arg<std::string>(r, "version");
+  UAVCOV_CHECK_MSG(r.key == magic && version == "v1",
+                   "bad header: expected '" + magic + " v1', got '" + line +
+                       "'");
+}
+
+std::ostream& full_precision(std::ostream& out) {
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  return out;
+}
+
+}  // namespace
+
+void save_scenario(std::ostream& out, const Scenario& scenario) {
+  full_precision(out);
+  out << "uavcov-scenario v1\n";
+  out << "# disaster area: width height cell_side (meters)\n";
+  out << "area " << scenario.grid.width() << ' ' << scenario.grid.height()
+      << ' ' << scenario.grid.cell_side() << '\n';
+  out << "altitude " << scenario.altitude_m << '\n';
+  out << "uav_range " << scenario.uav_range_m << '\n';
+  out << "channel " << scenario.channel.carrier_hz << ' '
+      << scenario.channel.environment.a << ' '
+      << scenario.channel.environment.b << ' '
+      << scenario.channel.environment.eta_los_db << ' '
+      << scenario.channel.environment.eta_nlos_db << '\n';
+  out << "receiver " << scenario.receiver.noise_dbm << ' '
+      << scenario.receiver.bandwidth_hz << '\n';
+  for (const User& u : scenario.users) {
+    out << "user " << u.pos.x << ' ' << u.pos.y << ' ' << u.min_rate_bps
+        << '\n';
+  }
+  for (const UavSpec& u : scenario.fleet) {
+    out << "uav " << u.capacity << ' ' << u.radio.tx_power_dbm << ' '
+        << u.radio.antenna_gain_dbi << ' ' << u.user_range_m << '\n';
+  }
+}
+
+Scenario load_scenario(std::istream& in) {
+  expect_magic(in, "uavcov-scenario");
+  double width = 0, height = 0, cell = 0;
+  Scenario* scenario = nullptr;
+  // The grid is immutable, so buffer records until `area` arrives (it is
+  // written first, but we stay tolerant of reordering of later keys).
+  std::string line;
+  UAVCOV_CHECK_MSG(next_record(in, line), "missing 'area' record");
+  {
+    Record r = parse_record(line);
+    UAVCOV_CHECK_MSG(r.key == "area", "first record must be 'area'");
+    width = read_arg<double>(r, "width");
+    height = read_arg<double>(r, "height");
+    cell = read_arg<double>(r, "cell side");
+  }
+  Scenario result{
+      .grid = Grid(width, height, cell),
+      .altitude_m = 300.0,
+      .uav_range_m = 600.0,
+      .channel = {},
+      .receiver = {},
+      .users = {},
+      .fleet = {},
+  };
+  scenario = &result;
+  while (next_record(in, line)) {
+    Record r = parse_record(line);
+    if (r.key == "altitude") {
+      scenario->altitude_m = read_arg<double>(r, "altitude");
+    } else if (r.key == "uav_range") {
+      scenario->uav_range_m = read_arg<double>(r, "range");
+    } else if (r.key == "channel") {
+      scenario->channel.carrier_hz = read_arg<double>(r, "carrier");
+      scenario->channel.environment.a = read_arg<double>(r, "a");
+      scenario->channel.environment.b = read_arg<double>(r, "b");
+      scenario->channel.environment.eta_los_db = read_arg<double>(r, "eta");
+      scenario->channel.environment.eta_nlos_db = read_arg<double>(r, "eta");
+    } else if (r.key == "receiver") {
+      scenario->receiver.noise_dbm = read_arg<double>(r, "noise");
+      scenario->receiver.bandwidth_hz = read_arg<double>(r, "bandwidth");
+    } else if (r.key == "user") {
+      User u;
+      u.pos.x = read_arg<double>(r, "x");
+      u.pos.y = read_arg<double>(r, "y");
+      u.min_rate_bps = read_arg<double>(r, "rate");
+      scenario->users.push_back(u);
+    } else if (r.key == "uav") {
+      UavSpec u;
+      u.capacity = read_arg<std::int32_t>(r, "capacity");
+      u.radio.tx_power_dbm = read_arg<double>(r, "tx power");
+      u.radio.antenna_gain_dbi = read_arg<double>(r, "gain");
+      u.user_range_m = read_arg<double>(r, "user range");
+      scenario->fleet.push_back(u);
+    } else {
+      UAVCOV_CHECK_MSG(false, "unknown scenario record: " + r.key);
+    }
+  }
+  result.validate();
+  return result;
+}
+
+void save_solution(std::ostream& out, const Solution& solution) {
+  full_precision(out);
+  out << "uavcov-solution v1\n";
+  out << "algorithm " << solution.algorithm << '\n';
+  out << "served " << solution.served << '\n';
+  out << "solve_seconds " << solution.solve_seconds << '\n';
+  for (const Deployment& d : solution.deployments) {
+    out << "deployment " << d.uav << ' ' << d.loc << '\n';
+  }
+  for (std::size_t u = 0; u < solution.user_to_deployment.size(); ++u) {
+    if (solution.user_to_deployment[u] != -1) {
+      out << "assignment " << u << ' ' << solution.user_to_deployment[u]
+          << '\n';
+    }
+  }
+}
+
+Solution load_solution(std::istream& in, std::int32_t user_count) {
+  UAVCOV_CHECK_MSG(user_count >= 0, "user count must be nonnegative");
+  expect_magic(in, "uavcov-solution");
+  Solution solution;
+  solution.user_to_deployment.assign(static_cast<std::size_t>(user_count),
+                                     -1);
+  std::string line;
+  while (next_record(in, line)) {
+    Record r = parse_record(line);
+    if (r.key == "algorithm") {
+      solution.algorithm = read_arg<std::string>(r, "name");
+    } else if (r.key == "served") {
+      solution.served = read_arg<std::int64_t>(r, "served");
+    } else if (r.key == "solve_seconds") {
+      solution.solve_seconds = read_arg<double>(r, "seconds");
+    } else if (r.key == "deployment") {
+      Deployment d;
+      d.uav = read_arg<UavId>(r, "uav");
+      d.loc = read_arg<LocationId>(r, "location");
+      solution.deployments.push_back(d);
+    } else if (r.key == "assignment") {
+      const auto user = read_arg<std::int32_t>(r, "user");
+      const auto dep = read_arg<std::int32_t>(r, "deployment");
+      UAVCOV_CHECK_MSG(user >= 0 && user < user_count,
+                       "assignment user out of range");
+      solution.user_to_deployment[static_cast<std::size_t>(user)] = dep;
+    } else {
+      UAVCOV_CHECK_MSG(false, "unknown solution record: " + r.key);
+    }
+  }
+  return solution;
+}
+
+void save_scenario_file(const std::string& path, const Scenario& scenario) {
+  std::ofstream out;
+  open_checked(out, path);
+  save_scenario(out, scenario);
+}
+
+Scenario load_scenario_file(const std::string& path) {
+  std::ifstream in;
+  open_checked(in, path);
+  return load_scenario(in);
+}
+
+void save_solution_file(const std::string& path, const Solution& solution) {
+  std::ofstream out;
+  open_checked(out, path);
+  save_solution(out, solution);
+}
+
+Solution load_solution_file(const std::string& path,
+                            std::int32_t user_count) {
+  std::ifstream in;
+  open_checked(in, path);
+  return load_solution(in, user_count);
+}
+
+}  // namespace uavcov::io

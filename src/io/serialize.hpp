@@ -1,0 +1,50 @@
+// Plain-text persistence for scenarios and solutions.
+//
+// Format: a versioned, line-oriented `key value...` format (one record per
+// line, '#' comments) — trivially diffable, stable across platforms, and
+// parsed without third-party dependencies.  Floating-point values are
+// written with max_digits10 so a save/load round trip is bit-exact.
+//
+//   uavcov-scenario v1
+//   area 3000 3000 300
+//   altitude 300
+//   uav_range 600
+//   channel 2e9 9.61 0.16 1 20
+//   receiver -104 180000
+//   user <x> <y> <min_rate>        (n lines)
+//   uav <capacity> <tx_dbm> <gain_dbi> <user_range>   (K lines)
+//
+//   uavcov-solution v1
+//   algorithm approAlg
+//   served 2356
+//   solve_seconds 12.5
+//   deployment <uav> <loc>         (per deployment)
+//   assignment <user> <deployment> (served users only)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/scenario.hpp"
+#include "core/solution.hpp"
+
+namespace uavcov::io {
+
+void save_scenario(std::ostream& out, const Scenario& scenario);
+void save_scenario_file(const std::string& path, const Scenario& scenario);
+
+/// Parses a scenario; throws ContractError on malformed input (wrong
+/// magic/version, unknown keys, bad counts).
+Scenario load_scenario(std::istream& in);
+Scenario load_scenario_file(const std::string& path);
+
+void save_solution(std::ostream& out, const Solution& solution);
+void save_solution_file(const std::string& path, const Solution& solution);
+
+/// Parses a solution.  `user_count` sizes the assignment vector (users not
+/// listed are unserved).
+Solution load_solution(std::istream& in, std::int32_t user_count);
+Solution load_solution_file(const std::string& path,
+                            std::int32_t user_count);
+
+}  // namespace uavcov::io

@@ -1,0 +1,76 @@
+// Time-slotted downlink service simulator for a deployed UAV network.
+//
+// The paper's §I motivation: the SkyCore base-station module runs on a
+// light on-board server, so "if too many users access the UAV, each user
+// will experience a very long service delay, e.g., a few seconds, and the
+// network throughput also significantly decreases" — which is exactly why
+// the service capacity C_k exists.  This simulator reproduces that
+// behavior so the capacity model can be validated end-to-end:
+//
+//   * each UAV schedules its attached users round-robin over OFDMA
+//     resource-block slots; the per-slot user rate comes from the channel
+//     model (distance-dependent);
+//   * the on-board server adds a per-packet control-plane processing cost;
+//     its single queue saturates once attached users exceed the server's
+//     packet budget — delay then grows without bound (M/D/1-style);
+//   * users generate fixed-rate traffic (e.g., 2 kb/s voice keepalives).
+//
+// Outputs per-user mean throughput and delay, plus per-UAV utilization.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/coverage.hpp"
+#include "core/solution.hpp"
+
+namespace uavcov::netsim {
+
+struct ServiceSimConfig {
+  double duration_s = 10.0;       ///< simulated time.
+  double slot_s = 1e-3;           ///< scheduler slot length (1 ms TTI).
+  double packet_bits = 4096.0;    ///< fixed packet size.
+  double offered_load_bps = 2e3;  ///< per-user offered traffic.
+  /// On-board server packet-processing budget: the light-weight server
+  /// handles `server_pkts_per_s` packets per second in total (control +
+  /// data plane).  The paper's capacity C_k maps to the number of
+  /// offered-load users one server sustains — with these defaults,
+  /// sustainable_users() ≈ 204, matching the paper's "e.g., 200 users".
+  double server_pkts_per_s = 100.0;
+};
+
+struct UserServiceStats {
+  UserId user = -1;
+  double mean_throughput_bps = 0.0;
+  double mean_delay_s = 0.0;       ///< queueing + service delay per packet.
+  std::int64_t packets_delivered = 0;
+  std::int64_t packets_dropped = 0;
+};
+
+struct UavServiceStats {
+  std::int32_t deployment = -1;
+  std::int32_t attached_users = 0;
+  double airtime_utilization = 0.0;  ///< busy slots / total slots.
+  double server_utilization = 0.0;   ///< processed pkts / budget.
+  double mean_delay_s = 0.0;         ///< across its users.
+};
+
+struct ServiceSimResult {
+  std::vector<UserServiceStats> users;  ///< served users only.
+  std::vector<UavServiceStats> uavs;    ///< one per deployment.
+  double network_throughput_bps = 0.0;
+  double mean_delay_s = 0.0;            ///< across all served users.
+  double p95_delay_s = 0.0;
+};
+
+/// Simulates the assignment carried by `solution` over `config.duration_s`.
+/// Deterministic (no randomness: fixed packet arrivals per user).
+ServiceSimResult simulate_service(const Scenario& scenario,
+                                  const Solution& solution,
+                                  const ServiceSimConfig& config = {});
+
+/// Convenience: how many offered-load users can one server sustain before
+/// its packet queue saturates?  (The model behind choosing C_k.)
+std::int32_t sustainable_users(const ServiceSimConfig& config);
+
+}  // namespace uavcov::netsim

@@ -1,0 +1,40 @@
+// Deployment rendering: scenario + solution → SVG.
+//
+// Visual vocabulary:
+//   * grey grid lines — the λ-cell hovering grid;
+//   * small dots — users (green if served, red if not);
+//   * filled circles — UAVs, radius ∝ capacity; label = UAV id;
+//   * translucent discs — each UAV's user-coverage area R_user;
+//   * dark lines — UAV-to-UAV links (≤ R_uav);
+//   * dashed line — the serving association user → UAV (optional).
+#pragma once
+
+#include <string>
+
+#include "core/scenario.hpp"
+#include "core/solution.hpp"
+#include "viz/svg.hpp"
+
+namespace uavcov::viz {
+
+struct RenderOptions {
+  double pixels_per_meter = 0.25;
+  bool draw_grid = true;
+  bool draw_coverage_discs = true;
+  bool draw_links = true;
+  bool draw_associations = false;  ///< user→UAV dashes (busy on big n).
+  bool draw_labels = true;
+};
+
+/// Render a deployment; `solution` may be empty (scenario-only plot).
+std::string render_deployment(const Scenario& scenario,
+                              const Solution& solution,
+                              const RenderOptions& options = {});
+
+/// Convenience: render straight to a file.
+void render_deployment_file(const std::string& path,
+                            const Scenario& scenario,
+                            const Solution& solution,
+                            const RenderOptions& options = {});
+
+}  // namespace uavcov::viz

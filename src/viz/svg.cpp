@@ -1,0 +1,99 @@
+#include "viz/svg.hpp"
+
+#include <fstream>
+#include <iomanip>
+
+#include "common/check.hpp"
+
+namespace uavcov::viz {
+
+SvgCanvas::SvgCanvas(double world_w, double world_h, double pixels_per_meter)
+    : world_w_(world_w), world_h_(world_h), scale_(pixels_per_meter) {
+  UAVCOV_CHECK_MSG(world_w > 0 && world_h > 0 && pixels_per_meter > 0,
+                   "invalid canvas dimensions");
+  body_ << std::fixed << std::setprecision(1);
+}
+
+void SvgCanvas::circle(double x, double y, double radius_m,
+                       const std::string& fill, double opacity,
+                       const std::string& stroke, double stroke_width_px) {
+  body_ << "<circle cx=\"" << px(x) << "\" cy=\"" << py(y) << "\" r=\""
+        << radius_m * scale_ << "\" fill=\"" << fill << "\" opacity=\""
+        << opacity << "\"";
+  if (!stroke.empty()) {
+    body_ << " stroke=\"" << stroke << "\" stroke-width=\""
+          << stroke_width_px << "\"";
+  }
+  body_ << "/>\n";
+}
+
+void SvgCanvas::line(double x1, double y1, double x2, double y2,
+                     const std::string& stroke, double width_px,
+                     double opacity, bool dashed) {
+  body_ << "<line x1=\"" << px(x1) << "\" y1=\"" << py(y1) << "\" x2=\""
+        << px(x2) << "\" y2=\"" << py(y2) << "\" stroke=\"" << stroke
+        << "\" stroke-width=\"" << width_px << "\" opacity=\"" << opacity
+        << "\"";
+  if (dashed) body_ << " stroke-dasharray=\"6 4\"";
+  body_ << "/>\n";
+}
+
+void SvgCanvas::rect(double x, double y, double w, double h,
+                     const std::string& fill, double opacity) {
+  body_ << "<rect x=\"" << px(x) << "\" y=\"" << py(y + h) << "\" width=\""
+        << w * scale_ << "\" height=\"" << h * scale_ << "\" fill=\"" << fill
+        << "\" opacity=\"" << opacity << "\"/>\n";
+}
+
+void SvgCanvas::text(double x, double y, const std::string& content,
+                     double size_px, const std::string& fill) {
+  body_ << "<text x=\"" << px(x) << "\" y=\"" << py(y)
+        << "\" text-anchor=\"middle\" dominant-baseline=\"middle\" "
+           "font-family=\"sans-serif\" font-size=\""
+        << size_px << "\" fill=\"" << fill << "\">" << xml_escape(content)
+        << "</text>\n";
+}
+
+std::string SvgCanvas::str() const {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(1);
+  out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << width_px()
+      << "\" height=\"" << height_px() << "\" viewBox=\"0 0 " << width_px()
+      << ' ' << height_px() << "\">\n"
+      << "<rect width=\"100%\" height=\"100%\" fill=\"#fbfbf8\"/>\n"
+      << body_.str() << "</svg>\n";
+  return out.str();
+}
+
+void SvgCanvas::save(const std::string& path) const {
+  std::ofstream out(path);
+  UAVCOV_CHECK_MSG(out.good(), "cannot open SVG output: " + path);
+  out << str();
+}
+
+std::string xml_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace uavcov::viz

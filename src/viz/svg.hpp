@@ -1,0 +1,53 @@
+// Minimal dependency-free SVG document builder — enough vocabulary for the
+// deployment renderings (circles, lines, rectangles, text, polylines) with
+// a y-up world-coordinate mapping (SVG is y-down).
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace uavcov::viz {
+
+/// Builder for one SVG document over a world rectangle [0,w]×[0,h] meters.
+/// All coordinates passed to draw calls are world coordinates; the builder
+/// flips the y axis and applies a uniform scale.
+class SvgCanvas {
+ public:
+  /// `pixels_per_meter` controls the output resolution.
+  SvgCanvas(double world_w, double world_h, double pixels_per_meter = 0.2);
+
+  void circle(double x, double y, double radius_m, const std::string& fill,
+              double opacity = 1.0, const std::string& stroke = "",
+              double stroke_width_px = 1.0);
+  void line(double x1, double y1, double x2, double y2,
+            const std::string& stroke, double width_px = 1.0,
+            double opacity = 1.0, bool dashed = false);
+  void rect(double x, double y, double w, double h, const std::string& fill,
+            double opacity = 1.0);
+  /// Text anchored at its center; size in pixels (not world meters).
+  void text(double x, double y, const std::string& content, double size_px,
+            const std::string& fill = "#333333");
+
+  double width_px() const { return world_w_ * scale_; }
+  double height_px() const { return world_h_ * scale_; }
+
+  /// Finished document.
+  std::string str() const;
+
+  /// Write to a file; throws ContractError on I/O failure.
+  void save(const std::string& path) const;
+
+ private:
+  double px(double x) const { return x * scale_; }
+  double py(double y) const { return (world_h_ - y) * scale_; }
+
+  double world_w_;
+  double world_h_;
+  double scale_;
+  std::ostringstream body_;
+};
+
+/// Escape XML-special characters in text content.
+std::string xml_escape(const std::string& text);
+
+}  // namespace uavcov::viz

@@ -1,0 +1,48 @@
+// User-position distributions for the evaluation scenarios (§IV-A): "the
+// user density follows a fat-tailed distribution, i.e., many users are
+// located at a small portion of places while a few users are sparsely
+// located at many other places" (citing Song et al., Nature Physics 2010).
+//
+// We model that as: N_c cluster centers placed uniformly; cluster weights
+// drawn Pareto(α) (heavy-tailed) and normalized; each clustered user picks
+// a center by weight and scatters around it with an isotropic Gaussian;
+// a `background_fraction` of users is sprinkled uniformly.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geometry/vec.hpp"
+
+namespace uavcov::workload {
+
+struct FatTailedConfig {
+  std::int32_t cluster_count = 12;
+  double pareto_alpha = 1.2;      ///< tail exponent of cluster weights.
+  double cluster_sigma_m = 150.0; ///< Gaussian scatter around a center.
+  double background_fraction = 0.15;
+};
+
+/// n positions inside [0, width] × [0, height], fat-tailed density.
+std::vector<Vec2> fat_tailed_positions(std::int32_t n, double width,
+                                       double height,
+                                       const FatTailedConfig& config,
+                                       Rng& rng);
+
+/// n positions, uniform density (ablation workload).
+std::vector<Vec2> uniform_positions(std::int32_t n, double width,
+                                    double height, Rng& rng);
+
+/// n positions concentrated in `hotspots` axis-aligned discs with uniform
+/// leftovers — a deterministic-structure workload for targeted tests.
+struct Hotspot {
+  Vec2 center;
+  double radius_m = 200.0;
+  double weight = 1.0;
+};
+std::vector<Vec2> hotspot_positions(std::int32_t n, double width,
+                                    double height,
+                                    const std::vector<Hotspot>& hotspots,
+                                    double background_fraction, Rng& rng);
+
+}  // namespace uavcov::workload

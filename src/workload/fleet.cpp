@@ -1,0 +1,31 @@
+#include "workload/fleet.hpp"
+
+#include "common/check.hpp"
+
+namespace uavcov::workload {
+
+std::vector<UavSpec> make_fleet(const FleetConfig& config, Rng& rng) {
+  UAVCOV_CHECK_MSG(config.uav_count >= 1, "fleet needs at least one UAV");
+  UAVCOV_CHECK_MSG(1 <= config.capacity_min &&
+                       config.capacity_min <= config.capacity_max,
+                   "invalid capacity interval");
+  UAVCOV_CHECK_MSG(config.heavy_fraction >= 0 && config.heavy_fraction <= 1,
+                   "heavy fraction must be in [0, 1]");
+  std::vector<UavSpec> fleet;
+  fleet.reserve(static_cast<std::size_t>(config.uav_count));
+  for (std::int32_t k = 0; k < config.uav_count; ++k) {
+    UavSpec spec;
+    spec.capacity = static_cast<std::int32_t>(
+        rng.uniform_int(config.capacity_min, config.capacity_max));
+    spec.radio = config.base_radio;
+    spec.user_range_m = config.user_range_m;
+    if (config.heavy_fraction > 0 && rng.chance(config.heavy_fraction)) {
+      spec.radio.tx_power_dbm += config.heavy_extra_tx_db;
+      spec.user_range_m += config.heavy_extra_range_m;
+    }
+    fleet.push_back(spec);
+  }
+  return fleet;
+}
+
+}  // namespace uavcov::workload

@@ -1,0 +1,31 @@
+// Heterogeneous fleet generation (§IV-A): service capacity C_k drawn
+// uniformly from [C_min, C_max] per UAV; optionally two radio classes
+// modelling the DJI Matrice 600 RTK / 300 RTK split the paper motivates
+// (larger payload → stronger base station → more Tx power and range).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/scenario.hpp"
+
+namespace uavcov::workload {
+
+struct FleetConfig {
+  std::int32_t uav_count = 20;
+  std::int32_t capacity_min = 50;   ///< paper: C_min = 50 users.
+  std::int32_t capacity_max = 300;  ///< paper: C_max = 300 users.
+  double user_range_m = 500.0;      ///< paper: R_user = 500 m.
+
+  /// If > 0, this fraction of UAVs gets the "heavy" radio class (+3 dB Tx
+  /// power, +100 m user range) — fully heterogeneous fleets; 0 keeps the
+  /// paper's radio-homogeneous / capacity-heterogeneous setting.
+  double heavy_fraction = 0.0;
+  Radio base_radio{};
+  double heavy_extra_tx_db = 3.0;
+  double heavy_extra_range_m = 100.0;
+};
+
+std::vector<UavSpec> make_fleet(const FleetConfig& config, Rng& rng);
+
+}  // namespace uavcov::workload

@@ -1,0 +1,46 @@
+// User mobility for the re-deployment scenario of §II-C: "the users in the
+// disaster zone may move around ... we thus need to re-deploy the UAVs".
+//
+// Random-waypoint walk with attraction back toward the populated spots
+// (survivors move between shelters, not uniformly): each user holds a
+// waypoint, walks toward it at its speed, and picks a new waypoint (biased
+// toward a random other user's position — preserving the fat-tailed
+// density) on arrival.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/scenario.hpp"
+
+namespace uavcov::workload {
+
+struct MobilityConfig {
+  double speed_m_s = 1.4;          ///< pedestrian walking speed.
+  double waypoint_bias = 0.7;      ///< P(waypoint near another user).
+  double waypoint_sigma_m = 100.0; ///< scatter around the chosen anchor.
+};
+
+/// Mutable mobility state for the users of one scenario.
+class MobilityModel {
+ public:
+  MobilityModel(const Scenario& scenario, MobilityConfig config,
+                std::uint64_t seed);
+
+  /// Advance every user by `dt_s` seconds, updating `scenario.users`
+  /// positions in place (positions stay inside the area).
+  void step(Scenario& scenario, double dt_s);
+
+  /// Total displacement of all users over the model's lifetime [m].
+  double total_displacement_m() const { return total_displacement_m_; }
+
+ private:
+  Vec2 pick_waypoint(const Scenario& scenario);
+
+  MobilityConfig config_;
+  Rng rng_;
+  std::vector<Vec2> waypoint_;
+  double total_displacement_m_ = 0.0;
+};
+
+}  // namespace uavcov::workload

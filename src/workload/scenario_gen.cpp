@@ -1,0 +1,38 @@
+#include "workload/scenario_gen.hpp"
+
+#include "common/check.hpp"
+
+namespace uavcov::workload {
+
+Scenario make_disaster_scenario(const ScenarioConfig& config, Rng& rng) {
+  std::vector<Vec2> positions;
+  switch (config.distribution) {
+    case UserDistribution::kFatTailed:
+      positions = fat_tailed_positions(config.user_count, config.width_m,
+                                       config.height_m, config.fat_tailed,
+                                       rng);
+      break;
+    case UserDistribution::kUniform:
+      positions = uniform_positions(config.user_count, config.width_m,
+                                    config.height_m, rng);
+      break;
+  }
+
+  Scenario scenario{
+      .grid = Grid(config.width_m, config.height_m, config.cell_side_m),
+      .altitude_m = config.altitude_m,
+      .uav_range_m = config.uav_range_m,
+      .channel = {},
+      .receiver = {},
+      .users = {},
+      .fleet = make_fleet(config.fleet, rng),
+  };
+  scenario.users.reserve(positions.size());
+  for (const Vec2& p : positions) {
+    scenario.users.push_back({p, config.min_rate_bps});
+  }
+  scenario.validate();
+  return scenario;
+}
+
+}  // namespace uavcov::workload

@@ -1,0 +1,190 @@
+// Tests for the four reimplemented comparison baselines + RandomConnected:
+// every solution must satisfy all §II-C constraints on randomized
+// instances, behave deterministically, and clear basic sanity bars.
+#include <gtest/gtest.h>
+
+#include "baselines/greedy_assign.hpp"
+#include "baselines/max_throughput.hpp"
+#include "baselines/mcs.hpp"
+#include "baselines/motion_ctrl.hpp"
+#include "baselines/random_connected.hpp"
+#include "common/rng.hpp"
+
+namespace uavcov {
+namespace {
+
+Scenario random_scenario(Rng& rng, std::int32_t cells, std::int32_t users,
+                         std::int32_t uavs) {
+  Scenario sc{
+      .grid = Grid(cells * 100.0, cells * 100.0, 100.0),
+      .altitude_m = 60.0,
+      .uav_range_m = 150.0,
+      .channel = {},
+      .receiver = {},
+      .users = {},
+      .fleet = {},
+  };
+  for (std::int32_t i = 0; i < users; ++i) {
+    sc.users.push_back(
+        {{rng.uniform(0, cells * 100.0), rng.uniform(0, cells * 100.0)},
+         1e3});
+  }
+  for (std::int32_t k = 0; k < uavs; ++k) {
+    sc.fleet.push_back(
+        {1 + static_cast<std::int32_t>(rng.next_below(4)), Radio{}, 120.0});
+  }
+  return sc;
+}
+
+using BaselineFn = Solution (*)(const Scenario&, const CoverageModel&);
+
+Solution run_mcs(const Scenario& sc, const CoverageModel& cov) {
+  return baselines::mcs(sc, cov);
+}
+Solution run_motion(const Scenario& sc, const CoverageModel& cov) {
+  return baselines::motion_ctrl(sc, cov);
+}
+Solution run_greedy(const Scenario& sc, const CoverageModel& cov) {
+  return baselines::greedy_assign(sc, cov);
+}
+Solution run_maxtp(const Scenario& sc, const CoverageModel& cov) {
+  return baselines::max_throughput(sc, cov);
+}
+Solution run_random(const Scenario& sc, const CoverageModel& cov) {
+  return baselines::random_connected(sc, cov);
+}
+
+struct BaselineCase {
+  const char* name;
+  BaselineFn fn;
+};
+
+class BaselineFeasibility
+    : public testing::TestWithParam<std::tuple<BaselineCase, int>> {};
+
+TEST_P(BaselineFeasibility, SolutionsAlwaysValid) {
+  const auto [baseline, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed) * 23 + 7);
+  const std::int32_t cells = 4 + static_cast<std::int32_t>(rng.next_below(3));
+  const std::int32_t users = 5 + static_cast<std::int32_t>(rng.next_below(40));
+  const std::int32_t uavs = 2 + static_cast<std::int32_t>(rng.next_below(7));
+  const Scenario sc = random_scenario(rng, cells, users, uavs);
+  const CoverageModel cov(sc);
+  const Solution sol = baseline.fn(sc, cov);
+  EXPECT_NO_THROW(validate_solution(sc, cov, sol)) << baseline.name;
+  EXPECT_EQ(sol.algorithm, baseline.name);
+  EXPECT_GE(sol.served, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBaselines, BaselineFeasibility,
+    testing::Combine(
+        testing::Values(BaselineCase{"MCS", run_mcs},
+                        BaselineCase{"MotionCtrl", run_motion},
+                        BaselineCase{"GreedyAssign", run_greedy},
+                        BaselineCase{"maxThroughput", run_maxtp},
+                        BaselineCase{"RandomConnected", run_random}),
+        testing::Range(0, 8)),
+    [](const auto& info) {
+      return std::string(std::get<0>(info.param).name) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+class BaselineDeterminism : public testing::TestWithParam<BaselineCase> {};
+
+TEST_P(BaselineDeterminism, SameInputSameOutput) {
+  const BaselineCase baseline = GetParam();
+  Rng rng(606);
+  const Scenario sc = random_scenario(rng, 5, 30, 5);
+  const CoverageModel cov(sc);
+  const Solution a = baseline.fn(sc, cov);
+  const Solution b = baseline.fn(sc, cov);
+  EXPECT_EQ(a.served, b.served) << baseline.name;
+  EXPECT_EQ(a.deployments, b.deployments) << baseline.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBaselines, BaselineDeterminism,
+    testing::Values(BaselineCase{"MCS", run_mcs},
+                    BaselineCase{"MotionCtrl", run_motion},
+                    BaselineCase{"GreedyAssign", run_greedy},
+                    BaselineCase{"maxThroughput", run_maxtp},
+                    BaselineCase{"RandomConnected", run_random}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+TEST(Baselines, ObviousClusterIsFound) {
+  // All users in one tight pile; every baseline should serve many of them.
+  Scenario sc{
+      .grid = Grid(500, 500, 100),
+      .altitude_m = 60.0,
+      .uav_range_m = 150.0,
+      .channel = {},
+      .receiver = {},
+      .users = {},
+      .fleet = {{3, Radio{}, 120.0}, {3, Radio{}, 120.0},
+                {3, Radio{}, 120.0}},
+  };
+  Rng rng(9);
+  for (int i = 0; i < 9; ++i) {
+    sc.users.push_back(
+        {{240 + rng.uniform(-30, 30), 240 + rng.uniform(-30, 30)}, 1e3});
+  }
+  const CoverageModel cov(sc);
+  for (const auto& [name, fn] :
+       {std::pair<const char*, BaselineFn>{"MCS", run_mcs},
+        {"MotionCtrl", run_motion},
+        {"GreedyAssign", run_greedy},
+        {"maxThroughput", run_maxtp}}) {
+    const Solution sol = fn(sc, cov);
+    EXPECT_GE(sol.served, 6) << name;  // 9 users / capacity 9 available
+  }
+}
+
+TEST(Baselines, GreedyServedEstimateNeverExceedsOptimal) {
+  Rng rng(515);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Scenario sc = random_scenario(rng, 5, 25, 4);
+    const CoverageModel cov(sc);
+    std::vector<Deployment> deps;
+    std::vector<LocationId> cells;
+    for (LocationId v = 0; v < sc.grid.size(); ++v) cells.push_back(v);
+    rng.shuffle(cells);
+    for (UavId k = 0; k < sc.uav_count(); ++k) {
+      deps.push_back({k, cells[static_cast<std::size_t>(k)]});
+    }
+    const auto estimate = baselines::greedy_served_estimate(sc, cov, deps);
+    const auto optimal = solve_assignment(sc, cov, deps).served;
+    EXPECT_LE(estimate, optimal);
+    EXPECT_GE(estimate, 0);
+  }
+}
+
+TEST(Baselines, CoverageCounterTracksMarginals) {
+  Rng rng(31);
+  const Scenario sc = random_scenario(rng, 4, 20, 2);
+  const CoverageModel cov(sc);
+  baselines::CoverageCounter counter(sc, cov);
+  const LocationId v = 5;
+  const auto first = counter.marginal(v, 0);
+  EXPECT_EQ(first,
+            static_cast<std::int64_t>(cov.eligible_users(v, 0).size()));
+  counter.add(v, 0);
+  EXPECT_EQ(counter.marginal(v, 0), 0);
+  counter.reset();
+  EXPECT_EQ(counter.marginal(v, 0), first);
+}
+
+TEST(Baselines, RandomConnectedSeedChangesResultDeterministically) {
+  Rng rng(111);
+  const Scenario sc = random_scenario(rng, 5, 30, 5);
+  const CoverageModel cov(sc);
+  baselines::RandomConnectedParams p1;
+  p1.seed = 1;
+  baselines::RandomConnectedParams p2;
+  p2.seed = 1;
+  EXPECT_EQ(baselines::random_connected(sc, cov, p1).served,
+            baselines::random_connected(sc, cov, p2).served);
+}
+
+}  // namespace
+}  // namespace uavcov

@@ -1,0 +1,219 @@
+// Tests for src/channel: Al-Hourani A2G model, link budget, radius and
+// altitude solvers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/a2g.hpp"
+#include "channel/link_budget.hpp"
+#include "channel/radius.hpp"
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace uavcov {
+namespace {
+
+TEST(ElevationAngle, KnownValues) {
+  EXPECT_NEAR(elevation_angle_deg(0.0, 300.0), 90.0, 1e-9);
+  EXPECT_NEAR(elevation_angle_deg(300.0, 300.0), 45.0, 1e-9);
+  EXPECT_NEAR(elevation_angle_deg(3000.0, 300.0), 5.71, 0.01);
+}
+
+TEST(ElevationAngle, RejectsBadInputs) {
+  EXPECT_THROW(elevation_angle_deg(10.0, 0.0), ContractError);
+  EXPECT_THROW(elevation_angle_deg(-1.0, 100.0), ContractError);
+}
+
+TEST(LosProbability, MonotoneIncreasingInElevation) {
+  const auto env = urban_environment();
+  double prev = -1.0;
+  for (double theta = 0; theta <= 90; theta += 5) {
+    const double p = los_probability(env, theta);
+    EXPECT_GT(p, prev);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+}
+
+TEST(LosProbability, NearCertainOverhead) {
+  EXPECT_GT(los_probability(urban_environment(), 89.0), 0.99);
+}
+
+TEST(LosProbability, EnvironmentOrdering) {
+  // At a mid elevation, denser environments have lower LoS probability.
+  const double theta = 30.0;
+  EXPECT_GT(los_probability(suburban_environment(), theta),
+            los_probability(urban_environment(), theta));
+  EXPECT_GT(los_probability(urban_environment(), theta),
+            los_probability(dense_urban_environment(), theta));
+  EXPECT_GT(los_probability(dense_urban_environment(), theta),
+            los_probability(highrise_environment(), theta));
+}
+
+TEST(Fspl, KnownValue) {
+  // FSPL at 1 km, 2 GHz: 20·log10(4π·2e9·1000/c) ≈ 98.5 dB.
+  EXPECT_NEAR(free_space_pathloss_db(1000.0, 2e9), 98.46, 0.05);
+}
+
+TEST(Fspl, SixDbPerDoubling) {
+  const double a = free_space_pathloss_db(500.0, 2e9);
+  const double b = free_space_pathloss_db(1000.0, 2e9);
+  EXPECT_NEAR(b - a, 6.0206, 1e-3);
+}
+
+TEST(Fspl, RejectsBadInputs) {
+  EXPECT_THROW(free_space_pathloss_db(0.0, 2e9), ContractError);
+  EXPECT_THROW(free_space_pathloss_db(100.0, 0.0), ContractError);
+}
+
+TEST(A2gPathloss, BetweenLosAndNlosBounds) {
+  const ChannelParams params{};
+  const double h = 300.0, r = 400.0;
+  const double d = std::sqrt(h * h + r * r);
+  const double fspl = free_space_pathloss_db(d, params.carrier_hz);
+  const double pl = a2g_pathloss_db(params, r, h);
+  EXPECT_GE(pl, fspl + params.environment.eta_los_db - 1e-9);
+  EXPECT_LE(pl, fspl + params.environment.eta_nlos_db + 1e-9);
+}
+
+TEST(A2gPathloss, IncreasesWithHorizontalDistance) {
+  const ChannelParams params{};
+  double prev = 0;
+  for (double r = 50; r <= 3000; r += 250) {
+    const double pl = a2g_pathloss_db(params, r, 300.0);
+    EXPECT_GT(pl, prev);
+    prev = pl;
+  }
+}
+
+TEST(U2uPathloss, IsFreeSpace) {
+  const ChannelParams params{};
+  EXPECT_DOUBLE_EQ(u2u_pathloss_db(params, 600.0),
+                   free_space_pathloss_db(600.0, params.carrier_hz));
+}
+
+TEST(LinkBudget, SnrDecreasesWithDistance) {
+  const ChannelParams ch{};
+  const Radio radio{};
+  const Receiver rx{};
+  double prev = 1e30;
+  for (double r = 50; r <= 3000; r += 250) {
+    const double snr = a2g_snr(ch, radio, rx, r, 300.0);
+    EXPECT_LT(snr, prev);
+    EXPECT_GT(snr, 0.0);
+    prev = snr;
+  }
+}
+
+TEST(LinkBudget, MorePowerMoreRate) {
+  const ChannelParams ch{};
+  const Receiver rx{};
+  Radio weak{.tx_power_dbm = 24.0};
+  Radio strong{.tx_power_dbm = 33.0};
+  EXPECT_GT(a2g_rate_bps(ch, strong, rx, 500.0, 300.0),
+            a2g_rate_bps(ch, weak, rx, 500.0, 300.0));
+}
+
+TEST(LinkBudget, PaperScaleRateComfortablyAboveMinimum) {
+  // Defaults: at R_user = 500 m and H = 300 m, the rate must exceed the
+  // 2 kbps minimum by orders of magnitude (the paper treats R_user as the
+  // binding constraint).
+  const ChannelParams ch{};
+  const Radio radio{};
+  const Receiver rx{};
+  EXPECT_GT(a2g_rate_bps(ch, radio, rx, 500.0, 300.0), 1e5);
+}
+
+TEST(ThermalNoise, KnownValue) {
+  // -174 dBm/Hz + 10log10(180e3) ≈ -121.4; +7 dB NF ≈ -114.4 dBm.
+  EXPECT_NEAR(thermal_noise_dbm(180e3, 7.0), -114.45, 0.05);
+}
+
+TEST(ThermalNoise, RejectsBadBandwidth) {
+  EXPECT_THROW(thermal_noise_dbm(0.0, 7.0), ContractError);
+}
+
+TEST(MaxServiceRadius, MonotoneInRateRequirement) {
+  const ChannelParams ch{};
+  const Radio radio{};
+  const Receiver rx{};
+  const double easy = max_service_radius(ch, radio, rx, 300.0, 1e3);
+  const double hard = max_service_radius(ch, radio, rx, 300.0, 1e6);
+  EXPECT_GT(easy, hard);
+  EXPECT_GT(hard, 0.0);
+}
+
+TEST(MaxServiceRadius, BoundaryRateHolds) {
+  const ChannelParams ch{};
+  const Radio radio{};
+  const Receiver rx{};
+  const double min_rate = 5e5;
+  const double radius = max_service_radius(ch, radio, rx, 300.0, min_rate);
+  EXPECT_GE(a2g_rate_bps(ch, radio, rx, radius, 300.0), min_rate);
+  EXPECT_LT(a2g_rate_bps(ch, radio, rx, radius + 1.0, 300.0), min_rate);
+}
+
+TEST(MaxServiceRadius, ImpossibleRequirementGivesZero) {
+  const ChannelParams ch{};
+  const Radio radio{};
+  const Receiver rx{};
+  EXPECT_DOUBLE_EQ(max_service_radius(ch, radio, rx, 300.0, 1e12), 0.0);
+}
+
+TEST(MaxServiceRadius, CapsAtSearchBound) {
+  const ChannelParams ch{};
+  const Radio radio{};
+  const Receiver rx{};
+  EXPECT_DOUBLE_EQ(
+      max_service_radius(ch, radio, rx, 300.0, 1.0, /*max_radius_m=*/500.0),
+      500.0);
+}
+
+TEST(OptimalAltitude, BeatsBracketEdges) {
+  // The optimum altitude's radius should be at least that of both bracket
+  // ends (unimodality sanity).
+  const ChannelParams ch{};
+  const Radio radio{};
+  const Receiver rx{};
+  const double min_rate = 2e6;
+  const double h_star = optimal_altitude(ch, radio, rx, min_rate, 20, 3000);
+  const double r_star = max_service_radius(ch, radio, rx, h_star, min_rate);
+  EXPECT_GE(r_star,
+            max_service_radius(ch, radio, rx, 20.0, min_rate) - 1.0);
+  EXPECT_GE(r_star,
+            max_service_radius(ch, radio, rx, 3000.0, min_rate) - 1.0);
+  EXPECT_GT(h_star, 20.0);
+  EXPECT_LT(h_star, 3000.0);
+}
+
+TEST(OptimalAltitude, DenserEnvironmentPrefersSteeperElevation) {
+  // Al-Hourani's headline result: the *optimal elevation angle* grows with
+  // the environment's NLoS severity (suburban ≈ 20°, highrise ≈ 75°).  The
+  // absolute optimal altitude can shrink because the denser environment's
+  // radius collapses; the angle is the invariant claim.
+  ChannelParams suburban{};
+  suburban.environment = suburban_environment();
+  ChannelParams highrise{};
+  highrise.environment = highrise_environment();
+  const Radio radio{};
+  const Receiver rx{};
+  const double min_rate = 2e6;
+  auto optimal_angle = [&](const ChannelParams& ch) {
+    const double h = optimal_altitude(ch, radio, rx, min_rate);
+    const double r = max_service_radius(ch, radio, rx, h, min_rate);
+    return elevation_angle_deg(r, h);
+  };
+  EXPECT_GT(optimal_angle(highrise), optimal_angle(suburban) + 5.0);
+}
+
+TEST(OptimalAltitude, RejectsBadBracket) {
+  const ChannelParams ch{};
+  const Radio radio{};
+  const Receiver rx{};
+  EXPECT_THROW(optimal_altitude(ch, radio, rx, 1e3, 100.0, 50.0),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace uavcov

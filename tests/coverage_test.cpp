@@ -1,0 +1,164 @@
+// Tests for CoverageModel: eligibility geometry, radio-class grouping,
+// candidate pruning — cross-checked against direct per-pair computation.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "channel/radius.hpp"
+#include "core/coverage.hpp"
+
+namespace uavcov {
+namespace {
+
+Scenario base_scenario() {
+  Scenario sc{
+      .grid = Grid(600, 600, 200),
+      .altitude_m = 100.0,
+      .uav_range_m = 300.0,
+      .channel = {},
+      .receiver = {},
+      .users = {},
+      .fleet = {},
+  };
+  return sc;
+}
+
+TEST(CoverageModel, GroupsIdenticalRadiosIntoOneClass) {
+  Scenario sc = base_scenario();
+  sc.users.push_back({{100, 100}, 1e3});
+  sc.fleet = {{50, Radio{}, 250.0}, {80, Radio{}, 250.0},
+              {120, Radio{}, 250.0}};
+  const CoverageModel cov(sc);
+  EXPECT_EQ(cov.radio_class_count(), 1);
+  for (UavId k = 0; k < 3; ++k) EXPECT_EQ(cov.radio_class_of(k), 0);
+}
+
+TEST(CoverageModel, DistinctRangesMakeDistinctClasses) {
+  Scenario sc = base_scenario();
+  sc.users.push_back({{100, 100}, 1e3});
+  sc.fleet = {{50, Radio{}, 250.0}, {80, Radio{}, 150.0},
+              {60, Radio{}, 250.0}};
+  const CoverageModel cov(sc);
+  EXPECT_EQ(cov.radio_class_count(), 2);
+  EXPECT_EQ(cov.radio_class_of(0), cov.radio_class_of(2));
+  EXPECT_NE(cov.radio_class_of(0), cov.radio_class_of(1));
+}
+
+TEST(CoverageModel, EligibleUsersMatchDirectComputation) {
+  Rng rng(808);
+  Scenario sc = base_scenario();
+  for (int i = 0; i < 60; ++i) {
+    sc.users.push_back(
+        {{rng.uniform(0, 600), rng.uniform(0, 600)}, 1e3});
+  }
+  sc.fleet = {{50, Radio{}, 250.0},
+              {80, Radio{.tx_power_dbm = 33.0, .antenna_gain_dbi = 5.0},
+               150.0}};
+  const CoverageModel cov(sc);
+  for (LocationId v = 0; v < sc.grid.size(); ++v) {
+    for (UavId k = 0; k < sc.uav_count(); ++k) {
+      const std::int32_t cls = cov.radio_class_of(k);
+      const auto eligible = cov.eligible_users(v, cls);
+      std::vector<UserId> expected;
+      for (UserId u = 0; u < sc.user_count(); ++u) {
+        if (cov.is_eligible(sc, u, v, k)) expected.push_back(u);
+      }
+      EXPECT_EQ(std::vector<UserId>(eligible.begin(), eligible.end()),
+                expected)
+          << "v=" << v << " k=" << k;
+    }
+  }
+}
+
+TEST(CoverageModel, RateRequirementShrinksTheDisc) {
+  Scenario sc = base_scenario();
+  // One user with a demanding rate: its eligibility radius must follow the
+  // rate curve rather than R_user.  Pick a rate whose radius bites inside
+  // R_user = 250 m (the exact value depends on the channel constants).
+  const Radio radio{};
+  double min_rate = 0.0, rate_radius = 0.0;
+  for (double rate : {1e6, 2e6, 3e6, 4e6, 5e6, 6e6}) {
+    const double r = max_service_radius(sc.channel, radio, sc.receiver,
+                                        sc.altitude_m, rate);
+    if (r > 20.0 && r < 240.0) {
+      min_rate = rate;
+      rate_radius = r;
+      break;
+    }
+  }
+  ASSERT_GT(min_rate, 0.0) << "no rate bound the disc; adjust constants";
+  sc.users.push_back({{300, 300}, min_rate});
+  sc.fleet = {{10, radio, 250.0}};
+  const CoverageModel cov(sc);
+  for (LocationId v = 0; v < sc.grid.size(); ++v) {
+    const bool eligible = !cov.eligible_users(v, 0).empty();
+    const double d = distance(sc.grid.center(v), {300, 300});
+    if (d <= rate_radius - 1.0) EXPECT_TRUE(eligible) << "v=" << v;
+    if (d > rate_radius + 1.0) EXPECT_FALSE(eligible) << "v=" << v;
+  }
+}
+
+TEST(CoverageModel, MaxCoverageIsMaxOverClasses) {
+  Scenario sc = base_scenario();
+  sc.users.push_back({{100, 100}, 1e3});
+  sc.users.push_back({{260, 100}, 1e3});
+  sc.fleet = {{50, Radio{}, 80.0}, {50, Radio{}, 250.0}};
+  const CoverageModel cov(sc);
+  // Cell (0,0) center (100,100): short class covers 1, long covers 2.
+  EXPECT_EQ(cov.max_coverage(sc.grid.id_of(0, 0)), 2);
+}
+
+TEST(CoverageModel, CandidateLocationsPruneAndCap) {
+  Scenario sc = base_scenario();
+  // All users piled near one corner.
+  for (int i = 0; i < 5; ++i) sc.users.push_back({{90.0 + i, 100}, 1e3});
+  sc.fleet = {{50, Radio{}, 150.0}};
+  const CoverageModel cov(sc);
+  const auto all = cov.candidate_locations();
+  for (LocationId v : all) EXPECT_GT(cov.max_coverage(v), 0);
+  EXPECT_LT(all.size(), static_cast<std::size_t>(sc.grid.size()));
+  const auto capped = cov.candidate_locations(1);
+  ASSERT_EQ(capped.size(), 1u);
+  EXPECT_EQ(cov.max_coverage(capped[0]), 5);
+}
+
+TEST(CoverageModel, NoUsersMeansNoCandidates) {
+  Scenario sc = base_scenario();
+  sc.fleet = {{50, Radio{}, 250.0}};
+  const CoverageModel cov(sc);
+  EXPECT_TRUE(cov.candidate_locations().empty());
+}
+
+TEST(Scenario, ValidateRejectsBadInstances) {
+  {
+    Scenario sc = base_scenario();
+    EXPECT_THROW(sc.validate(), ContractError);  // empty fleet
+  }
+  {
+    Scenario sc = base_scenario();
+    sc.fleet = {{0, Radio{}, 250.0}};  // zero capacity
+    EXPECT_THROW(sc.validate(), ContractError);
+  }
+  {
+    Scenario sc = base_scenario();
+    sc.fleet = {{10, Radio{}, 400.0}};  // R_user > R_uav
+    EXPECT_THROW(sc.validate(), ContractError);
+  }
+  {
+    Scenario sc = base_scenario();
+    sc.fleet = {{10, Radio{}, 250.0}};
+    sc.users.push_back({{700, 100}, 1e3});  // outside area
+    EXPECT_THROW(sc.validate(), ContractError);
+  }
+}
+
+TEST(Scenario, CapacityOrderAndTotals) {
+  Scenario sc = base_scenario();
+  sc.fleet = {{100, Radio{}, 250.0}, {300, Radio{}, 250.0},
+              {200, Radio{}, 250.0}, {300, Radio{}, 250.0}};
+  EXPECT_EQ(sc.total_capacity(), 900);
+  const auto order = sc.uavs_by_capacity_desc();
+  EXPECT_EQ(order, (std::vector<UavId>{1, 3, 2, 0}));  // stable on ties
+}
+
+}  // namespace
+}  // namespace uavcov

@@ -1,0 +1,138 @@
+// Tests for the energy/endurance substrate.
+#include <gtest/gtest.h>
+
+#include "core/appro_alg.hpp"
+#include "energy/power.hpp"
+#include "workload/scenario_gen.hpp"
+
+namespace uavcov::energy {
+namespace {
+
+TEST(HoverPower, PlausibleForM300Class) {
+  // A loaded M300-class airframe hovers on roughly 1–2 kW.
+  const Airframe m300;
+  const double p = hover_power_w(m300);
+  EXPECT_GT(p, 800.0);
+  EXPECT_LT(p, 2500.0);
+}
+
+TEST(HoverPower, GrowsWithPayloadSuperlinearly) {
+  Airframe clean;
+  clean.payload_kg = 0.0;
+  Airframe loaded = clean;
+  loaded.payload_kg = 2.7;
+  const double p0 = hover_power_w(clean);
+  const double p1 = hover_power_w(loaded);
+  // (m+Δ)^{3/2} growth: more than proportional to the mass increase.
+  const double mass_ratio = (clean.mass_kg + 2.7) / clean.mass_kg;
+  EXPECT_GT(p1 / p0, mass_ratio);
+}
+
+TEST(HoverPower, BiggerDiscIsCheaper) {
+  Airframe small;
+  Airframe big = small;
+  big.rotor_disc_area_m2 = 2 * small.rotor_disc_area_m2;
+  EXPECT_LT(hover_power_w(big), hover_power_w(small));
+}
+
+TEST(HoverPower, Contracts) {
+  Airframe bad;
+  bad.mass_kg = 0;
+  EXPECT_THROW(hover_power_w(bad), ContractError);
+  bad = {};
+  bad.propulsive_efficiency = 1.5;
+  EXPECT_THROW(hover_power_w(bad), ContractError);
+  bad = {};
+  bad.battery_wh = 0;
+  EXPECT_THROW(endurance_s(bad), ContractError);
+}
+
+TEST(Endurance, PlausibleForM300Class) {
+  // Loaded M300-class endurance lands in the 15–40 minute range.
+  const Airframe m300;
+  const double t = endurance_s(m300);
+  EXPECT_GT(t, 15 * 60.0);
+  EXPECT_LT(t, 40 * 60.0);
+}
+
+TEST(Endurance, UnloadedFliesLonger) {
+  Airframe loaded;
+  Airframe clean = loaded;
+  clean.payload_kg = 0.0;
+  clean.basestation_w = 0.0;
+  EXPECT_GT(endurance_s(clean), endurance_s(loaded));
+}
+
+TEST(EnduranceReport, FindsTheLimitingUav) {
+  Solution sol;
+  sol.deployments = {{0, 0}, {1, 1}, {2, 2}};
+  std::vector<Airframe> airframes(3);
+  airframes[1].battery_wh = 200.0;  // the weak battery
+  const auto report = endurance_report(sol, airframes, /*mission_s=*/60.0);
+  ASSERT_EQ(report.per_uav_endurance_s.size(), 3u);
+  EXPECT_EQ(report.limiting_deployment, 1);
+  EXPECT_DOUBLE_EQ(report.network_lifetime_s,
+                   report.per_uav_endurance_s[1]);
+  EXPECT_TRUE(report.infeasible.empty());
+}
+
+TEST(EnduranceReport, FlagsInfeasibleMissions) {
+  Solution sol;
+  sol.deployments = {{0, 0}};
+  const std::vector<Airframe> airframes(1);
+  const double endurance = endurance_s(airframes[0]);
+  const auto ok = endurance_report(sol, airframes, endurance * 0.9);
+  EXPECT_TRUE(ok.infeasible.empty());
+  const auto too_long = endurance_report(sol, airframes, endurance * 1.1);
+  ASSERT_EQ(too_long.infeasible.size(), 1u);
+  EXPECT_EQ(too_long.infeasible[0], 0);
+}
+
+TEST(EnduranceReport, EmptyDeploymentHasZeroLifetime) {
+  const auto report = endurance_report(Solution{}, {}, 60.0);
+  EXPECT_EQ(report.network_lifetime_s, 0.0);
+  EXPECT_EQ(report.limiting_deployment, -1);
+}
+
+TEST(EnduranceReport, MissingAirframeRejected) {
+  Solution sol;
+  sol.deployments = {{2, 0}};
+  const std::vector<Airframe> airframes(2);  // UAV 2 undescribed
+  EXPECT_THROW(endurance_report(sol, airframes, 60.0), ContractError);
+}
+
+TEST(AirframesForFleet, SplitsByCapacityThreshold) {
+  Rng rng(4);
+  workload::ScenarioConfig config;
+  config.user_count = 10;
+  config.fleet.uav_count = 30;
+  const Scenario sc = workload::make_disaster_scenario(config, rng);
+  const auto airframes = airframes_for_fleet(sc, 200);
+  ASSERT_EQ(airframes.size(), 30u);
+  for (std::size_t k = 0; k < airframes.size(); ++k) {
+    if (sc.fleet[k].capacity >= 200) {
+      EXPECT_GT(airframes[k].payload_kg, 4.0) << "heavy airframe expected";
+    } else {
+      EXPECT_LT(airframes[k].payload_kg, 4.0) << "light airframe expected";
+    }
+  }
+}
+
+TEST(EndToEnd, DeploymentEnduranceAudit) {
+  Rng rng(9);
+  workload::ScenarioConfig config;
+  config.user_count = 150;
+  config.fleet.uav_count = 8;
+  const Scenario sc = workload::make_disaster_scenario(config, rng);
+  ApproAlgParams params;
+  params.s = 1;
+  params.candidate_cap = 20;
+  const Solution sol = appro_alg(sc, params);
+  const auto report = endurance_report(
+      sol, airframes_for_fleet(sc), /*mission_s=*/10 * 60.0);
+  EXPECT_EQ(report.per_uav_endurance_s.size(), sol.deployments.size());
+  EXPECT_GT(report.network_lifetime_s, 10 * 60.0);  // 10 min is easy
+}
+
+}  // namespace
+}  // namespace uavcov::energy

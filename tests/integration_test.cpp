@@ -1,0 +1,180 @@
+// End-to-end integration tests: the paper's qualitative claims on
+// structured scenarios where the expected outcome is known by design.
+#include <gtest/gtest.h>
+
+#include "baselines/max_throughput.hpp"
+#include "baselines/mcs.hpp"
+#include "common/rng.hpp"
+#include "core/appro_alg.hpp"
+#include "eval/experiment.hpp"
+#include "workload/distributions.hpp"
+
+namespace uavcov {
+namespace {
+
+/// Two dense user pockets, heterogeneous fleet with two big UAVs and
+/// several tiny relays — the paper's motivating shape (§I): a good
+/// algorithm must put the big UAVs over the pockets and spend the small
+/// ones on the relay chain between them.
+Scenario two_pocket_scenario() {
+  // Pocket centers 500 m apart = 5 hops at R_uav = 150 m; with K = 14 the
+  // segment plan (L_max = 8, h_max = 2) admits pocket-seeded subsets whose
+  // stitched bridge (4 relays) still fits the fleet.
+  Scenario sc{
+      .grid = Grid(800, 300, 100),
+      .altitude_m = 60.0,
+      .uav_range_m = 150.0,
+      .channel = {},
+      .receiver = {},
+      .users = {},
+      .fleet = {},
+  };
+  Rng rng(1234);
+  const std::vector<workload::Hotspot> spots = {{{150, 150}, 60.0, 1.0},
+                                                {{650, 150}, 60.0, 1.0}};
+  for (const Vec2& p :
+       workload::hotspot_positions(40, 800, 300, spots, 0.0, rng)) {
+    sc.users.push_back({p, 1e3});
+  }
+  // 2 big UAVs + 12 tiny ones (capacity 1, mostly relay material).
+  sc.fleet.push_back({20, Radio{}, 120.0});
+  sc.fleet.push_back({20, Radio{}, 120.0});
+  for (int i = 0; i < 12; ++i) sc.fleet.push_back({1, Radio{}, 120.0});
+  return sc;
+}
+
+TEST(Integration, BigUavsLandOnThePockets) {
+  const Scenario sc = two_pocket_scenario();
+  const CoverageModel cov(sc);
+  ApproAlgParams params;
+  params.s = 2;
+  const Solution sol = appro_alg(sc, cov, params);
+  validate_solution(sc, cov, sol);
+  // Both pockets hold 20 users; two capacity-20 UAVs + relays can serve
+  // nearly everyone.  Demand a strong majority.
+  EXPECT_GE(sol.served, 30);
+  // The two capacity-20 UAVs must be the ones serving the pockets: check
+  // each big UAV carries more load than any tiny one.
+  std::int64_t min_big = 1'000'000, max_small = -1;
+  for (std::size_t d = 0; d < sol.deployments.size(); ++d) {
+    const auto load = sol.load_of(static_cast<std::int32_t>(d));
+    if (sc.fleet[static_cast<std::size_t>(sol.deployments[d].uav)].capacity ==
+        20) {
+      min_big = std::min(min_big, load);
+    } else {
+      max_small = std::max(max_small, load);
+    }
+  }
+  EXPECT_GT(min_big, max_small);
+}
+
+TEST(Integration, HeterogeneityAwareBeatsCapacityBlindBaselines) {
+  // On the two-pocket instance the capacity-blind baselines place UAVs on
+  // cells in input order, so a tiny UAV can end up over a pocket.
+  const Scenario sc = two_pocket_scenario();
+  const CoverageModel cov(sc);
+  ApproAlgParams params;
+  params.s = 2;
+  const Solution ours = appro_alg(sc, cov, params);
+  const Solution mcs = baselines::mcs(sc, cov);
+  const Solution mtp = baselines::max_throughput(sc, cov);
+  validate_solution(sc, cov, mcs);
+  validate_solution(sc, cov, mtp);
+  EXPECT_GE(ours.served, mcs.served);
+  EXPECT_GE(ours.served, mtp.served);
+}
+
+TEST(Integration, ConnectivityForcedAcrossTheGap) {
+  // Solutions covering both pockets must bridge the 900 m gap with the
+  // relay chain — verify the deployed network is connected with deployments
+  // in both halves.
+  const Scenario sc = two_pocket_scenario();
+  const CoverageModel cov(sc);
+  ApproAlgParams params;
+  params.s = 2;
+  const Solution sol = appro_alg(sc, cov, params);
+  if (sol.served > 25) {  // both pockets covered
+    bool left = false, right = false;
+    for (const Deployment& d : sol.deployments) {
+      const double x = sc.grid.center(d.loc).x;
+      left |= x < 300;
+      right |= x > 500;
+    }
+    EXPECT_TRUE(left && right);
+    EXPECT_TRUE(deployments_connected(sc, sol.deployments));
+  }
+}
+
+TEST(Integration, MoreUavsNeverHurt) {
+  // Served users should be nondecreasing in K on a fixed scenario (the
+  // solver can always ignore extras... it deploys them, but extra capacity
+  // never reduces the optimal assignment).
+  Rng rng(555);
+  Scenario sc{
+      .grid = Grid(800, 800, 100),
+      .altitude_m = 60.0,
+      .uav_range_m = 150.0,
+      .channel = {},
+      .receiver = {},
+      .users = {},
+      .fleet = {},
+  };
+  for (int i = 0; i < 50; ++i) {
+    sc.users.push_back(
+        {{rng.uniform(0, 800), rng.uniform(0, 800)}, 1e3});
+  }
+  std::int64_t prev = -1;
+  for (std::int32_t K = 2; K <= 6; K += 2) {
+    sc.fleet.assign(static_cast<std::size_t>(K), {4, Radio{}, 120.0});
+    const CoverageModel cov(sc);
+    ApproAlgParams params;
+    params.s = 1;
+    const Solution sol = appro_alg(sc, cov, params);
+    validate_solution(sc, cov, sol);
+    EXPECT_GE(sol.served, prev) << "K = " << K;
+    prev = sol.served;
+  }
+}
+
+TEST(Integration, SWeepImprovesOrTies) {
+  // Fig. 6(a)'s qualitative claim: larger s never hurts approAlg much;
+  // assert monotone-or-close (within 10%) on a clustered instance.
+  Rng rng(31415);
+  Scenario sc{
+      .grid = Grid(1000, 1000, 100),
+      .altitude_m = 60.0,
+      .uav_range_m = 150.0,
+      .channel = {},
+      .receiver = {},
+      .users = {},
+      .fleet = {},
+  };
+  const std::vector<workload::Hotspot> spots = {
+      {{200, 200}, 80.0, 2.0}, {{800, 300}, 80.0, 1.0},
+      {{500, 800}, 80.0, 1.0}};
+  for (const Vec2& p :
+       workload::hotspot_positions(60, 1000, 1000, spots, 0.1, rng)) {
+    sc.users.push_back({p, 1e3});
+  }
+  for (int k = 0; k < 8; ++k) {
+    sc.fleet.push_back(
+        {2 + static_cast<std::int32_t>(rng.next_below(6)), Radio{}, 120.0});
+  }
+  const CoverageModel cov(sc);
+  std::int64_t s1 = 0;
+  for (std::int32_t s = 1; s <= 2; ++s) {
+    ApproAlgParams params;
+    params.s = s;
+    const Solution sol = appro_alg(sc, cov, params);
+    validate_solution(sc, cov, sol);
+    if (s == 1) {
+      s1 = sol.served;
+    } else {
+      EXPECT_GE(sol.served * 10, s1 * 9)
+          << "s=2 should not collapse below 90% of s=1";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uavcov

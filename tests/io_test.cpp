@@ -1,0 +1,141 @@
+// Tests for the io module: save/load round trips, format robustness.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/appro_alg.hpp"
+#include "io/serialize.hpp"
+#include "workload/scenario_gen.hpp"
+
+namespace uavcov {
+namespace {
+
+Scenario sample_scenario() {
+  Rng rng(314);
+  workload::ScenarioConfig config;
+  config.width_m = 1200;
+  config.height_m = 900;
+  config.cell_side_m = 300;
+  config.user_count = 40;
+  config.fleet.uav_count = 5;
+  config.fleet.heavy_fraction = 0.4;  // exercise two radio classes
+  return workload::make_disaster_scenario(config, rng);
+}
+
+TEST(ScenarioIo, RoundTripIsExact) {
+  const Scenario original = sample_scenario();
+  std::stringstream buffer;
+  io::save_scenario(buffer, original);
+  const Scenario loaded = io::load_scenario(buffer);
+
+  EXPECT_EQ(loaded.grid.size(), original.grid.size());
+  EXPECT_EQ(loaded.grid.cell_side(), original.grid.cell_side());
+  EXPECT_EQ(loaded.altitude_m, original.altitude_m);
+  EXPECT_EQ(loaded.uav_range_m, original.uav_range_m);
+  EXPECT_EQ(loaded.channel.carrier_hz, original.channel.carrier_hz);
+  EXPECT_EQ(loaded.receiver.noise_dbm, original.receiver.noise_dbm);
+  ASSERT_EQ(loaded.users.size(), original.users.size());
+  for (std::size_t i = 0; i < loaded.users.size(); ++i) {
+    EXPECT_EQ(loaded.users[i].pos, original.users[i].pos);
+    EXPECT_EQ(loaded.users[i].min_rate_bps, original.users[i].min_rate_bps);
+  }
+  ASSERT_EQ(loaded.fleet.size(), original.fleet.size());
+  for (std::size_t k = 0; k < loaded.fleet.size(); ++k) {
+    EXPECT_EQ(loaded.fleet[k].capacity, original.fleet[k].capacity);
+    EXPECT_EQ(loaded.fleet[k].radio.tx_power_dbm,
+              original.fleet[k].radio.tx_power_dbm);
+    EXPECT_EQ(loaded.fleet[k].user_range_m, original.fleet[k].user_range_m);
+  }
+}
+
+TEST(ScenarioIo, LoadedScenarioSolvesIdentically) {
+  const Scenario original = sample_scenario();
+  std::stringstream buffer;
+  io::save_scenario(buffer, original);
+  const Scenario loaded = io::load_scenario(buffer);
+  ApproAlgParams params;
+  params.s = 1;
+  EXPECT_EQ(appro_alg(original, params).served,
+            appro_alg(loaded, params).served);
+}
+
+TEST(ScenarioIo, FileRoundTrip) {
+  const std::string path = testing::TempDir() + "/uavcov_scenario.txt";
+  const Scenario original = sample_scenario();
+  io::save_scenario_file(path, original);
+  const Scenario loaded = io::load_scenario_file(path);
+  EXPECT_EQ(loaded.users.size(), original.users.size());
+}
+
+TEST(ScenarioIo, CommentsAndBlankLinesIgnored) {
+  const Scenario original = sample_scenario();
+  std::stringstream buffer;
+  io::save_scenario(buffer, original);
+  std::string text = buffer.str();
+  text.insert(text.find('\n') + 1, "\n# a comment\n   \n");
+  std::stringstream patched(text);
+  EXPECT_NO_THROW(io::load_scenario(patched));
+}
+
+TEST(ScenarioIo, RejectsBadHeader) {
+  std::stringstream bad("not-a-scenario v1\narea 100 100 100\n");
+  EXPECT_THROW(io::load_scenario(bad), ContractError);
+  std::stringstream wrong_version("uavcov-scenario v2\narea 100 100 100\n");
+  EXPECT_THROW(io::load_scenario(wrong_version), ContractError);
+  std::stringstream empty("");
+  EXPECT_THROW(io::load_scenario(empty), ContractError);
+}
+
+TEST(ScenarioIo, RejectsUnknownRecordAndMalformedNumbers) {
+  std::stringstream unknown(
+      "uavcov-scenario v1\narea 300 300 100\nbogus 1 2 3\n");
+  EXPECT_THROW(io::load_scenario(unknown), ContractError);
+  std::stringstream bad_number(
+      "uavcov-scenario v1\narea 300 300 abc\n");
+  EXPECT_THROW(io::load_scenario(bad_number), ContractError);
+}
+
+TEST(ScenarioIo, RejectsInvalidLoadedScenario) {
+  // Syntactically fine but no fleet → Scenario::validate must fire.
+  std::stringstream no_fleet(
+      "uavcov-scenario v1\narea 300 300 100\nuser 50 50 1000\n");
+  EXPECT_THROW(io::load_scenario(no_fleet), ContractError);
+}
+
+TEST(SolutionIo, RoundTripIsExact) {
+  const Scenario sc = sample_scenario();
+  ApproAlgParams params;
+  params.s = 1;
+  const Solution original = appro_alg(sc, params);
+  std::stringstream buffer;
+  io::save_solution(buffer, original);
+  const Solution loaded = io::load_solution(buffer, sc.user_count());
+  EXPECT_EQ(loaded.algorithm, original.algorithm);
+  EXPECT_EQ(loaded.served, original.served);
+  EXPECT_EQ(loaded.deployments, original.deployments);
+  EXPECT_EQ(loaded.user_to_deployment, original.user_to_deployment);
+  // The loaded solution still passes the full §II-C audit.
+  const CoverageModel cov(sc);
+  EXPECT_NO_THROW(validate_solution(sc, cov, loaded));
+}
+
+TEST(SolutionIo, AssignmentOutOfRangeRejected) {
+  std::stringstream bad(
+      "uavcov-solution v1\nalgorithm x\nserved 1\nassignment 99 0\n");
+  EXPECT_THROW(io::load_solution(bad, 10), ContractError);
+}
+
+TEST(SolutionIo, EmptySolutionRoundTrip) {
+  Solution empty;
+  empty.algorithm = "none";
+  empty.user_to_deployment.assign(7, -1);
+  std::stringstream buffer;
+  io::save_solution(buffer, empty);
+  const Solution loaded = io::load_solution(buffer, 7);
+  EXPECT_EQ(loaded.served, 0);
+  EXPECT_TRUE(loaded.deployments.empty());
+  EXPECT_EQ(loaded.user_to_deployment, empty.user_to_deployment);
+}
+
+}  // namespace
+}  // namespace uavcov

@@ -1,0 +1,156 @@
+// Tests for articulation points and the solution metrics module.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "core/appro_alg.hpp"
+#include "eval/metrics.hpp"
+#include "graph/articulation.hpp"
+#include "workload/scenario_gen.hpp"
+
+namespace uavcov {
+namespace {
+
+TEST(Articulation, LineGraphInteriorNodes) {
+  // 0-1-2-3: nodes 1 and 2 are cut vertices.
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}});
+  EXPECT_EQ(articulation_points(g), (std::vector<NodeId>{1, 2}));
+}
+
+TEST(Articulation, CycleHasNone) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  EXPECT_TRUE(articulation_points(g).empty());
+}
+
+TEST(Articulation, StarCenter) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_EQ(articulation_points(g), (std::vector<NodeId>{0}));
+}
+
+TEST(Articulation, BridgeBetweenTriangles) {
+  // Two triangles joined through node 2-3 bridge: both endpoints are cut.
+  const Graph g = Graph::from_edges(
+      6, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {4, 5}, {3, 5}});
+  EXPECT_EQ(articulation_points(g), (std::vector<NodeId>{2, 3}));
+}
+
+TEST(Articulation, DisconnectedGraphHandled) {
+  const Graph g = Graph::from_edges(5, {{0, 1}, {1, 2}, {3, 4}});
+  EXPECT_EQ(articulation_points(g), (std::vector<NodeId>{1}));
+}
+
+class ArticulationRandom : public testing::TestWithParam<int> {};
+
+TEST_P(ArticulationRandom, MatchesBruteForce) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 41 + 9);
+  const NodeId n = 3 + static_cast<NodeId>(rng.next_below(12));
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.chance(0.3)) edges.emplace_back(u, v);
+    }
+  }
+  const Graph g = Graph::from_edges(n, edges);
+  const auto fast = articulation_points(g);
+  for (NodeId v = 0; v < n; ++v) {
+    const bool expected = is_articulation_point_brute_force(g, v);
+    const bool actual = std::binary_search(fast.begin(), fast.end(), v);
+    EXPECT_EQ(actual, expected) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArticulationRandom, testing::Range(0, 20));
+
+TEST(JainFairness, KnownValues) {
+  using eval::jain_fairness;
+  EXPECT_DOUBLE_EQ(jain_fairness({1, 1, 1, 1}), 1.0);
+  EXPECT_NEAR(jain_fairness({1, 0, 0, 0}), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 0.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({0, 0}), 1.0);
+  EXPECT_NEAR(jain_fairness({2, 4}), 0.9, 1e-12);  // 36/(2*20)
+}
+
+TEST(Metrics, EndToEndOnSolvedScenario) {
+  Rng rng(21);
+  workload::ScenarioConfig config;
+  config.width_m = 1500;
+  config.height_m = 1500;
+  config.cell_side_m = 300;
+  config.user_count = 120;
+  config.fleet.uav_count = 6;
+  config.fleet.capacity_min = 10;
+  config.fleet.capacity_max = 50;
+  const Scenario sc = workload::make_disaster_scenario(config, rng);
+  const CoverageModel cov(sc);
+  ApproAlgParams params;
+  params.s = 2;
+  const Solution sol = appro_alg(sc, cov, params);
+
+  const auto metrics = eval::compute_metrics(sc, cov, sol);
+  EXPECT_EQ(metrics.served, sol.served);
+  EXPECT_NEAR(metrics.coverage_fraction,
+              static_cast<double>(sol.served) / 120.0, 1e-12);
+  EXPECT_GT(metrics.capacity_utilization, 0.0);
+  EXPECT_LE(metrics.capacity_utilization, 1.0 + 1e-12);
+  EXPECT_GT(metrics.load_fairness, 0.0);
+  EXPECT_LE(metrics.load_fairness, 1.0 + 1e-12);
+  EXPECT_GT(metrics.mean_user_rate_bps, metrics.min_user_rate_bps * 0.999);
+  EXPECT_GE(metrics.min_user_rate_bps, 1e3);  // every served user's r_min
+  EXPECT_EQ(metrics.deployed_uavs,
+            static_cast<std::int32_t>(sol.deployments.size()));
+  EXPECT_GE(metrics.relay_only_uavs, 0);
+  // Critical UAVs must be actual fleet members.
+  for (UavId k : metrics.critical_uavs) {
+    EXPECT_GE(k, 0);
+    EXPECT_LT(k, sc.uav_count());
+  }
+}
+
+TEST(Metrics, ChainDeploymentIsFragile) {
+  // Straight relay chain: every interior UAV is critical.
+  Scenario sc{
+      .grid = Grid(500, 100, 100),
+      .altitude_m = 60.0,
+      .uav_range_m = 150.0,
+      .channel = {},
+      .receiver = {},
+      .users = {{{50, 50}, 1e3}, {{450, 50}, 1e3}},
+      .fleet = {{2, Radio{}, 120.0},
+                {2, Radio{}, 120.0},
+                {2, Radio{}, 120.0},
+                {2, Radio{}, 120.0},
+                {2, Radio{}, 120.0}},
+  };
+  const CoverageModel cov(sc);
+  Solution sol;
+  sol.algorithm = "chain";
+  sol.deployments = {{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 4}};
+  sol.user_to_deployment = {0, 4};
+  sol.served = 2;
+  const auto metrics = eval::compute_metrics(sc, cov, sol);
+  EXPECT_EQ(metrics.critical_uavs.size(), 3u);  // UAVs 1, 2, 3
+  EXPECT_EQ(metrics.relay_only_uavs, 3);
+}
+
+TEST(Metrics, EmptySolution) {
+  Scenario sc{
+      .grid = Grid(300, 300, 100),
+      .altitude_m = 60.0,
+      .uav_range_m = 150.0,
+      .channel = {},
+      .receiver = {},
+      .users = {{{50, 50}, 1e3}},
+      .fleet = {{2, Radio{}, 120.0}},
+  };
+  const CoverageModel cov(sc);
+  Solution empty;
+  empty.user_to_deployment = {-1};
+  const auto metrics = eval::compute_metrics(sc, cov, empty);
+  EXPECT_EQ(metrics.served, 0);
+  EXPECT_EQ(metrics.deployed_uavs, 0);
+  EXPECT_TRUE(metrics.critical_uavs.empty());
+}
+
+}  // namespace
+}  // namespace uavcov

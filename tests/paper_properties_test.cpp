@@ -1,0 +1,179 @@
+// Property tests for the paper's mathematical claims, checked empirically
+// on randomized instances:
+//   * the coverage function f(A) (users served by a set of (uav, loc)
+//     pairs, §III-B) is monotone and submodular;
+//   * Lemma 2: any M2-independent set containing the seeds stitches into
+//     a connected subgraph of at most g(L, p) nodes — provided consecutive
+//     seeds are within their planned segment budgets;
+//   * Lemma 1: the assignment subroutine is optimal (covered elsewhere) and
+//     its value never exceeds min(n, total capacity).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "core/assignment.hpp"
+#include "core/matroid.hpp"
+#include "core/relay.hpp"
+#include "core/segment_plan.hpp"
+#include "graph/bfs.hpp"
+
+namespace uavcov {
+namespace {
+
+Scenario random_scenario(Rng& rng, std::int32_t cells_x,
+                         std::int32_t cells_y, std::int32_t users,
+                         std::vector<std::int32_t> capacities) {
+  Scenario sc{
+      .grid = Grid(cells_x * 100.0, cells_y * 100.0, 100.0),
+      .altitude_m = 60.0,
+      .uav_range_m = 150.0,
+      .channel = {},
+      .receiver = {},
+      .users = {},
+      .fleet = {},
+  };
+  for (std::int32_t i = 0; i < users; ++i) {
+    sc.users.push_back({{rng.uniform(0, cells_x * 100.0),
+                         rng.uniform(0, cells_y * 100.0)},
+                        1e3});
+  }
+  for (std::int32_t c : capacities) sc.fleet.push_back({c, Radio{}, 120.0});
+  return sc;
+}
+
+/// f(A) of §III-B: users served by the deployments in A (optimal
+/// assignment value).
+std::int64_t coverage_value(const Scenario& sc, const CoverageModel& cov,
+                            const std::vector<Deployment>& a) {
+  return solve_assignment(sc, cov, a).served;
+}
+
+class CoverageFunctionProperties : public testing::TestWithParam<int> {};
+
+TEST_P(CoverageFunctionProperties, MonotoneAndSubmodular) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 131 + 17);
+  const Scenario sc = random_scenario(rng, 4, 3, 15, {2, 3, 1, 2, 3});
+  const CoverageModel cov(sc);
+
+  // Random chain A ⊆ B and an extra element e ∉ B over distinct cells.
+  std::vector<LocationId> cells(static_cast<std::size_t>(sc.grid.size()));
+  std::iota(cells.begin(), cells.end(), 0);
+  rng.shuffle(cells);
+  std::vector<Deployment> b;
+  for (UavId k = 0; k < 4; ++k) {
+    b.push_back({k, cells[static_cast<std::size_t>(k)]});
+  }
+  const Deployment e{4, cells[4]};
+  std::vector<Deployment> a(b.begin(), b.begin() + 2);
+
+  const auto f = [&](std::vector<Deployment> set) {
+    return coverage_value(sc, cov, set);
+  };
+  auto with = [](std::vector<Deployment> set, const Deployment& extra) {
+    set.push_back(extra);
+    return set;
+  };
+
+  // Monotonicity: f(A) <= f(B) and adding e never decreases value.
+  EXPECT_LE(f(a), f(b));
+  EXPECT_GE(f(with(a, e)), f(a));
+  EXPECT_GE(f(with(b, e)), f(b));
+
+  // Submodularity: marginal of e shrinks from A to B.
+  EXPECT_GE(f(with(a, e)) - f(a), f(with(b, e)) - f(b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoverageFunctionProperties,
+                         testing::Range(0, 30));
+
+TEST(CoverageFunctionProperties, ValueBounds) {
+  Rng rng(12);
+  const Scenario sc = random_scenario(rng, 4, 3, 25, {2, 3, 4});
+  const CoverageModel cov(sc);
+  std::vector<Deployment> deps{{0, 0}, {1, 5}, {2, 9}};
+  const auto served = coverage_value(sc, cov, deps);
+  EXPECT_LE(served, sc.total_capacity());
+  EXPECT_LE(served, sc.user_count());
+}
+
+/// Lemma 2, checked constructively: pick a segment plan, pick seeds on a
+/// grid-graph path respecting the p budgets, draw a random M2-independent
+/// superset, stitch, and verify |G_j| <= g(L_max, p*).
+class Lemma2Empirical : public testing::TestWithParam<int> {};
+
+TEST_P(Lemma2Empirical, StitchedSizeWithinBound) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 709 + 3);
+  const std::int32_t K =
+      6 + static_cast<std::int32_t>(rng.next_below(12));
+  const std::int32_t s =
+      1 + static_cast<std::int32_t>(rng.next_below(3));
+  if (s > K) GTEST_SKIP();
+  const SegmentPlan plan = compute_segment_plan(K, s);
+
+  // Location graph: a generous grid so hop geometry is flexible.
+  const Grid grid(3000, 3000, 100);
+  const Graph g = build_location_graph(grid, 150.0);
+
+  // Seeds along one grid row, consecutive seeds separated by at most
+  // (p*_i + 1) hops (the Lemma's precondition: ≤ p_i intermediates).
+  std::vector<NodeId> seeds;
+  std::int32_t col = 0;
+  const std::int32_t row = 10;
+  seeds.push_back(grid.id_of(row, col));
+  for (std::int32_t i = 2; i <= s; ++i) {
+    const auto budget = plan.p[static_cast<std::size_t>(i - 1)];
+    col += 1 + static_cast<std::int32_t>(
+                   rng.next_below(static_cast<std::uint64_t>(budget) + 1));
+    ASSERT_LT(col, grid.cols());
+    seeds.push_back(grid.id_of(row, col));
+  }
+
+  // Random M2-independent superset of the seeds.
+  const auto dist = bfs_distances(g, seeds);
+  HopBudgetMatroid m2(dist, plan.quotas);
+  std::vector<NodeId> chosen = seeds;
+  for (NodeId v : seeds) m2.add(v);
+  std::vector<NodeId> shuffled(static_cast<std::size_t>(g.node_count()));
+  std::iota(shuffled.begin(), shuffled.end(), 0);
+  rng.shuffle(shuffled);
+  for (NodeId v : shuffled) {
+    if (static_cast<std::int32_t>(chosen.size()) >= plan.L_max) break;
+    if (std::find(chosen.begin(), chosen.end(), v) != chosen.end()) continue;
+    if (m2.can_add(v)) {
+      m2.add(v);
+      chosen.push_back(v);
+    }
+  }
+
+  const auto relay = stitch_connected(g, chosen);
+  ASSERT_TRUE(relay.has_value());
+  EXPECT_LE(static_cast<std::int64_t>(relay->nodes.size()),
+            plan.relay_bound)
+      << "K=" << K << " s=" << s << " |V'|=" << chosen.size();
+  EXPECT_LE(plan.relay_bound, K);
+  EXPECT_TRUE(is_induced_subgraph_connected(g, relay->nodes));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Lemma2Empirical, testing::Range(0, 20));
+
+/// Theorem 1 consistency: Algorithm 1's L_max is never worse than the
+/// closed-form L_1 the ratio proof uses (the plan dominates the analysis).
+TEST(Theorem1, PlanDominatesClosedFormL1) {
+  for (std::int32_t s = 1; s <= 4; ++s) {
+    for (std::int32_t K = std::max(2, s); K <= 60; ++K) {
+      const double under = 4.0 * s * K + 4.0 * s * s - 8.5 * s;
+      if (under < 0) continue;
+      const auto l1 =
+          static_cast<std::int64_t>(std::floor(std::sqrt(under))) - 2 * s + 2;
+      if (l1 < static_cast<std::int64_t>(s)) continue;
+      const SegmentPlan plan = compute_segment_plan(K, s);
+      EXPECT_GE(plan.L_max, l1) << "K=" << K << " s=" << s;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uavcov

@@ -1,0 +1,158 @@
+// Tests for user mobility (workload::MobilityModel) and the §II-C
+// re-deployment controller.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include "core/redeploy.hpp"
+#include "workload/mobility.hpp"
+#include "workload/scenario_gen.hpp"
+
+namespace uavcov {
+namespace {
+
+Scenario small_scenario(std::int32_t users = 80, std::int32_t uavs = 5) {
+  Rng rng(42);
+  workload::ScenarioConfig config;
+  config.width_m = 1500;
+  config.height_m = 1500;
+  config.cell_side_m = 300;
+  config.user_count = users;
+  config.fleet.uav_count = uavs;
+  config.fleet.capacity_min = 10;
+  config.fleet.capacity_max = 40;
+  return workload::make_disaster_scenario(config, rng);
+}
+
+TEST(Mobility, UsersStayInsideArea) {
+  Scenario sc = small_scenario();
+  workload::MobilityModel model(sc, {}, 1);
+  for (int step = 0; step < 50; ++step) {
+    model.step(sc, 60.0);
+    EXPECT_NO_THROW(sc.validate());
+  }
+}
+
+TEST(Mobility, DisplacementBoundedBySpeed) {
+  Scenario sc = small_scenario();
+  const auto before = sc.users;
+  workload::MobilityConfig config;
+  config.speed_m_s = 2.0;
+  workload::MobilityModel model(sc, config, 1);
+  model.step(sc, 30.0);  // at most 60 m per user
+  for (std::size_t i = 0; i < sc.users.size(); ++i) {
+    EXPECT_LE(distance(before[i].pos, sc.users[i].pos), 60.0 + 1e-9);
+  }
+  EXPECT_LE(model.total_displacement_m(),
+            60.0 * static_cast<double>(sc.users.size()) + 1e-6);
+  EXPECT_GT(model.total_displacement_m(), 0.0);
+}
+
+TEST(Mobility, DeterministicForSeed) {
+  Scenario a = small_scenario();
+  Scenario b = small_scenario();
+  workload::MobilityModel ma(a, {}, 9);
+  workload::MobilityModel mb(b, {}, 9);
+  for (int step = 0; step < 10; ++step) {
+    ma.step(a, 60.0);
+    mb.step(b, 60.0);
+  }
+  for (std::size_t i = 0; i < a.users.size(); ++i) {
+    EXPECT_EQ(a.users[i].pos, b.users[i].pos);
+  }
+}
+
+TEST(Mobility, RejectsBadConfig) {
+  Scenario sc = small_scenario();
+  workload::MobilityConfig config;
+  config.speed_m_s = 0.0;
+  EXPECT_THROW(workload::MobilityModel(sc, config, 1), ContractError);
+  workload::MobilityModel ok(sc, {}, 1);
+  EXPECT_THROW(ok.step(sc, 0.0), ContractError);
+}
+
+TEST(Mobility, BoundToOneScenario) {
+  Scenario sc = small_scenario();
+  workload::MobilityModel model(sc, {}, 1);
+  Scenario other = small_scenario(10, 2);
+  EXPECT_THROW(model.step(other, 1.0), ContractError);
+}
+
+TEST(Redeploy, FirstUpdateSolvesFromScratch) {
+  Scenario sc = small_scenario();
+  RedeployPolicy policy;
+  policy.appro.s = 1;
+  RedeployController controller(policy);
+  const Solution& sol = controller.update(sc);
+  EXPECT_EQ(controller.full_solves(), 1);
+  EXPECT_GT(sol.served, 0);
+  const CoverageModel cov(sc);
+  validate_solution(sc, cov, sol);
+}
+
+TEST(Redeploy, StablePositionsDoNotRetrigger) {
+  Scenario sc = small_scenario();
+  RedeployPolicy policy;
+  policy.appro.s = 1;
+  RedeployController controller(policy);
+  controller.update(sc);
+  for (int i = 0; i < 5; ++i) controller.update(sc);
+  EXPECT_EQ(controller.full_solves(), 1);
+  EXPECT_DOUBLE_EQ(controller.uav_travel_m(), 0.0);
+}
+
+TEST(Redeploy, MassUserShiftTriggersResolve) {
+  Scenario sc = small_scenario();
+  RedeployPolicy policy;
+  policy.appro.s = 1;
+  policy.degradation_threshold = 0.9;
+  RedeployController controller(policy);
+  const std::int64_t before = controller.update(sc).served;
+  ASSERT_GT(before, 0);
+  // Teleport every user into one far corner pocket: the standing
+  // deployment loses them, the controller must re-solve and recover.
+  Rng rng(5);
+  for (User& u : sc.users) {
+    u.pos = {sc.grid.width() - rng.uniform(0, 120),
+             sc.grid.height() - rng.uniform(0, 120)};
+  }
+  const Solution& after = controller.update(sc);
+  EXPECT_EQ(controller.full_solves(), 2);
+  EXPECT_GT(after.served, before / 2);
+  const CoverageModel cov(sc);
+  validate_solution(sc, cov, after);
+}
+
+TEST(Redeploy, TravelAccountedOnResolve) {
+  Scenario sc = small_scenario();
+  RedeployPolicy policy;
+  policy.appro.s = 1;
+  RedeployController controller(policy);
+  controller.update(sc);
+  for (User& u : sc.users) {
+    u.pos = {sc.grid.width() - u.pos.x, sc.grid.height() - u.pos.y};
+  }
+  controller.update(sc);
+  if (controller.full_solves() == 2) {
+    // UAVs present in both plans moved across the map.
+    EXPECT_GE(controller.uav_travel_m(), 0.0);
+  }
+}
+
+TEST(Redeploy, MobilityEndToEndStaysFeasible) {
+  Scenario sc = small_scenario(120, 6);
+  workload::MobilityModel mobility(sc, {}, 7);
+  RedeployPolicy policy;
+  policy.appro.s = 1;
+  policy.appro.candidate_cap = 15;
+  RedeployController controller(policy);
+  for (int tick = 0; tick < 8; ++tick) {
+    const Solution& sol = controller.update(sc);
+    const CoverageModel cov(sc);
+    validate_solution(sc, cov, sol);
+    mobility.step(sc, 600.0);
+  }
+  EXPECT_GE(controller.full_solves(), 1);
+}
+
+}  // namespace
+}  // namespace uavcov

@@ -1,0 +1,73 @@
+// Golden regression suite: every algorithm's exact served count on a
+// pinned scenario (seed 12345, n = 400, K = 8, s = 2, cap 25).
+//
+// The entire pipeline is deterministic by construction (portable RNG,
+// tie-break rules, no floating-point reductions whose order varies), so
+// any change to these numbers is a *behavioral* change — either a bug or
+// an intentional algorithm improvement.  When intentional, update the
+// constants here and say why in the commit.
+#include <gtest/gtest.h>
+
+#include "core/segment_plan.hpp"
+#include "eval/experiment.hpp"
+
+namespace uavcov {
+namespace {
+
+eval::RunConfig pinned_config() {
+  eval::RunConfig config;
+  config.scenario.user_count = 400;
+  config.scenario.fleet.uav_count = 8;
+  config.appro.s = 2;
+  config.appro.candidate_cap = 25;
+  config.run_random = true;
+  config.seed = 12345;
+  return config;
+}
+
+TEST(Regression, ServedCountsPinned) {
+  const auto results = eval::run_all(pinned_config());
+  ASSERT_EQ(results.size(), 6u);
+  EXPECT_EQ(results[0].name, "approAlg");
+  EXPECT_EQ(results[0].served, 343);
+  EXPECT_EQ(results[1].name, "maxThroughput");
+  EXPECT_EQ(results[1].served, 333);
+  EXPECT_EQ(results[2].name, "MotionCtrl");
+  EXPECT_EQ(results[2].served, 317);
+  EXPECT_EQ(results[3].name, "MCS");
+  EXPECT_EQ(results[3].served, 348);
+  EXPECT_EQ(results[4].name, "GreedyAssign");
+  EXPECT_EQ(results[4].served, 340);
+  EXPECT_EQ(results[5].name, "RandomConnected");
+  EXPECT_EQ(results[5].served, 282);
+}
+
+TEST(Regression, SegmentPlansPinned) {
+  // Algorithm 1 outputs for the evaluation's K = 20 fleet.
+  {
+    const SegmentPlan plan = compute_segment_plan(20, 1);
+    EXPECT_EQ(plan.L_max, 8);
+    EXPECT_EQ(plan.p, (std::vector<std::int64_t>{4, 3}));
+    EXPECT_EQ(plan.h_max, 4);
+    EXPECT_EQ(plan.relay_bound, 17);
+  }
+  {
+    const SegmentPlan plan = compute_segment_plan(20, 2);
+    EXPECT_EQ(plan.L_max, 10);
+    EXPECT_EQ(plan.relay_bound, 18);
+  }
+  {
+    const SegmentPlan plan = compute_segment_plan(20, 3);
+    EXPECT_EQ(plan.L_max, 12);
+    EXPECT_LE(plan.relay_bound, 20);
+  }
+}
+
+TEST(Regression, TheoreticalRatiosPinned) {
+  EXPECT_NEAR(theoretical_approximation_ratio(20, 3), 1.0 / 12.0, 1e-12);
+  EXPECT_NEAR(theoretical_approximation_ratio(20, 1), 1.0 / 15.0, 1e-12);
+  EXPECT_NEAR(theoretical_approximation_ratio(10, 2), 1.0 / 9.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace uavcov

@@ -1,0 +1,115 @@
+// Tests for the relay stitcher (Algorithm 2 lines 13–15).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "core/relay.hpp"
+#include "graph/bfs.hpp"
+
+namespace uavcov {
+namespace {
+
+Graph line_graph(NodeId n) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 1; v < n; ++v) edges.emplace_back(v - 1, v);
+  return Graph::from_edges(n, edges);
+}
+
+TEST(RelayStitch, TrivialSets) {
+  const Graph g = line_graph(5);
+  const auto empty = stitch_connected(g, {});
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->nodes.empty());
+  const NodeId one[] = {3};
+  const auto single = stitch_connected(g, one);
+  ASSERT_TRUE(single.has_value());
+  EXPECT_EQ(single->nodes, (std::vector<NodeId>{3}));
+  EXPECT_EQ(single->relay_count, 0);
+}
+
+TEST(RelayStitch, AdjacentNodesNeedNoRelays) {
+  const Graph g = line_graph(5);
+  const NodeId chosen[] = {1, 2, 3};
+  const auto plan = stitch_connected(g, chosen);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->relay_count, 0);
+  EXPECT_EQ(plan->nodes.size(), 3u);
+}
+
+TEST(RelayStitch, FillsGapsOnALine) {
+  const Graph g = line_graph(7);
+  const NodeId chosen[] = {0, 6};
+  const auto plan = stitch_connected(g, chosen);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->relay_count, 5);
+  std::set<NodeId> nodes(plan->nodes.begin(), plan->nodes.end());
+  EXPECT_EQ(nodes, (std::set<NodeId>{0, 1, 2, 3, 4, 5, 6}));
+  // Chosen nodes come first and keep their order.
+  EXPECT_EQ(plan->nodes[0], 0);
+  EXPECT_EQ(plan->nodes[1], 6);
+}
+
+TEST(RelayStitch, UnreachablePairIsRejected) {
+  const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
+  const NodeId chosen[] = {0, 3};
+  EXPECT_FALSE(stitch_connected(g, chosen).has_value());
+}
+
+TEST(RelayStitch, ResultInducesConnectedSubgraph) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random connected graph: a random tree plus extra edges.
+    const NodeId n = 8 + static_cast<NodeId>(rng.next_below(12));
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    for (NodeId v = 1; v < n; ++v) {
+      edges.emplace_back(
+          static_cast<NodeId>(rng.next_below(static_cast<std::uint64_t>(v))),
+          v);
+    }
+    std::set<std::pair<NodeId, NodeId>> have(edges.begin(), edges.end());
+    for (int extra = 0; extra < n / 2; ++extra) {
+      const auto a = static_cast<NodeId>(rng.next_below(n));
+      const auto b = static_cast<NodeId>(rng.next_below(n));
+      const auto e = std::minmax(a, b);
+      if (a != b && !have.count({e.first, e.second})) {
+        have.insert({e.first, e.second});
+        edges.emplace_back(e.first, e.second);
+      }
+    }
+    const Graph g = Graph::from_edges(n, edges);
+    std::vector<NodeId> chosen;
+    for (NodeId v = 0; v < n; ++v) {
+      if (rng.chance(0.3)) chosen.push_back(v);
+    }
+    if (chosen.empty()) chosen.push_back(0);
+    const auto plan = stitch_connected(g, chosen);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_TRUE(is_induced_subgraph_connected(g, plan->nodes));
+    // Every chosen node is present, no duplicates.
+    std::set<NodeId> unique(plan->nodes.begin(), plan->nodes.end());
+    EXPECT_EQ(unique.size(), plan->nodes.size());
+    for (NodeId c : chosen) EXPECT_TRUE(unique.count(c));
+    EXPECT_EQ(plan->relay_count,
+              static_cast<std::int32_t>(plan->nodes.size() - chosen.size()));
+  }
+}
+
+TEST(RelayStitch, RelayCountIsReasonablyTight) {
+  // Star of paths: center 0, arms of length 3; choosing the three arm tips
+  // needs at most the 2-hop interior of each arm + center = 7 relays...
+  // actually 3 arms × 2 interior + center = 7, total nodes = 10.
+  std::vector<std::pair<NodeId, NodeId>> edges = {
+      {0, 1}, {1, 2}, {2, 3},    // arm A: tip 3
+      {0, 4}, {4, 5}, {5, 6},    // arm B: tip 6
+      {0, 7}, {7, 8}, {8, 9}};   // arm C: tip 9
+  const Graph g = Graph::from_edges(10, edges);
+  const NodeId chosen[] = {3, 6, 9};
+  const auto plan = stitch_connected(g, chosen);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->nodes.size(), 10u);
+  EXPECT_EQ(plan->relay_count, 7);
+}
+
+}  // namespace
+}  // namespace uavcov

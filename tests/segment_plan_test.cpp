@@ -1,0 +1,175 @@
+// Tests for Algorithm 1 (segment planning): Eq. (1) quotas, Eq. (2) relay
+// bound, balanced-profile optimality vs brute force, and Theorem 1's ratio.
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "core/segment_plan.hpp"
+
+namespace uavcov {
+namespace {
+
+TEST(RelayUpperBound, SeedOnly) {
+  // L = s, all budgets zero → g = s (just the seeds).
+  EXPECT_EQ(relay_upper_bound(3, {0, 0, 0, 0}), 3);
+  EXPECT_EQ(relay_upper_bound(1, {0, 0}), 1);
+}
+
+TEST(RelayUpperBound, PaperFigure2dValue) {
+  // s = 3, p = (1, 2, 2, 2):
+  // g = 3 + (2+2) + 1·2/2 + [(4+4+0)/4 + (4+4+0)/4] + 2·3/2 = 3+4+1+4+3 = 15.
+  EXPECT_EQ(relay_upper_bound(3, {1, 2, 2, 2}), 15);
+}
+
+TEST(RelayUpperBound, EndSegmentsAreQuadratic) {
+  // s = 1: g = 1 + p1(p1+1)/2 + p2(p2+1)/2.
+  EXPECT_EQ(relay_upper_bound(1, {3, 2}), 1 + 6 + 3);
+  EXPECT_EQ(relay_upper_bound(1, {0, 5}), 1 + 15);
+}
+
+TEST(RelayUpperBound, MiddleSegmentParity) {
+  // (p² + 2p + (p mod 2)) / 4 for p = 1..4 → 1, 2, 4, 6.
+  EXPECT_EQ(relay_upper_bound(2, {0, 1, 0}), 2 + 1 + 1);
+  EXPECT_EQ(relay_upper_bound(2, {0, 2, 0}), 2 + 2 + 2);
+  EXPECT_EQ(relay_upper_bound(2, {0, 3, 0}), 2 + 3 + 4);
+  EXPECT_EQ(relay_upper_bound(2, {0, 4, 0}), 2 + 4 + 6);
+}
+
+TEST(RelayUpperBound, RejectsBadShapes) {
+  EXPECT_THROW(relay_upper_bound(2, {0, 0}), ContractError);      // wrong size
+  EXPECT_THROW(relay_upper_bound(2, {0, -1, 0}), ContractError);  // negative
+  EXPECT_THROW(relay_upper_bound(0, {0}), ContractError);         // s < 1
+}
+
+TEST(HopLimit, Formula) {
+  EXPECT_EQ(hop_limit(3, {1, 2, 2, 2}), 2);   // paper example
+  EXPECT_EQ(hop_limit(1, {4, 2}), 4);
+  EXPECT_EQ(hop_limit(2, {0, 5, 0}), 3);      // ⌈5/2⌉
+  EXPECT_EQ(hop_limit(3, {0, 0, 0, 0}), 0);
+}
+
+TEST(HopQuotas, SumPrecondition) {
+  EXPECT_THROW(hop_quotas(3, 11, {1, 2, 2, 2}), ContractError);
+}
+
+TEST(HopQuotas, Q1IsAllNonSeeds) {
+  // Q_1 must equal L − s regardless of the split (every non-seed is ≥ 1
+  // hop out in the analysis).
+  for (const auto& p :
+       std::vector<std::vector<std::int64_t>>{{3, 0}, {1, 2}, {0, 3}}) {
+    const auto q = hop_quotas(1, 4, p);
+    ASSERT_GE(q.size(), 2u);
+    EXPECT_EQ(q[1], 3);
+  }
+}
+
+TEST(HopQuotas, NonincreasingInH) {
+  const auto q = hop_quotas(3, 14, {3, 3, 3, 2});
+  for (std::size_t h = 1; h < q.size(); ++h) EXPECT_LE(q[h], q[h - 1]);
+  EXPECT_EQ(q[0], 14);
+}
+
+class SegmentPlanSweep
+    : public testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(SegmentPlanSweep, PlanInvariants) {
+  const auto [K, s] = GetParam();
+  if (s > K) GTEST_SKIP();
+  const SegmentPlan plan = compute_segment_plan(K, s);
+  EXPECT_EQ(plan.K, K);
+  EXPECT_EQ(plan.s, s);
+  EXPECT_GE(plan.L_max, s);
+  EXPECT_LE(plan.L_max, K);
+  // Budgets sum to L_max − s and the relay bound respects K.
+  std::int64_t total = 0;
+  for (std::int64_t pi : plan.p) total += pi;
+  EXPECT_EQ(total, plan.L_max - s);
+  EXPECT_EQ(relay_upper_bound(s, plan.p), plan.relay_bound);
+  EXPECT_LE(plan.relay_bound, K);
+  // Quota vector shape.
+  EXPECT_EQ(static_cast<std::int32_t>(plan.quotas.size()), plan.h_max + 1);
+  EXPECT_EQ(plan.quotas[0], plan.L_max);
+  // Maximality: L_max + 1 must be infeasible (brute force over all
+  // compositions — the strongest form of the claim).
+  if (plan.L_max < K && plan.L_max + 1 - s <= 24) {
+    EXPECT_GT(min_relay_bound_brute_force(s, plan.L_max + 1), K);
+  }
+  // Balanced-profile search must match brute force at L_max.
+  if (plan.L_max - s <= 24) {
+    EXPECT_LE(plan.relay_bound,
+              min_relay_bound_brute_force(s, plan.L_max) + 0)
+        << "balanced profiles must be optimal";
+    EXPECT_EQ(plan.relay_bound, min_relay_bound_brute_force(s, plan.L_max));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SegmentPlanSweep,
+    testing::Combine(testing::Values(2, 3, 4, 5, 8, 10, 14, 20, 30),
+                     testing::Values(1, 2, 3, 4)));
+
+TEST(SegmentPlan, GrowsWithK) {
+  std::int32_t prev = 0;
+  for (std::int32_t K = 3; K <= 40; K += 4) {
+    const SegmentPlan plan = compute_segment_plan(K, 3);
+    EXPECT_GE(plan.L_max, prev);
+    prev = plan.L_max;
+  }
+}
+
+TEST(SegmentPlan, LargerSAllowsNoFewerNodesAtLargeK) {
+  // More seeds split the budget into more short segments, so L_max should
+  // not shrink when s grows (for K big enough to fit the seeds).
+  const std::int32_t K = 30;
+  std::int32_t prev = 0;
+  for (std::int32_t s = 1; s <= 5; ++s) {
+    const SegmentPlan plan = compute_segment_plan(K, s);
+    EXPECT_GE(plan.L_max, prev) << "s = " << s;
+    prev = plan.L_max;
+  }
+}
+
+TEST(SegmentPlan, EdgeCases) {
+  // K == s: only the seeds fit.
+  const SegmentPlan tight = compute_segment_plan(3, 3);
+  EXPECT_EQ(tight.L_max, 3);
+  EXPECT_EQ(tight.relay_bound, 3);
+  // s = 1, K = 2: one seed + one neighbor (p = (1,0) → g = 1+1 = 2).
+  const SegmentPlan tiny = compute_segment_plan(2, 1);
+  EXPECT_EQ(tiny.L_max, 2);
+  EXPECT_THROW(compute_segment_plan(2, 3), ContractError);
+  EXPECT_THROW(compute_segment_plan(5, 0), ContractError);
+}
+
+TEST(SegmentPlan, KEqualsSPlusTwoReachesFullFleet) {
+  // g((1,0,...,0,1) ends) = s + 2 = K exactly — the corner the paper's
+  // closed bracket misses; our half-open bracket must find it.
+  for (std::int32_t s = 1; s <= 4; ++s) {
+    const SegmentPlan plan = compute_segment_plan(s + 2, s);
+    EXPECT_EQ(plan.L_max, s + 2) << "s = " << s;
+  }
+}
+
+TEST(TheoreticalRatio, MatchesHandComputedValues) {
+  // K = 20, s = 3: L1 = floor(sqrt(240 + 36 − 25.5)) − 4 = 15 − 4 = 11;
+  // Δ = ceil(38/11) = 4 → ratio 1/12.
+  EXPECT_NEAR(theoretical_approximation_ratio(20, 3), 1.0 / 12.0, 1e-12);
+  // K = 20, s = 1: L1 = floor(sqrt(80 + 4 − 8.5)) − 0 = 8;
+  // Δ = ceil(38/8) = 5 → 1/15.
+  EXPECT_NEAR(theoretical_approximation_ratio(20, 1), 1.0 / 15.0, 1e-12);
+}
+
+TEST(TheoreticalRatio, ImprovesWithS) {
+  for (std::int32_t K : {10, 20, 50, 100}) {
+    EXPECT_LE(theoretical_approximation_ratio(K, 1),
+              theoretical_approximation_ratio(K, 3) + 1e-12)
+        << "K = " << K;
+  }
+}
+
+TEST(TheoreticalRatio, ShrinksWithK) {
+  EXPECT_GT(theoretical_approximation_ratio(10, 3),
+            theoretical_approximation_ratio(100, 3));
+}
+
+}  // namespace
+}  // namespace uavcov

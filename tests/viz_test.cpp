@@ -1,0 +1,132 @@
+// Tests for the SVG canvas and deployment renderer.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "core/appro_alg.hpp"
+#include "viz/render.hpp"
+#include "workload/scenario_gen.hpp"
+
+namespace uavcov::viz {
+namespace {
+
+TEST(Svg, XmlEscape) {
+  EXPECT_EQ(xml_escape("a<b>&\"c\""), "a&lt;b&gt;&amp;&quot;c&quot;");
+  EXPECT_EQ(xml_escape("plain"), "plain");
+}
+
+TEST(Svg, DocumentStructure) {
+  SvgCanvas canvas(1000, 500, 0.5);
+  canvas.circle(100, 100, 50, "#ff0000");
+  canvas.line(0, 0, 1000, 500, "#000000");
+  canvas.rect(10, 10, 20, 20, "#00ff00");
+  canvas.text(500, 250, "label <&>", 12);
+  const std::string svg = canvas.str();
+  EXPECT_NE(svg.find("<?xml"), std::string::npos);
+  EXPECT_NE(svg.find("<svg"), std::string::npos);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("<circle"), std::string::npos);
+  EXPECT_NE(svg.find("<line"), std::string::npos);
+  EXPECT_NE(svg.find("<rect"), std::string::npos);
+  EXPECT_NE(svg.find("label &lt;&amp;&gt;"), std::string::npos);
+  EXPECT_EQ(canvas.width_px(), 500);
+  EXPECT_EQ(canvas.height_px(), 250);
+}
+
+TEST(Svg, YAxisIsFlipped) {
+  SvgCanvas canvas(100, 100, 1.0);
+  canvas.circle(0, 0, 1, "#000");  // world origin = bottom-left
+  const std::string svg = canvas.str();
+  // Pixel y of world y=0 must be the canvas height (100), not 0.
+  EXPECT_NE(svg.find("cy=\"100.0\""), std::string::npos);
+}
+
+TEST(Svg, RejectsBadDimensions) {
+  EXPECT_THROW(SvgCanvas(0, 10, 1), ContractError);
+  EXPECT_THROW(SvgCanvas(10, 10, 0), ContractError);
+}
+
+TEST(Svg, SaveWritesFile) {
+  const std::string path = testing::TempDir() + "/uavcov_canvas.svg";
+  SvgCanvas canvas(100, 100, 1.0);
+  canvas.save(path);
+  std::ifstream in(path);
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first.substr(0, 5), "<?xml");
+}
+
+TEST(Render, FullDeploymentRendering) {
+  Rng rng(3);
+  workload::ScenarioConfig config;
+  config.width_m = 1200;
+  config.height_m = 900;
+  config.cell_side_m = 300;
+  config.user_count = 30;
+  config.fleet.uav_count = 4;
+  const Scenario sc = workload::make_disaster_scenario(config, rng);
+  ApproAlgParams params;
+  params.s = 1;
+  const Solution sol = appro_alg(sc, params);
+
+  RenderOptions options;
+  options.draw_associations = true;
+  const std::string svg = render_deployment(sc, sol, options);
+  // One <circle> per user plus per UAV plus coverage discs.
+  std::size_t circles = 0;
+  for (std::size_t pos = svg.find("<circle"); pos != std::string::npos;
+       pos = svg.find("<circle", pos + 1)) {
+    ++circles;
+  }
+  EXPECT_GE(circles, static_cast<std::size_t>(30 + 2 *
+            static_cast<std::int32_t>(sol.deployments.size())));
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(Render, ScenarioOnlyPlot) {
+  Rng rng(4);
+  workload::ScenarioConfig config;
+  config.width_m = 600;
+  config.height_m = 600;
+  config.cell_side_m = 300;
+  config.user_count = 10;
+  config.fleet.uav_count = 2;
+  const Scenario sc = workload::make_disaster_scenario(config, rng);
+  Solution empty;
+  const std::string svg = render_deployment(sc, empty);
+  // Users render red (unserved) and no UAV labels appear.
+  EXPECT_NE(svg.find("#c2504a"), std::string::npos);
+  EXPECT_EQ(svg.find("<text"), std::string::npos);
+}
+
+TEST(Render, MismatchedSolutionRejected) {
+  Rng rng(5);
+  workload::ScenarioConfig config;
+  config.width_m = 600;
+  config.height_m = 600;
+  config.cell_side_m = 300;
+  config.user_count = 10;
+  config.fleet.uav_count = 2;
+  const Scenario sc = workload::make_disaster_scenario(config, rng);
+  Solution bad;
+  bad.user_to_deployment.assign(3, -1);  // wrong size
+  EXPECT_THROW(render_deployment(sc, bad), ContractError);
+}
+
+TEST(Render, FileOutput) {
+  Rng rng(6);
+  workload::ScenarioConfig config;
+  config.width_m = 600;
+  config.height_m = 600;
+  config.cell_side_m = 300;
+  config.user_count = 5;
+  config.fleet.uav_count = 2;
+  const Scenario sc = workload::make_disaster_scenario(config, rng);
+  const std::string path = testing::TempDir() + "/uavcov_render.svg";
+  render_deployment_file(path, sc, {});
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+}
+
+}  // namespace
+}  // namespace uavcov::viz

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_served_vs_k.dir/fig4_served_vs_k.cpp.o"
+  "CMakeFiles/fig4_served_vs_k.dir/fig4_served_vs_k.cpp.o.d"
+  "fig4_served_vs_k"
+  "fig4_served_vs_k.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_served_vs_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_s_tradeoff.dir/fig6_s_tradeoff.cpp.o"
+  "CMakeFiles/fig6_s_tradeoff.dir/fig6_s_tradeoff.cpp.o.d"
+  "fig6_s_tradeoff"
+  "fig6_s_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_s_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_channel.dir/micro_channel.cpp.o"
+  "CMakeFiles/micro_channel.dir/micro_channel.cpp.o.d"
+  "micro_channel"
+  "micro_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

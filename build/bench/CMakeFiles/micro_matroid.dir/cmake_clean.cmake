@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_matroid.dir/micro_matroid.cpp.o"
+  "CMakeFiles/micro_matroid.dir/micro_matroid.cpp.o.d"
+  "micro_matroid"
+  "micro_matroid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_matroid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/motivation_delay.dir/motivation_delay.cpp.o"
+  "CMakeFiles/motivation_delay.dir/motivation_delay.cpp.o.d"
+  "motivation_delay"
+  "motivation_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/motivation_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/altitude_survey.dir/altitude_survey.cpp.o"
+  "CMakeFiles/altitude_survey.dir/altitude_survey.cpp.o.d"
+  "altitude_survey"
+  "altitude_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/altitude_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mission_report.dir/mission_report.cpp.o"
+  "CMakeFiles/mission_report.dir/mission_report.cpp.o.d"
+  "mission_report"
+  "mission_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mission_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

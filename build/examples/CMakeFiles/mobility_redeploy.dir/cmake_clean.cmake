@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobility_redeploy.dir/mobility_redeploy.cpp.o"
+  "CMakeFiles/mobility_redeploy.dir/mobility_redeploy.cpp.o.d"
+  "mobility_redeploy"
+  "mobility_redeploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobility_redeploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for mobility_redeploy.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/common.cpp" "src/CMakeFiles/uavcov_baselines.dir/baselines/common.cpp.o" "gcc" "src/CMakeFiles/uavcov_baselines.dir/baselines/common.cpp.o.d"
+  "/root/repo/src/baselines/greedy_assign.cpp" "src/CMakeFiles/uavcov_baselines.dir/baselines/greedy_assign.cpp.o" "gcc" "src/CMakeFiles/uavcov_baselines.dir/baselines/greedy_assign.cpp.o.d"
+  "/root/repo/src/baselines/kmeans_place.cpp" "src/CMakeFiles/uavcov_baselines.dir/baselines/kmeans_place.cpp.o" "gcc" "src/CMakeFiles/uavcov_baselines.dir/baselines/kmeans_place.cpp.o.d"
+  "/root/repo/src/baselines/max_throughput.cpp" "src/CMakeFiles/uavcov_baselines.dir/baselines/max_throughput.cpp.o" "gcc" "src/CMakeFiles/uavcov_baselines.dir/baselines/max_throughput.cpp.o.d"
+  "/root/repo/src/baselines/mcs.cpp" "src/CMakeFiles/uavcov_baselines.dir/baselines/mcs.cpp.o" "gcc" "src/CMakeFiles/uavcov_baselines.dir/baselines/mcs.cpp.o.d"
+  "/root/repo/src/baselines/motion_ctrl.cpp" "src/CMakeFiles/uavcov_baselines.dir/baselines/motion_ctrl.cpp.o" "gcc" "src/CMakeFiles/uavcov_baselines.dir/baselines/motion_ctrl.cpp.o.d"
+  "/root/repo/src/baselines/random_connected.cpp" "src/CMakeFiles/uavcov_baselines.dir/baselines/random_connected.cpp.o" "gcc" "src/CMakeFiles/uavcov_baselines.dir/baselines/random_connected.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/uavcov_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uavcov_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uavcov_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uavcov_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uavcov_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uavcov_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

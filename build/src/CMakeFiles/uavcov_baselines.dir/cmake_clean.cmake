@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uavcov_baselines.dir/baselines/common.cpp.o"
+  "CMakeFiles/uavcov_baselines.dir/baselines/common.cpp.o.d"
+  "CMakeFiles/uavcov_baselines.dir/baselines/greedy_assign.cpp.o"
+  "CMakeFiles/uavcov_baselines.dir/baselines/greedy_assign.cpp.o.d"
+  "CMakeFiles/uavcov_baselines.dir/baselines/kmeans_place.cpp.o"
+  "CMakeFiles/uavcov_baselines.dir/baselines/kmeans_place.cpp.o.d"
+  "CMakeFiles/uavcov_baselines.dir/baselines/max_throughput.cpp.o"
+  "CMakeFiles/uavcov_baselines.dir/baselines/max_throughput.cpp.o.d"
+  "CMakeFiles/uavcov_baselines.dir/baselines/mcs.cpp.o"
+  "CMakeFiles/uavcov_baselines.dir/baselines/mcs.cpp.o.d"
+  "CMakeFiles/uavcov_baselines.dir/baselines/motion_ctrl.cpp.o"
+  "CMakeFiles/uavcov_baselines.dir/baselines/motion_ctrl.cpp.o.d"
+  "CMakeFiles/uavcov_baselines.dir/baselines/random_connected.cpp.o"
+  "CMakeFiles/uavcov_baselines.dir/baselines/random_connected.cpp.o.d"
+  "libuavcov_baselines.a"
+  "libuavcov_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uavcov_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/a2g.cpp" "src/CMakeFiles/uavcov_channel.dir/channel/a2g.cpp.o" "gcc" "src/CMakeFiles/uavcov_channel.dir/channel/a2g.cpp.o.d"
+  "/root/repo/src/channel/link_budget.cpp" "src/CMakeFiles/uavcov_channel.dir/channel/link_budget.cpp.o" "gcc" "src/CMakeFiles/uavcov_channel.dir/channel/link_budget.cpp.o.d"
+  "/root/repo/src/channel/radius.cpp" "src/CMakeFiles/uavcov_channel.dir/channel/radius.cpp.o" "gcc" "src/CMakeFiles/uavcov_channel.dir/channel/radius.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/uavcov_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uavcov_geometry.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uavcov_channel.dir/channel/a2g.cpp.o"
+  "CMakeFiles/uavcov_channel.dir/channel/a2g.cpp.o.d"
+  "CMakeFiles/uavcov_channel.dir/channel/link_budget.cpp.o"
+  "CMakeFiles/uavcov_channel.dir/channel/link_budget.cpp.o.d"
+  "CMakeFiles/uavcov_channel.dir/channel/radius.cpp.o"
+  "CMakeFiles/uavcov_channel.dir/channel/radius.cpp.o.d"
+  "libuavcov_channel.a"
+  "libuavcov_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uavcov_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uavcov_common.dir/common/check.cpp.o"
+  "CMakeFiles/uavcov_common.dir/common/check.cpp.o.d"
+  "CMakeFiles/uavcov_common.dir/common/cli.cpp.o"
+  "CMakeFiles/uavcov_common.dir/common/cli.cpp.o.d"
+  "CMakeFiles/uavcov_common.dir/common/csv.cpp.o"
+  "CMakeFiles/uavcov_common.dir/common/csv.cpp.o.d"
+  "CMakeFiles/uavcov_common.dir/common/log.cpp.o"
+  "CMakeFiles/uavcov_common.dir/common/log.cpp.o.d"
+  "CMakeFiles/uavcov_common.dir/common/rng.cpp.o"
+  "CMakeFiles/uavcov_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/uavcov_common.dir/common/stopwatch.cpp.o"
+  "CMakeFiles/uavcov_common.dir/common/stopwatch.cpp.o.d"
+  "CMakeFiles/uavcov_common.dir/common/table.cpp.o"
+  "CMakeFiles/uavcov_common.dir/common/table.cpp.o.d"
+  "libuavcov_common.a"
+  "libuavcov_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uavcov_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

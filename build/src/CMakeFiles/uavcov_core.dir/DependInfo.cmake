@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/appro_alg.cpp" "src/CMakeFiles/uavcov_core.dir/core/appro_alg.cpp.o" "gcc" "src/CMakeFiles/uavcov_core.dir/core/appro_alg.cpp.o.d"
+  "/root/repo/src/core/assignment.cpp" "src/CMakeFiles/uavcov_core.dir/core/assignment.cpp.o" "gcc" "src/CMakeFiles/uavcov_core.dir/core/assignment.cpp.o.d"
+  "/root/repo/src/core/coverage.cpp" "src/CMakeFiles/uavcov_core.dir/core/coverage.cpp.o" "gcc" "src/CMakeFiles/uavcov_core.dir/core/coverage.cpp.o.d"
+  "/root/repo/src/core/exhaustive.cpp" "src/CMakeFiles/uavcov_core.dir/core/exhaustive.cpp.o" "gcc" "src/CMakeFiles/uavcov_core.dir/core/exhaustive.cpp.o.d"
+  "/root/repo/src/core/gateway.cpp" "src/CMakeFiles/uavcov_core.dir/core/gateway.cpp.o" "gcc" "src/CMakeFiles/uavcov_core.dir/core/gateway.cpp.o.d"
+  "/root/repo/src/core/matroid.cpp" "src/CMakeFiles/uavcov_core.dir/core/matroid.cpp.o" "gcc" "src/CMakeFiles/uavcov_core.dir/core/matroid.cpp.o.d"
+  "/root/repo/src/core/redeploy.cpp" "src/CMakeFiles/uavcov_core.dir/core/redeploy.cpp.o" "gcc" "src/CMakeFiles/uavcov_core.dir/core/redeploy.cpp.o.d"
+  "/root/repo/src/core/refine.cpp" "src/CMakeFiles/uavcov_core.dir/core/refine.cpp.o" "gcc" "src/CMakeFiles/uavcov_core.dir/core/refine.cpp.o.d"
+  "/root/repo/src/core/relay.cpp" "src/CMakeFiles/uavcov_core.dir/core/relay.cpp.o" "gcc" "src/CMakeFiles/uavcov_core.dir/core/relay.cpp.o.d"
+  "/root/repo/src/core/scenario.cpp" "src/CMakeFiles/uavcov_core.dir/core/scenario.cpp.o" "gcc" "src/CMakeFiles/uavcov_core.dir/core/scenario.cpp.o.d"
+  "/root/repo/src/core/segment_plan.cpp" "src/CMakeFiles/uavcov_core.dir/core/segment_plan.cpp.o" "gcc" "src/CMakeFiles/uavcov_core.dir/core/segment_plan.cpp.o.d"
+  "/root/repo/src/core/solution.cpp" "src/CMakeFiles/uavcov_core.dir/core/solution.cpp.o" "gcc" "src/CMakeFiles/uavcov_core.dir/core/solution.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/uavcov_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uavcov_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uavcov_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uavcov_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uavcov_channel.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uavcov_core.dir/core/appro_alg.cpp.o"
+  "CMakeFiles/uavcov_core.dir/core/appro_alg.cpp.o.d"
+  "CMakeFiles/uavcov_core.dir/core/assignment.cpp.o"
+  "CMakeFiles/uavcov_core.dir/core/assignment.cpp.o.d"
+  "CMakeFiles/uavcov_core.dir/core/coverage.cpp.o"
+  "CMakeFiles/uavcov_core.dir/core/coverage.cpp.o.d"
+  "CMakeFiles/uavcov_core.dir/core/exhaustive.cpp.o"
+  "CMakeFiles/uavcov_core.dir/core/exhaustive.cpp.o.d"
+  "CMakeFiles/uavcov_core.dir/core/gateway.cpp.o"
+  "CMakeFiles/uavcov_core.dir/core/gateway.cpp.o.d"
+  "CMakeFiles/uavcov_core.dir/core/matroid.cpp.o"
+  "CMakeFiles/uavcov_core.dir/core/matroid.cpp.o.d"
+  "CMakeFiles/uavcov_core.dir/core/redeploy.cpp.o"
+  "CMakeFiles/uavcov_core.dir/core/redeploy.cpp.o.d"
+  "CMakeFiles/uavcov_core.dir/core/refine.cpp.o"
+  "CMakeFiles/uavcov_core.dir/core/refine.cpp.o.d"
+  "CMakeFiles/uavcov_core.dir/core/relay.cpp.o"
+  "CMakeFiles/uavcov_core.dir/core/relay.cpp.o.d"
+  "CMakeFiles/uavcov_core.dir/core/scenario.cpp.o"
+  "CMakeFiles/uavcov_core.dir/core/scenario.cpp.o.d"
+  "CMakeFiles/uavcov_core.dir/core/segment_plan.cpp.o"
+  "CMakeFiles/uavcov_core.dir/core/segment_plan.cpp.o.d"
+  "CMakeFiles/uavcov_core.dir/core/solution.cpp.o"
+  "CMakeFiles/uavcov_core.dir/core/solution.cpp.o.d"
+  "libuavcov_core.a"
+  "libuavcov_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uavcov_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

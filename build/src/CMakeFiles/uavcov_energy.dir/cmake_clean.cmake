@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uavcov_energy.dir/energy/power.cpp.o"
+  "CMakeFiles/uavcov_energy.dir/energy/power.cpp.o.d"
+  "libuavcov_energy.a"
+  "libuavcov_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uavcov_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

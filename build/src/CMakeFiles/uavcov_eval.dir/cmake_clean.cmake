@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uavcov_eval.dir/eval/experiment.cpp.o"
+  "CMakeFiles/uavcov_eval.dir/eval/experiment.cpp.o.d"
+  "CMakeFiles/uavcov_eval.dir/eval/figures.cpp.o"
+  "CMakeFiles/uavcov_eval.dir/eval/figures.cpp.o.d"
+  "CMakeFiles/uavcov_eval.dir/eval/metrics.cpp.o"
+  "CMakeFiles/uavcov_eval.dir/eval/metrics.cpp.o.d"
+  "libuavcov_eval.a"
+  "libuavcov_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uavcov_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

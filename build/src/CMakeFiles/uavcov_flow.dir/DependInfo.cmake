@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flow/dinic.cpp" "src/CMakeFiles/uavcov_flow.dir/flow/dinic.cpp.o" "gcc" "src/CMakeFiles/uavcov_flow.dir/flow/dinic.cpp.o.d"
+  "/root/repo/src/flow/incremental.cpp" "src/CMakeFiles/uavcov_flow.dir/flow/incremental.cpp.o" "gcc" "src/CMakeFiles/uavcov_flow.dir/flow/incremental.cpp.o.d"
+  "/root/repo/src/flow/oracles.cpp" "src/CMakeFiles/uavcov_flow.dir/flow/oracles.cpp.o" "gcc" "src/CMakeFiles/uavcov_flow.dir/flow/oracles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/uavcov_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

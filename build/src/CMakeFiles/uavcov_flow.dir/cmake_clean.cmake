@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uavcov_flow.dir/flow/dinic.cpp.o"
+  "CMakeFiles/uavcov_flow.dir/flow/dinic.cpp.o.d"
+  "CMakeFiles/uavcov_flow.dir/flow/incremental.cpp.o"
+  "CMakeFiles/uavcov_flow.dir/flow/incremental.cpp.o.d"
+  "CMakeFiles/uavcov_flow.dir/flow/oracles.cpp.o"
+  "CMakeFiles/uavcov_flow.dir/flow/oracles.cpp.o.d"
+  "libuavcov_flow.a"
+  "libuavcov_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uavcov_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

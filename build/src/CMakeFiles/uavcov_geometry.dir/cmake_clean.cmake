@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uavcov_geometry.dir/geometry/grid.cpp.o"
+  "CMakeFiles/uavcov_geometry.dir/geometry/grid.cpp.o.d"
+  "CMakeFiles/uavcov_geometry.dir/geometry/spatial_index.cpp.o"
+  "CMakeFiles/uavcov_geometry.dir/geometry/spatial_index.cpp.o.d"
+  "CMakeFiles/uavcov_geometry.dir/geometry/vec.cpp.o"
+  "CMakeFiles/uavcov_geometry.dir/geometry/vec.cpp.o.d"
+  "libuavcov_geometry.a"
+  "libuavcov_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uavcov_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uavcov_graph.dir/graph/articulation.cpp.o"
+  "CMakeFiles/uavcov_graph.dir/graph/articulation.cpp.o.d"
+  "CMakeFiles/uavcov_graph.dir/graph/bfs.cpp.o"
+  "CMakeFiles/uavcov_graph.dir/graph/bfs.cpp.o.d"
+  "CMakeFiles/uavcov_graph.dir/graph/dsu.cpp.o"
+  "CMakeFiles/uavcov_graph.dir/graph/dsu.cpp.o.d"
+  "CMakeFiles/uavcov_graph.dir/graph/euler.cpp.o"
+  "CMakeFiles/uavcov_graph.dir/graph/euler.cpp.o.d"
+  "CMakeFiles/uavcov_graph.dir/graph/graph.cpp.o"
+  "CMakeFiles/uavcov_graph.dir/graph/graph.cpp.o.d"
+  "CMakeFiles/uavcov_graph.dir/graph/mst.cpp.o"
+  "CMakeFiles/uavcov_graph.dir/graph/mst.cpp.o.d"
+  "CMakeFiles/uavcov_graph.dir/graph/oracles.cpp.o"
+  "CMakeFiles/uavcov_graph.dir/graph/oracles.cpp.o.d"
+  "libuavcov_graph.a"
+  "libuavcov_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uavcov_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

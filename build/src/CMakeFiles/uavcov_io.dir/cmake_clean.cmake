@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uavcov_io.dir/io/serialize.cpp.o"
+  "CMakeFiles/uavcov_io.dir/io/serialize.cpp.o.d"
+  "libuavcov_io.a"
+  "libuavcov_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uavcov_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

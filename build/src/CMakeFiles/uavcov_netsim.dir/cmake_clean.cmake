@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uavcov_netsim.dir/netsim/service_sim.cpp.o"
+  "CMakeFiles/uavcov_netsim.dir/netsim/service_sim.cpp.o.d"
+  "libuavcov_netsim.a"
+  "libuavcov_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uavcov_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uavcov_viz.dir/viz/render.cpp.o"
+  "CMakeFiles/uavcov_viz.dir/viz/render.cpp.o.d"
+  "CMakeFiles/uavcov_viz.dir/viz/svg.cpp.o"
+  "CMakeFiles/uavcov_viz.dir/viz/svg.cpp.o.d"
+  "libuavcov_viz.a"
+  "libuavcov_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uavcov_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

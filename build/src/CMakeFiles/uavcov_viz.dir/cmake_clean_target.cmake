@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libuavcov_viz.a"
+)

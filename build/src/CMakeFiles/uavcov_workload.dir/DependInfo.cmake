@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/distributions.cpp" "src/CMakeFiles/uavcov_workload.dir/workload/distributions.cpp.o" "gcc" "src/CMakeFiles/uavcov_workload.dir/workload/distributions.cpp.o.d"
+  "/root/repo/src/workload/fleet.cpp" "src/CMakeFiles/uavcov_workload.dir/workload/fleet.cpp.o" "gcc" "src/CMakeFiles/uavcov_workload.dir/workload/fleet.cpp.o.d"
+  "/root/repo/src/workload/mobility.cpp" "src/CMakeFiles/uavcov_workload.dir/workload/mobility.cpp.o" "gcc" "src/CMakeFiles/uavcov_workload.dir/workload/mobility.cpp.o.d"
+  "/root/repo/src/workload/scenario_gen.cpp" "src/CMakeFiles/uavcov_workload.dir/workload/scenario_gen.cpp.o" "gcc" "src/CMakeFiles/uavcov_workload.dir/workload/scenario_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/uavcov_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uavcov_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uavcov_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uavcov_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uavcov_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uavcov_flow.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/uavcov_workload.dir/workload/distributions.cpp.o"
+  "CMakeFiles/uavcov_workload.dir/workload/distributions.cpp.o.d"
+  "CMakeFiles/uavcov_workload.dir/workload/fleet.cpp.o"
+  "CMakeFiles/uavcov_workload.dir/workload/fleet.cpp.o.d"
+  "CMakeFiles/uavcov_workload.dir/workload/mobility.cpp.o"
+  "CMakeFiles/uavcov_workload.dir/workload/mobility.cpp.o.d"
+  "CMakeFiles/uavcov_workload.dir/workload/scenario_gen.cpp.o"
+  "CMakeFiles/uavcov_workload.dir/workload/scenario_gen.cpp.o.d"
+  "libuavcov_workload.a"
+  "libuavcov_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/uavcov_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

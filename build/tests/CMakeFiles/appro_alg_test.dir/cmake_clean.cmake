@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appro_alg_test.dir/appro_alg_test.cpp.o"
+  "CMakeFiles/appro_alg_test.dir/appro_alg_test.cpp.o.d"
+  "appro_alg_test"
+  "appro_alg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appro_alg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

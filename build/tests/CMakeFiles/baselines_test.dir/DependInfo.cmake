@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baselines_test.cpp" "tests/CMakeFiles/baselines_test.dir/baselines_test.cpp.o" "gcc" "tests/CMakeFiles/baselines_test.dir/baselines_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/uavcov_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uavcov_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uavcov_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uavcov_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uavcov_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uavcov_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uavcov_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uavcov_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uavcov_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uavcov_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uavcov_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uavcov_geometry.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/uavcov_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segment_plan_test.dir/segment_plan_test.cpp.o"
+  "CMakeFiles/segment_plan_test.dir/segment_plan_test.cpp.o.d"
+  "segment_plan_test"
+  "segment_plan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

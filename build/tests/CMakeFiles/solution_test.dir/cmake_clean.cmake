@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solution_test.dir/solution_test.cpp.o"
+  "CMakeFiles/solution_test.dir/solution_test.cpp.o.d"
+  "solution_test"
+  "solution_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solution_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

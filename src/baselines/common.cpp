@@ -1,5 +1,6 @@
 #include "baselines/common.hpp"
 
+#include "analysis/audit.hpp"
 #include "common/check.hpp"
 
 namespace uavcov::baselines {
@@ -23,6 +24,15 @@ Solution finalize(const Scenario& scenario, const CoverageModel& coverage,
   solution.user_to_deployment = assignment.user_to_deployment;
   solution.served = assignment.served;
   solution.solve_seconds = solve_seconds;
+  if (analysis::audit_env_enabled()) {
+    // Baselines are exempt from the connectivity constraint only when
+    // their published logic is (they all claim connected outputs), so the
+    // full feasibility audit applies to them too.
+    analysis::AuditReport report =
+        analysis::audit_solution(scenario, coverage, solution);
+    report.subject = "baselines." + solution.algorithm;
+    analysis::require_clean(report);
+  }
   return solution;
 }
 

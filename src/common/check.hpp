@@ -48,7 +48,11 @@ namespace detail {
 #ifndef NDEBUG
 #define UAVCOV_DCHECK(expr) UAVCOV_CHECK(expr)
 #else
-#define UAVCOV_DCHECK(expr) \
-  do {                      \
+// Release no-op that still parses and type-checks `expr` (unevaluated
+// operand), so debug-only variables stay odr-used and bit-rot in the
+// expression is caught by every build mode.
+#define UAVCOV_DCHECK(expr)                                                 \
+  do {                                                                      \
+    static_cast<void>(sizeof(static_cast<bool>(expr) ? 1 : 0));             \
   } while (false)
 #endif

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <queue>
+#include <span>
 
+#include "analysis/audit.hpp"
 #include "common/check.hpp"
 #include "common/stopwatch.hpp"
 #include "core/assignment.hpp"
@@ -14,6 +16,20 @@ namespace uavcov {
 
 namespace {
 
+/// Deep per-round audit (UAVCOV_AUDIT / ApproAlgParams::audit): the live
+/// flow network must stay an integral maximum flow and the current greedy
+/// state must stay independent in M1 ∩ M2.  Throws AuditError otherwise.
+void audit_greedy_round(const IncrementalAssignment& ia,
+                        const HopBudgetMatroid& m2,
+                        std::span<const LocationId> chosen,
+                        std::int32_t uav_count) {
+  analysis::AuditReport report = analysis::audit_assignment_flow(ia);
+  report.subject = "appro_alg.greedy_round";
+  report.merge(analysis::audit_matroids(m2, chosen, ia.deployments(),
+                                        uav_count, /*sample_rounds=*/8));
+  analysis::require_clean(report);
+}
+
 /// Greedy submodular maximization under M1 ∩ M2 for one seed subset.
 /// Returns the chosen locations in deployment order (UAVs are taken from
 /// `uav_order` front to back, i.e. capacity descending).
@@ -21,7 +37,7 @@ std::vector<LocationId> greedy_place(
     IncrementalAssignment& ia, const CoverageModel& coverage,
     const std::vector<LocationId>& pool, HopBudgetMatroid& m2,
     const std::vector<UavId>& uav_order, std::int32_t l_max, bool lazy,
-    std::int64_t* probes) {
+    bool audit, std::int64_t* probes) {
   std::vector<LocationId> chosen;
   chosen.reserve(static_cast<std::size_t>(l_max));
   std::vector<bool> taken;  // indexed by position in `pool`
@@ -73,6 +89,10 @@ std::vector<LocationId> greedy_place(
       taken[static_cast<std::size_t>(pick_idx)] = true;
       chosen.push_back(pick);
       (void)pick_gain;
+      if (audit) {
+        audit_greedy_round(ia, m2, chosen,
+                           static_cast<std::int32_t>(uav_order.size()));
+      }
     }
   } else {
     // Plain greedy: probe every feasible pool entry each iteration.
@@ -101,6 +121,10 @@ std::vector<LocationId> greedy_place(
       m2.add(loc);
       taken[static_cast<std::size_t>(best_idx)] = true;
       chosen.push_back(loc);
+      if (audit) {
+        audit_greedy_round(ia, m2, chosen,
+                           static_cast<std::int32_t>(uav_order.size()));
+      }
     }
   }
   return chosen;
@@ -120,6 +144,7 @@ Solution appro_alg(const Scenario& scenario, const CoverageModel& coverage,
   scenario.validate();
   UAVCOV_CHECK_MSG(params.s >= 1, "s must be >= 1");
   const std::int32_t K = scenario.uav_count();
+  const bool audit = params.audit || analysis::audit_env_enabled();
 
   Solution solution;
   solution.algorithm = "approAlg";
@@ -146,6 +171,7 @@ Solution appro_alg(const Scenario& scenario, const CoverageModel& coverage,
                    static_cast<std::int32_t>(candidates.size())}));
   const SegmentPlan plan = compute_segment_plan(K, s);
   st.plan = plan;
+  if (audit) analysis::require_clean(analysis::audit_segment_plan(plan));
 
   const Graph g = build_location_graph(scenario.grid, scenario.uav_range_m);
   std::vector<UavId> uav_order = scenario.uavs_by_capacity_desc();
@@ -186,7 +212,7 @@ Solution appro_alg(const Scenario& scenario, const CoverageModel& coverage,
     const auto scope = ia.begin_scope();
     const std::vector<LocationId> chosen =
         greedy_place(ia, coverage, candidates, m2, uav_order, plan.L_max,
-                     params.lazy_greedy, &st.probes);
+                     params.lazy_greedy, audit, &st.probes);
     const auto relay = stitch_connected(g, chosen);
     if (relay.has_value() &&
         static_cast<std::int32_t>(relay->nodes.size()) <= K) {
@@ -195,6 +221,13 @@ Solution appro_alg(const Scenario& scenario, const CoverageModel& coverage,
       // the paper deploys them "in an arbitrary way"; index order here.
       for (std::size_t r = chosen.size(); r < relay->nodes.size(); ++r) {
         ia.deploy(uav_order[r], relay->nodes[r]);
+      }
+      if (audit) {
+        // The stitched network must still carry a clean maximum flow, and
+        // Lemma 2 promises it fits the fleet.
+        analysis::AuditReport report = analysis::audit_assignment_flow(ia);
+        report.subject = "appro_alg.relay_stitch";
+        analysis::require_clean(report);
       }
       if (ia.served() > best_served) {
         best_served = ia.served();
@@ -291,6 +324,11 @@ Solution appro_alg(const Scenario& scenario, const CoverageModel& coverage,
       ia.deploy(k, best_cell);
       occupied[static_cast<std::size_t>(best_cell)] = true;
     }
+    if (audit) {
+      analysis::AuditReport report = analysis::audit_assignment_flow(ia);
+      report.subject = "appro_alg.leftover_fill";
+      analysis::require_clean(report);
+    }
     if (ia.served() > best_served) {
       best_served = ia.served();
       best_deployments = ia.deployments();
@@ -307,6 +345,12 @@ Solution appro_alg(const Scenario& scenario, const CoverageModel& coverage,
     solution.served = assignment.served;
     UAVCOV_CHECK_MSG(solution.served == best_served,
                      "final assignment disagrees with incremental count");
+  }
+  if (audit) {
+    analysis::AuditReport report =
+        analysis::audit_solution(scenario, coverage, solution);
+    report.subject = "appro_alg.final_solution";
+    analysis::require_clean(report);
   }
   st.seconds = watch.elapsed_s();
   solution.solve_seconds = st.seconds;

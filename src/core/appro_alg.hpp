@@ -50,6 +50,11 @@ struct ApproAlgParams {
   /// Safety valve for pathological inputs: stop after this many evaluated
   /// subsets (0 = unlimited).  Deterministic: enumeration order is fixed.
   std::int64_t max_seed_subsets = 0;
+  /// Run the deep invariant auditors (src/analysis/audit.hpp) on every
+  /// greedy round and on the final solution, throwing AuditError on any
+  /// violation.  Expensive; also enabled process-wide by the UAVCOV_AUDIT
+  /// environment variable regardless of this field.
+  bool audit = false;
 };
 
 /// Runs Algorithm 2.  `stats`, when non-null, receives search counters and

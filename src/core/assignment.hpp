@@ -53,6 +53,15 @@ class IncrementalAssignment {
 
   const std::vector<Deployment>& deployments() const { return deployments_; }
 
+  // Read-only views for the invariant auditors (src/analysis/audit.hpp).
+  const DinicFlow& flow() const { return flow_; }
+  DinicFlow::FlowNode source() const { return source_; }
+  DinicFlow::FlowNode sink() const { return sink_; }
+  /// Flow node carrying user `u` (audit: per-user unit-flow integrality).
+  DinicFlow::FlowNode user_node(UserId u) const {
+    return user_node_[static_cast<std::size_t>(u)];
+  }
+
   /// Marginal gain of deploying UAV `k` at `loc`; the network is restored
   /// before returning.
   std::int64_t probe(UavId k, LocationId loc);

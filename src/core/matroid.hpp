@@ -22,6 +22,7 @@
 #include <span>
 #include <vector>
 
+#include "common/check.hpp"
 #include "core/scenario.hpp"
 
 namespace uavcov {
@@ -61,6 +62,12 @@ class HopBudgetMatroid {
   /// Hop distance of location v to the seed set (kUnreachable if none).
   std::int32_t hop_distance(LocationId v) const {
     return hop_distance_[static_cast<std::size_t>(v)];
+  }
+
+  /// Quota Q_h of Eq. (1), 0 <= h <= hmax (read by the invariant auditors).
+  std::int64_t quota(std::int32_t h) const {
+    UAVCOV_DCHECK(h >= 0 && h <= hmax());
+    return quotas_[static_cast<std::size_t>(h)];
   }
 
   /// Independence oracle for the *current set plus v*; O(hmax).

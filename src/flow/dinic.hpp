@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/check.hpp"
@@ -47,6 +48,29 @@ class DinicFlow {
     UAVCOV_DCHECK(e >= 0 && e < edge_count() && e % 2 == 0);
     return initial_cap_[static_cast<std::size_t>(e)] -
            cap_[static_cast<std::size_t>(e)];
+  }
+
+  // Read-only structural accessors for external invariant auditing
+  // (src/analysis/audit.hpp): edges come in forward/residual pairs, the
+  // forward edge is the even id and `e ^ 1` is its twin.
+
+  /// Endpoints (u, v) of forward edge `e`; the residual twin runs v → u.
+  std::pair<FlowNode, FlowNode> edge_endpoints(EdgeId e) const {
+    UAVCOV_DCHECK(e >= 0 && e < edge_count() && e % 2 == 0);
+    return {to_[static_cast<std::size_t>(e ^ 1)],
+            to_[static_cast<std::size_t>(e)]};
+  }
+
+  /// Capacity edge `e` was created with (0 for residual twins).
+  std::int64_t edge_capacity(EdgeId e) const {
+    UAVCOV_DCHECK(e >= 0 && e < edge_count());
+    return initial_cap_[static_cast<std::size_t>(e)];
+  }
+
+  /// Current residual capacity of edge `e` (forward or twin).
+  std::int64_t edge_residual(EdgeId e) const {
+    UAVCOV_DCHECK(e >= 0 && e < edge_count());
+    return cap_[static_cast<std::size_t>(e)];
   }
 
   /// Pushes as much additional flow from s to t as the residual network

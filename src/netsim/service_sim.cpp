@@ -4,6 +4,7 @@
 #include <cmath>
 #include <deque>
 
+#include "analysis/audit.hpp"
 #include "channel/link_budget.hpp"
 #include "common/check.hpp"
 
@@ -58,6 +59,15 @@ ServiceSimResult simulate_service(const Scenario& scenario,
                                   const ServiceSimConfig& config) {
   UAVCOV_CHECK_MSG(config.duration_s > 0 && config.slot_s > 0,
                    "invalid simulation horizon");
+  if (analysis::audit_env_enabled()) {
+    // Simulating an infeasible assignment silently produces garbage
+    // throughput numbers; under UAVCOV_AUDIT refuse loudly instead.
+    const CoverageModel audit_coverage(scenario);
+    analysis::AuditReport report =
+        analysis::audit_solution(scenario, audit_coverage, solution);
+    report.subject = "netsim.simulate_service";
+    analysis::require_clean(report);
+  }
   UAVCOV_CHECK_MSG(config.packet_bits > 0 && config.offered_load_bps > 0 &&
                        config.server_pkts_per_s > 0,
                    "invalid traffic model");

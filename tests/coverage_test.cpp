@@ -92,8 +92,12 @@ TEST(CoverageModel, RateRequirementShrinksTheDisc) {
   for (LocationId v = 0; v < sc.grid.size(); ++v) {
     const bool eligible = !cov.eligible_users(v, 0).empty();
     const double d = distance(sc.grid.center(v), {300, 300});
-    if (d <= rate_radius - 1.0) EXPECT_TRUE(eligible) << "v=" << v;
-    if (d > rate_radius + 1.0) EXPECT_FALSE(eligible) << "v=" << v;
+    if (d <= rate_radius - 1.0) {
+      EXPECT_TRUE(eligible) << "v=" << v;
+    }
+    if (d > rate_radius + 1.0) {
+      EXPECT_FALSE(eligible) << "v=" << v;
+    }
   }
 }
 

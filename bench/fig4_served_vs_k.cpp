@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   cli.add_flag("kstep", "fleet-size step", "2");
   cli.add_flag("reps", "repetitions averaged per point", "2");
   cli.add_flag("seed", "base RNG seed", "7");
+  cli.add_flag("threads", "approAlg worker threads (0 = hardware)", "1");
   cli.add_flag("csv", "CSV output path (empty = none)", "");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -33,6 +34,7 @@ int main(int argc, char** argv) {
       static_cast<std::int32_t>(cli.get_int("candidate-cap"));
   scale.repetitions = static_cast<std::int32_t>(cli.get_int("reps"));
   scale.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  scale.threads = static_cast<std::int32_t>(cli.get_int("threads"));
   scale.csv_path = cli.get_string("csv");
 
   std::cout << "=== Fig. 4 reproduction: served users vs K (n = "

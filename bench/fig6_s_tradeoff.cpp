@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   cli.add_flag("smax", "largest s", "3");
   cli.add_flag("reps", "repetitions averaged per point", "1");
   cli.add_flag("seed", "base RNG seed", "7");
+  cli.add_flag("threads", "approAlg worker threads (0 = hardware)", "1");
   cli.add_flag("csv", "CSV output path for 6(a) (empty = none)", "");
   if (!cli.parse(argc, argv)) return 0;
 
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
       static_cast<std::int32_t>(cli.get_int("candidate-cap"));
   scale.repetitions = static_cast<std::int32_t>(cli.get_int("reps"));
   scale.seed = static_cast<std::uint64_t>(cli.get_int("seed"));
+  scale.threads = static_cast<std::int32_t>(cli.get_int("threads"));
   scale.csv_path = cli.get_string("csv");
 
   uavcov::Table runtime;

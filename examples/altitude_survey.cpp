@@ -72,10 +72,13 @@ int main() {
     Rng rng(5);  // same users/fleet each altitude
     Scenario sc = workload::make_disaster_scenario(config, rng);
     sc.altitude_m = h;
+    // Coverage radii depend on altitude, so the model is rebuilt per h —
+    // once, shared with the solver via the coverage-reusing entry point.
+    const CoverageModel cov(sc);
     ApproAlgParams params;
     params.s = 1;
     params.candidate_cap = 30;
-    const Solution sol = appro_alg(sc, params);
+    const Solution sol = solve(sc, cov, params);
     served_table.add_row(
         {format_double(h, 0), std::to_string(sol.served)});
   }

@@ -44,11 +44,15 @@ int main(int argc, char** argv) {
     Rng per_k = fleet_rng;  // same capacity stream prefix per K
     scenario.fleet = workload::make_fleet(fleet_config, per_k);
 
+    // The coverage model depends on the fleet's radio classes, so it must
+    // be rebuilt when the fleet changes — but only once per K, shared by
+    // the solver below instead of rebuilt inside it.
+    const CoverageModel cov(scenario);
     ApproAlgParams params;
     params.s = 2;
     params.candidate_cap = 40;
     ApproAlgStats stats;
-    const Solution sol = appro_alg(scenario, params, &stats);
+    const Solution sol = solve(scenario, cov, params, &stats);
     const double coverage =
         static_cast<double>(sol.served) / scenario.user_count();
     table.add_row({std::to_string(K), std::to_string(sol.served),

@@ -106,10 +106,10 @@ int main() {
                    format_double(sol.solve_seconds, 3)});
   };
   add(ours);
-  add(baselines::max_throughput(sc, cov));
-  add(baselines::motion_ctrl(sc, cov));
-  add(baselines::mcs(sc, cov));
-  add(baselines::greedy_assign(sc, cov));
+  add(baselines::solve(sc, cov, baselines::MaxThroughputParams{}));
+  add(baselines::solve(sc, cov, baselines::MotionCtrlParams{}));
+  add(baselines::solve(sc, cov, baselines::McsParams{}));
+  add(baselines::solve(sc, cov, baselines::GreedyAssignParams{}));
   table.print(std::cout);
   std::cout << '\n';
 

@@ -23,15 +23,19 @@ int main() {
             << scenario.grid.size() << " candidate hovering cells\n";
 
   // 2. Run the paper's approximation algorithm.  s trades solution quality
-  //    against runtime (approximation ratio O(sqrt(s/K))).
+  //    against runtime (approximation ratio O(sqrt(s/K))); threads > 1
+  //    parallelizes the seed-subset search with bit-identical results.
+  //    Building the CoverageModel once up front lets the solver and the
+  //    audit below share the eligibility precomputation.
+  const CoverageModel coverage(scenario);
   ApproAlgParams params;
   params.s = 2;
   params.candidate_cap = 40;  // keep the demo snappy; 0 = exhaustive
+  params.threads = 0;         // 0 = use all hardware threads
   ApproAlgStats stats;
-  const Solution solution = appro_alg(scenario, params, &stats);
+  const Solution solution = solve(scenario, coverage, params, &stats);
 
   // 3. Audit the §II-C constraints (throws on any violation) and report.
-  const CoverageModel coverage(scenario);
   validate_solution(scenario, coverage, solution);
 
   std::cout << "approAlg served " << solution.served << " / "

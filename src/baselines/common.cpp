@@ -7,7 +7,12 @@ namespace uavcov::baselines {
 
 Solution finalize(const Scenario& scenario, const CoverageModel& coverage,
                   std::span<const LocationId> locations,
-                  std::string algorithm_name, double solve_seconds) {
+                  std::string algorithm_name, double solve_seconds,
+                  BaselineStats* stats) {
+  if (stats) {
+    stats->locations_selected = static_cast<std::int64_t>(locations.size());
+    stats->seconds = solve_seconds;
+  }
   UAVCOV_CHECK_MSG(
       static_cast<std::int32_t>(locations.size()) <= scenario.uav_count(),
       "baseline selected more locations than UAVs");

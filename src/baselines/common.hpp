@@ -20,11 +20,26 @@
 
 namespace uavcov::baselines {
 
+/// Search counters shared by every baseline's unified solve() entry point
+/// (the baseline-side counterpart of ApproAlgStats).  `iterations` is the
+/// algorithm's natural outer-loop count: growth trials for MCS, hill-climb
+/// rounds for MotionCtrl, Lloyd iterations for KMeansPlace, random trials
+/// for RandomConnected, profit rounds for GreedyAssign, stitched seeds for
+/// maxThroughput.
+struct BaselineStats {
+  std::int64_t locations_selected = 0;  ///< cells handed to finalize().
+  std::int64_t iterations = 0;          ///< algorithm-specific loop count.
+  double seconds = 0.0;                 ///< end-to-end wall clock.
+};
+
 /// Place fleet UAVs 0..q-1 on `locations` in input order, solve the optimal
-/// assignment, and package a Solution.
+/// assignment, and package a Solution.  When `stats` is non-null its
+/// locations_selected / seconds fields are filled here (iterations is the
+/// caller's).
 Solution finalize(const Scenario& scenario, const CoverageModel& coverage,
                   std::span<const LocationId> locations,
-                  std::string algorithm_name, double solve_seconds);
+                  std::string algorithm_name, double solve_seconds,
+                  BaselineStats* stats = nullptr);
 
 /// Incremental uncapacitated coverage counter: tracks which users are
 /// already covered and reports how many *new* users a location would add

@@ -9,8 +9,8 @@
 
 namespace uavcov::baselines {
 
-Solution greedy_assign(const Scenario& scenario,
-                       const CoverageModel& coverage) {
+Solution solve(const Scenario& scenario, const CoverageModel& coverage,
+               const GreedyAssignParams& /*params*/, BaselineStats* stats) {
   Stopwatch watch;
   scenario.validate();
   const Graph g = build_location_graph(scenario.grid, scenario.uav_range_m);
@@ -40,10 +40,13 @@ Solution greedy_assign(const Scenario& scenario,
       pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(best_idx));
     }
   }
+  if (stats != nullptr) {
+    stats->iterations = static_cast<std::int64_t>(profit.size());
+  }
   if (profit.empty()) {
     const std::vector<LocationId> fallback{0};
     return finalize(scenario, coverage, fallback, "GreedyAssign",
-                    watch.elapsed_s());
+                    watch.elapsed_s(), stats);
   }
 
   // --- Phase 2: budgeted connected growth by profit / path-length. ------
@@ -107,7 +110,12 @@ Solution greedy_assign(const Scenario& scenario,
     network.push_back(best);
   }
   return finalize(scenario, coverage, network, "GreedyAssign",
-                  watch.elapsed_s());
+                  watch.elapsed_s(), stats);
+}
+
+Solution greedy_assign(const Scenario& scenario,
+                       const CoverageModel& coverage) {
+  return solve(scenario, coverage, GreedyAssignParams{}, nullptr);
 }
 
 }  // namespace uavcov::baselines

@@ -21,6 +21,20 @@
 
 namespace uavcov::baselines {
 
+/// GreedyAssign has no tunables today; the empty params struct exists so
+/// the unified solve(scenario, coverage, params, stats) shape dispatches
+/// to it like to every other solver.
+struct GreedyAssignParams {};
+
+/// Unified solver entry point.  `stats->iterations` counts the profit-
+/// labeling rounds (cells that received a positive profit).
+Solution solve(const Scenario& scenario, const CoverageModel& coverage,
+               const GreedyAssignParams& params,
+               BaselineStats* stats = nullptr);
+
+/// Deprecated pre-unification name; thin shim over solve().
+[[deprecated(
+    "use baselines::solve(scenario, coverage, GreedyAssignParams{})")]]
 Solution greedy_assign(const Scenario& scenario,
                        const CoverageModel& coverage);
 

@@ -83,16 +83,17 @@ std::vector<Vec2> lloyd_centroids(const std::vector<User>& users,
 
 }  // namespace
 
-Solution kmeans_place(const Scenario& scenario, const CoverageModel& coverage,
-                      const KMeansParams& params) {
+Solution solve(const Scenario& scenario, const CoverageModel& coverage,
+               const KMeansParams& params, BaselineStats* stats) {
   Stopwatch watch;
   scenario.validate();
   UAVCOV_CHECK_MSG(params.iterations >= 1, "need at least one iteration");
   const std::int32_t K = scenario.uav_count();
+  if (stats != nullptr) stats->iterations = params.iterations;
   if (scenario.users.empty()) {
     const std::vector<LocationId> fallback{0};
     return finalize(scenario, coverage, fallback, "KMeansPlace",
-                    watch.elapsed_s());
+                    watch.elapsed_s(), stats);
   }
 
   Rng rng(params.seed);
@@ -142,7 +143,12 @@ Solution kmeans_place(const Scenario& scenario, const CoverageModel& coverage,
   if (network.empty() && !snapped.empty()) network.push_back(snapped[0]);
   if (network.empty()) network.push_back(0);
   return finalize(scenario, coverage, network, "KMeansPlace",
-                  watch.elapsed_s());
+                  watch.elapsed_s(), stats);
+}
+
+Solution kmeans_place(const Scenario& scenario, const CoverageModel& coverage,
+                      const KMeansParams& params) {
+  return solve(scenario, coverage, params, nullptr);
 }
 
 }  // namespace uavcov::baselines

@@ -18,6 +18,14 @@ struct KMeansParams {
   std::uint64_t seed = 17;
 };
 
+/// Unified solver entry point (same shape as every other solver:
+/// solve(scenario, coverage, params, stats)).  `stats->iterations` counts
+/// the Lloyd iterations requested.
+Solution solve(const Scenario& scenario, const CoverageModel& coverage,
+               const KMeansParams& params, BaselineStats* stats = nullptr);
+
+/// Deprecated pre-unification name; thin shim over solve().
+[[deprecated("use baselines::solve(scenario, coverage, KMeansParams{...})")]]
 Solution kmeans_place(const Scenario& scenario, const CoverageModel& coverage,
                       const KMeansParams& params = {});
 

@@ -31,9 +31,8 @@ Scenario homogenize(const Scenario& scenario) {
 }
 }  // namespace
 
-Solution max_throughput(const Scenario& scenario,
-                        const CoverageModel& coverage,
-                        const MaxThroughputParams& params) {
+Solution solve(const Scenario& scenario, const CoverageModel& coverage,
+               const MaxThroughputParams& params, BaselineStats* stats) {
   Stopwatch watch;
   scenario.validate();
   const std::int32_t K = scenario.uav_count();
@@ -46,7 +45,10 @@ Solution max_throughput(const Scenario& scenario,
   if (candidates.empty()) {
     const std::vector<LocationId> fallback{0};
     return finalize(scenario, coverage, fallback, "maxThroughput",
-                    watch.elapsed_s());
+                    watch.elapsed_s(), stats);
+  }
+  if (stats != nullptr) {
+    stats->iterations = static_cast<std::int64_t>(candidates.size());
   }
   const SegmentPlan plan = compute_segment_plan(K, /*s=*/1);
 
@@ -143,7 +145,13 @@ Solution max_throughput(const Scenario& scenario,
     best_nodes.push_back(best);
   }
   return finalize(scenario, coverage, best_nodes, "maxThroughput",
-                  watch.elapsed_s());
+                  watch.elapsed_s(), stats);
+}
+
+Solution max_throughput(const Scenario& scenario,
+                        const CoverageModel& coverage,
+                        const MaxThroughputParams& params) {
+  return solve(scenario, coverage, params, nullptr);
 }
 
 }  // namespace uavcov::baselines

@@ -23,6 +23,16 @@ struct MaxThroughputParams {
   std::int32_t candidate_cap = 0;  ///< same knob as approAlg (0 = all).
 };
 
+/// Unified solver entry point (same shape as every other solver:
+/// solve(scenario, coverage, params, stats)).  `stats->iterations` counts
+/// the seed cells whose networks were evaluated.
+Solution solve(const Scenario& scenario, const CoverageModel& coverage,
+               const MaxThroughputParams& params,
+               BaselineStats* stats = nullptr);
+
+/// Deprecated pre-unification name; thin shim over solve().
+[[deprecated(
+    "use baselines::solve(scenario, coverage, MaxThroughputParams{...})")]]
 Solution max_throughput(const Scenario& scenario,
                         const CoverageModel& coverage,
                         const MaxThroughputParams& params = {});

@@ -59,14 +59,17 @@ std::vector<LocationId> grow_from(const Scenario& scenario,
 }
 }  // namespace
 
-Solution mcs(const Scenario& scenario, const CoverageModel& coverage,
-             const McsParams& params) {
+Solution solve(const Scenario& scenario, const CoverageModel& coverage,
+               const McsParams& params, BaselineStats* stats) {
   Stopwatch watch;
   scenario.validate();
   UAVCOV_CHECK_MSG(params.seed_trials >= 1, "need at least one seed trial");
   const Graph g = build_location_graph(scenario.grid, scenario.uav_range_m);
   const std::vector<LocationId> seeds =
       coverage.candidate_locations(params.seed_trials);
+  if (stats != nullptr) {
+    stats->iterations = static_cast<std::int64_t>(seeds.size());
+  }
 
   std::vector<LocationId> best_set;
   std::int64_t best_estimate = -1;
@@ -90,7 +93,13 @@ Solution mcs(const Scenario& scenario, const CoverageModel& coverage,
   if (best_set.empty() && scenario.grid.size() > 0) {
     best_set.push_back(0);  // degenerate: nobody coverable, park one UAV
   }
-  return finalize(scenario, coverage, best_set, "MCS", watch.elapsed_s());
+  return finalize(scenario, coverage, best_set, "MCS", watch.elapsed_s(),
+                  stats);
+}
+
+Solution mcs(const Scenario& scenario, const CoverageModel& coverage,
+             const McsParams& params) {
+  return solve(scenario, coverage, params, nullptr);
 }
 
 }  // namespace uavcov::baselines

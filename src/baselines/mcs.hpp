@@ -21,6 +21,14 @@ struct McsParams {
   std::int32_t seed_trials = 10;  ///< try growth from the top-N cells.
 };
 
+/// Unified solver entry point (same shape as every other solver:
+/// solve(scenario, coverage, params, stats)).  `stats->iterations` counts
+/// the growth trials actually run.
+Solution solve(const Scenario& scenario, const CoverageModel& coverage,
+               const McsParams& params, BaselineStats* stats = nullptr);
+
+/// Deprecated pre-unification name; thin shim over solve().
+[[deprecated("use baselines::solve(scenario, coverage, McsParams{...})")]]
 Solution mcs(const Scenario& scenario, const CoverageModel& coverage,
              const McsParams& params = {});
 

@@ -50,8 +50,8 @@ bool network_connected(const Scenario& scenario,
 }
 }  // namespace
 
-Solution motion_ctrl(const Scenario& scenario, const CoverageModel& coverage,
-                     const MotionCtrlParams& params) {
+Solution solve(const Scenario& scenario, const CoverageModel& coverage,
+               const MotionCtrlParams& params, BaselineStats* stats) {
   Stopwatch watch;
   scenario.validate();
   UAVCOV_CHECK_MSG(params.max_rounds >= 1, "need at least one round");
@@ -88,6 +88,7 @@ Solution motion_ctrl(const Scenario& scenario, const CoverageModel& coverage,
   for (LocationId v : locs) occupied[static_cast<std::size_t>(v)] = true;
 
   for (std::int32_t round = 0; round < params.max_rounds; ++round) {
+    if (stats != nullptr) ++stats->iterations;
     bool improved = false;
     for (std::size_t i = 0; i < locs.size(); ++i) {
       const LocationId from = locs[i];
@@ -115,7 +116,13 @@ Solution motion_ctrl(const Scenario& scenario, const CoverageModel& coverage,
     }
     if (!improved) break;
   }
-  return finalize(scenario, coverage, locs, "MotionCtrl", watch.elapsed_s());
+  return finalize(scenario, coverage, locs, "MotionCtrl", watch.elapsed_s(),
+                  stats);
+}
+
+Solution motion_ctrl(const Scenario& scenario, const CoverageModel& coverage,
+                     const MotionCtrlParams& params) {
+  return solve(scenario, coverage, params, nullptr);
 }
 
 }  // namespace uavcov::baselines

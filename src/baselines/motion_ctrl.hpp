@@ -24,6 +24,15 @@ struct MotionCtrlParams {
   std::int32_t max_rounds = 60;
 };
 
+/// Unified solver entry point (same shape as every other solver:
+/// solve(scenario, coverage, params, stats)).  `stats->iterations` counts
+/// the hill-climbing rounds actually run.
+Solution solve(const Scenario& scenario, const CoverageModel& coverage,
+               const MotionCtrlParams& params, BaselineStats* stats = nullptr);
+
+/// Deprecated pre-unification name; thin shim over solve().
+[[deprecated(
+    "use baselines::solve(scenario, coverage, MotionCtrlParams{...})")]]
 Solution motion_ctrl(const Scenario& scenario, const CoverageModel& coverage,
                      const MotionCtrlParams& params = {});
 

@@ -6,9 +6,8 @@
 
 namespace uavcov::baselines {
 
-Solution random_connected(const Scenario& scenario,
-                          const CoverageModel& coverage,
-                          const RandomConnectedParams& params) {
+Solution solve(const Scenario& scenario, const CoverageModel& coverage,
+               const RandomConnectedParams& params, BaselineStats* stats) {
   Stopwatch watch;
   scenario.validate();
   UAVCOV_CHECK_MSG(params.trials >= 1, "need at least one trial");
@@ -21,6 +20,7 @@ Solution random_connected(const Scenario& scenario,
   std::vector<LocationId> best_set;
   std::int64_t best_estimate = -1;
   for (std::int32_t trial = 0; trial < params.trials; ++trial) {
+    if (stats != nullptr) ++stats->iterations;
     const LocationId seed = candidates[static_cast<std::size_t>(
         rng.next_below(candidates.size()))];
     std::vector<LocationId> set{seed};
@@ -55,7 +55,13 @@ Solution random_connected(const Scenario& scenario,
     }
   }
   return finalize(scenario, coverage, best_set, "RandomConnected",
-                  watch.elapsed_s());
+                  watch.elapsed_s(), stats);
+}
+
+Solution random_connected(const Scenario& scenario,
+                          const CoverageModel& coverage,
+                          const RandomConnectedParams& params) {
+  return solve(scenario, coverage, params, nullptr);
 }
 
 }  // namespace uavcov::baselines

@@ -13,6 +13,16 @@ struct RandomConnectedParams {
   std::uint64_t seed = 42;
 };
 
+/// Unified solver entry point (same shape as every other solver:
+/// solve(scenario, coverage, params, stats)).  `stats->iterations` counts
+/// the random trials run.
+Solution solve(const Scenario& scenario, const CoverageModel& coverage,
+               const RandomConnectedParams& params,
+               BaselineStats* stats = nullptr);
+
+/// Deprecated pre-unification name; thin shim over solve().
+[[deprecated(
+    "use baselines::solve(scenario, coverage, RandomConnectedParams{...})")]]
 Solution random_connected(const Scenario& scenario,
                           const CoverageModel& coverage,
                           const RandomConnectedParams& params = {});

@@ -1,12 +1,17 @@
 #include "core/appro_alg.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <queue>
 #include <span>
+#include <stdexcept>
+#include <string>
 
 #include "analysis/audit.hpp"
 #include "common/check.hpp"
 #include "common/stopwatch.hpp"
+#include "common/thread_pool.hpp"
 #include "core/assignment.hpp"
 #include "core/matroid.hpp"
 #include "core/relay.hpp"
@@ -130,10 +135,154 @@ std::vector<LocationId> greedy_place(
   return chosen;
 }
 
+/// Read-only inputs shared by every subset evaluation — and, on the
+/// parallel path, by every worker thread concurrently.  Nothing reachable
+/// from here is mutated during the search.
+struct SearchContext {
+  const Scenario& scenario;
+  const CoverageModel& coverage;
+  const ApproAlgParams& params;
+  const std::vector<LocationId>& candidates;
+  const std::vector<std::vector<std::int32_t>>& cand_dist;
+  const Graph& g;
+  const SegmentPlan& plan;
+  const std::vector<UavId>& uav_order;
+  std::int32_t K;
+  bool audit;
+};
+
+/// Mutable solver state owned by exactly one worker: the live flow network
+/// (whose FlowProbe journals must never cross threads), the hop-distance
+/// scratch, local counters, and the worker's running best.  The parallel
+/// engine gives each thread its own instance; the serial path uses one.
+struct WorkerState {
+  explicit WorkerState(const SearchContext& ctx)
+      : ia(ctx.scenario, ctx.coverage),
+        hop(static_cast<std::size_t>(ctx.g.node_count())) {}
+
+  IncrementalAssignment ia;
+  std::vector<std::int32_t> hop;
+  std::int64_t probes = 0;
+  std::int64_t subsets_stitched = 0;
+  std::int64_t best_served = -1;
+  std::int64_t best_rank = -1;  // global enumeration index of the best
+  std::vector<Deployment> best_deployments;
+};
+
+/// Evaluate one seed subset (positions into ctx.candidates).  `rank` is
+/// the subset's global enumeration index; recording it with the worker's
+/// best lets the reduction break served-count ties by enumeration order,
+/// which makes the parallel search bit-identical to the serial one.
+void evaluate_subset(const SearchContext& ctx, WorkerState& w,
+                     std::span<const std::int32_t> subset,
+                     std::int64_t rank) {
+  // Multi-source hop distances d(v) = min over seeds.
+  std::fill(w.hop.begin(), w.hop.end(), kUnreachable);
+  for (std::int32_t idx : subset) {
+    const auto& row = ctx.cand_dist[static_cast<std::size_t>(idx)];
+    for (std::size_t v = 0; v < w.hop.size(); ++v) {
+      w.hop[v] = std::min(w.hop[v], row[v]);
+    }
+  }
+  HopBudgetMatroid m2(w.hop, ctx.plan.quotas);
+
+  const auto scope = w.ia.begin_scope();
+  const std::vector<LocationId> chosen =
+      greedy_place(w.ia, ctx.coverage, ctx.candidates, m2, ctx.uav_order,
+                   ctx.plan.L_max, ctx.params.lazy_greedy, ctx.audit,
+                   &w.probes);
+  const auto relay = stitch_connected(ctx.g, chosen);
+  if (relay.has_value() &&
+      static_cast<std::int32_t>(relay->nodes.size()) <= ctx.K) {
+    ++w.subsets_stitched;
+    // Leftover UAVs (next in capacity order) hover on the relay cells —
+    // the paper deploys them "in an arbitrary way"; index order here.
+    for (std::size_t r = chosen.size(); r < relay->nodes.size(); ++r) {
+      w.ia.deploy(ctx.uav_order[r], relay->nodes[r]);
+    }
+    if (ctx.audit) {
+      // The stitched network must still carry a clean maximum flow, and
+      // Lemma 2 promises it fits the fleet.  The auditor only reads this
+      // worker's own flow network, so it is safe under concurrency.
+      analysis::AuditReport report = analysis::audit_assignment_flow(w.ia);
+      report.subject = "appro_alg.relay_stitch";
+      analysis::require_clean(report);
+    }
+    if (w.ia.served() > w.best_served) {
+      w.best_served = w.ia.served();
+      w.best_rank = rank;
+      w.best_deployments = w.ia.deployments();
+    }
+  }
+  w.ia.end_scope(scope);
+}
+
+/// DFS enumeration of s-subsets of ctx.candidates with the optional
+/// pairwise-hop pruning (prefix property: every pair in a kept subset is
+/// within L_max − 1 hops, so pruning applies as soon as a prefix violates
+/// it).  Calls `sink` with each surviving subset in the fixed global
+/// order; stops early when sink returns false.  Both the serial search
+/// and the parallel work-list builder run this same enumerator, so ranks
+/// agree by construction.
+template <typename Sink>
+void enumerate_subsets(const SearchContext& ctx, std::int32_t s,
+                       Sink&& sink) {
+  std::vector<std::int32_t> subset;
+  subset.reserve(static_cast<std::size_t>(s));
+  bool stop = false;
+  auto dfs = [&](auto&& self, std::int32_t start) -> void {
+    if (stop) return;
+    if (static_cast<std::int32_t>(subset.size()) == s) {
+      if (!sink(subset)) stop = true;
+      return;
+    }
+    for (std::int32_t i = start;
+         i < static_cast<std::int32_t>(ctx.candidates.size()); ++i) {
+      if (ctx.params.prune_seed_pairs) {
+        bool compatible = true;
+        for (std::int32_t j : subset) {
+          const std::int32_t hops =
+              ctx.cand_dist[static_cast<std::size_t>(j)][static_cast<
+                  std::size_t>(ctx.candidates[static_cast<std::size_t>(i)])];
+          if (hops == kUnreachable || hops > ctx.plan.L_max - 1) {
+            compatible = false;
+            break;
+          }
+        }
+        if (!compatible) continue;
+      }
+      subset.push_back(i);
+      self(self, i + 1);
+      subset.pop_back();
+      if (stop) return;
+    }
+  };
+  dfs(dfs, 0);
+}
+
 }  // namespace
+
+void ApproAlgParams::validate() const {
+  auto fail = [](const std::string& what) {
+    throw std::invalid_argument("ApproAlgParams: " + what);
+  };
+  if (s < 1) fail("s must be >= 1 (got " + std::to_string(s) + ")");
+  if (candidate_cap < 0) {
+    fail("candidate_cap must be >= 0 (got " + std::to_string(candidate_cap) +
+         ")");
+  }
+  if (threads < 0) {
+    fail("threads must be >= 0 (got " + std::to_string(threads) + ")");
+  }
+  if (max_seed_subsets < 0) {
+    fail("max_seed_subsets must be >= 0 (got " +
+         std::to_string(max_seed_subsets) + ")");
+  }
+}
 
 Solution appro_alg(const Scenario& scenario, const ApproAlgParams& params,
                    ApproAlgStats* stats) {
+  params.validate();
   const CoverageModel coverage(scenario);
   return appro_alg(scenario, coverage, params, stats);
 }
@@ -141,8 +290,8 @@ Solution appro_alg(const Scenario& scenario, const ApproAlgParams& params,
 Solution appro_alg(const Scenario& scenario, const CoverageModel& coverage,
                    const ApproAlgParams& params, ApproAlgStats* stats) {
   Stopwatch watch;
+  params.validate();
   scenario.validate();
-  UAVCOV_CHECK_MSG(params.s >= 1, "s must be >= 1");
   const std::int32_t K = scenario.uav_count();
   const bool audit = params.audit || analysis::audit_env_enabled();
 
@@ -186,93 +335,99 @@ Solution appro_alg(const Scenario& scenario, const CoverageModel& coverage,
   cand_dist.reserve(candidates.size());
   for (LocationId c : candidates) cand_dist.push_back(bfs_distances(g, c));
 
-  IncrementalAssignment ia(scenario, coverage);
+  const SearchContext ctx{scenario, coverage, params,    candidates,
+                          cand_dist, g,        plan,      uav_order,
+                          K,         audit};
+
+  const std::int32_t requested = ThreadPool::resolve(params.threads);
 
   std::int64_t best_served = -1;
+  std::int64_t best_rank = -1;
   std::vector<Deployment> best_deployments;
+  // Any worker's state can host the leftover-fill phase afterwards (each
+  // evaluation ends with end_scope, so the flow network is back to empty).
+  std::unique_ptr<WorkerState> fill_state;
 
-  // Per-subset evaluation.
-  std::vector<std::int32_t> subset;  // indices into `candidates`
-  subset.reserve(static_cast<std::size_t>(s));
-  std::vector<std::int32_t> hop(static_cast<std::size_t>(g.node_count()));
-  bool budget_exhausted = false;
-
-  auto evaluate_subset = [&]() {
-    ++st.subsets_evaluated;
-    // Multi-source hop distances d(v) = min over seeds.
-    std::fill(hop.begin(), hop.end(), kUnreachable);
-    for (std::int32_t idx : subset) {
-      const auto& row = cand_dist[static_cast<std::size_t>(idx)];
-      for (std::size_t v = 0; v < hop.size(); ++v) {
-        hop[v] = std::min(hop[v], row[v]);
-      }
-    }
-    HopBudgetMatroid m2(hop, plan.quotas);
-
-    const auto scope = ia.begin_scope();
-    const std::vector<LocationId> chosen =
-        greedy_place(ia, coverage, candidates, m2, uav_order, plan.L_max,
-                     params.lazy_greedy, audit, &st.probes);
-    const auto relay = stitch_connected(g, chosen);
-    if (relay.has_value() &&
-        static_cast<std::int32_t>(relay->nodes.size()) <= K) {
-      ++st.subsets_stitched;
-      // Leftover UAVs (next in capacity order) hover on the relay cells —
-      // the paper deploys them "in an arbitrary way"; index order here.
-      for (std::size_t r = chosen.size(); r < relay->nodes.size(); ++r) {
-        ia.deploy(uav_order[r], relay->nodes[r]);
-      }
-      if (audit) {
-        // The stitched network must still carry a clean maximum flow, and
-        // Lemma 2 promises it fits the fleet.
-        analysis::AuditReport report = analysis::audit_assignment_flow(ia);
-        report.subject = "appro_alg.relay_stitch";
-        analysis::require_clean(report);
-      }
-      if (ia.served() > best_served) {
-        best_served = ia.served();
-        best_deployments = ia.deployments();
-      }
-    }
-    ia.end_scope(scope);
-    if (params.max_seed_subsets > 0 &&
-        st.subsets_evaluated >= params.max_seed_subsets) {
-      budget_exhausted = true;
-    }
-  };
-
-  // DFS enumeration of s-subsets of `candidates` with optional pairwise-
-  // hop pruning (prefix property: every pair in a kept subset is within
-  // L_max − 1 hops, so pruning applies as soon as a prefix violates it).
-  auto enumerate = [&](auto&& self, std::int32_t start) -> void {
-    if (budget_exhausted) return;
-    if (static_cast<std::int32_t>(subset.size()) == s) {
+  if (requested <= 1) {
+    // Serial path: stream subsets straight out of the enumerator, exactly
+    // as before the parallel engine existed.
+    auto state = std::make_unique<WorkerState>(ctx);
+    std::int64_t rank = 0;
+    enumerate_subsets(ctx, s, [&](const std::vector<std::int32_t>& subset) {
       ++st.subsets_enumerated;
-      evaluate_subset();
-      return;
-    }
-    for (std::int32_t i = start;
-         i < static_cast<std::int32_t>(candidates.size()); ++i) {
-      if (params.prune_seed_pairs) {
-        bool compatible = true;
-        for (std::int32_t j : subset) {
-          const std::int32_t hops =
-              cand_dist[static_cast<std::size_t>(j)][static_cast<std::size_t>(
-                  candidates[static_cast<std::size_t>(i)])];
-          if (hops == kUnreachable || hops > plan.L_max - 1) {
-            compatible = false;
-            break;
+      ++st.subsets_evaluated;
+      evaluate_subset(ctx, *state, subset, rank);
+      ++rank;
+      return !(params.max_seed_subsets > 0 &&
+               st.subsets_evaluated >= params.max_seed_subsets);
+    });
+    best_served = state->best_served;
+    best_rank = state->best_rank;
+    best_deployments = std::move(state->best_deployments);
+    st.probes += state->probes;
+    st.subsets_stitched += state->subsets_stitched;
+    fill_state = std::move(state);
+  } else {
+    // Parallel path.  Materialize the work list first — enumeration is
+    // cheap next to evaluation (each evaluation runs a full greedy with
+    // flow probes) and a fixed list gives every subset its global rank up
+    // front.  The budget truncates the list to exactly the subsets the
+    // serial path would have evaluated.
+    std::vector<std::int32_t> flat;
+    enumerate_subsets(ctx, s, [&](const std::vector<std::int32_t>& subset) {
+      flat.insert(flat.end(), subset.begin(), subset.end());
+      ++st.subsets_enumerated;
+      return !(params.max_seed_subsets > 0 &&
+               st.subsets_enumerated >= params.max_seed_subsets);
+    });
+    const std::int64_t total = st.subsets_enumerated;
+    st.subsets_evaluated = total;
+
+    if (total > 0) {
+      const std::int32_t workers = static_cast<std::int32_t>(
+          std::min<std::int64_t>(requested, total));
+      std::vector<std::unique_ptr<WorkerState>> states(
+          static_cast<std::size_t>(workers));
+      std::atomic<std::int64_t> next{0};
+      ThreadPool pool(workers);
+      for (std::int32_t wi = 0; wi < workers; ++wi) {
+        pool.submit([&ctx, &states, &next, &flat, s, total, wi] {
+          // Per-worker state lives on the worker thread: its DinicFlow,
+          // probe journals, and scratch never touch another thread.
+          auto state = std::make_unique<WorkerState>(ctx);
+          for (;;) {
+            const std::int64_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= total) break;
+            evaluate_subset(
+                ctx, *state,
+                std::span<const std::int32_t>(
+                    flat.data() + i * s, static_cast<std::size_t>(s)),
+                i);
           }
-        }
-        if (!compatible) continue;
+          states[static_cast<std::size_t>(wi)] = std::move(state);
+        });
       }
-      subset.push_back(i);
-      self(self, i + 1);
-      subset.pop_back();
-      if (budget_exhausted) return;
+      pool.wait_idle();  // rethrows the first worker AuditError, if any
+
+      // Deterministic reduction: highest served count wins; ties go to
+      // the smallest enumeration rank — the subset the serial loop would
+      // have kept (it only replaces on a strict improvement).
+      for (auto& state : states) {
+        if (!state) continue;
+        st.probes += state->probes;
+        st.subsets_stitched += state->subsets_stitched;
+        if (state->best_served > best_served ||
+            (state->best_served == best_served && state->best_served >= 0 &&
+             state->best_rank < best_rank)) {
+          best_served = state->best_served;
+          best_rank = state->best_rank;
+          best_deployments = state->best_deployments;
+        }
+        if (!fill_state) fill_state = std::move(state);
+      }
     }
-  };
-  enumerate(enumerate, 0);
+  }
 
   if (best_served >= 0 && params.fill_leftover_uavs &&
       static_cast<std::int32_t>(best_deployments.size()) < K) {
@@ -280,6 +435,8 @@ Solution appro_alg(const Scenario& scenario, const CoverageModel& coverage,
     // paper grounds the K − q_j UAVs that neither serve nor relay; we
     // spend them greedily on cells adjacent to the winning network while
     // they still add served users.
+    if (!fill_state) fill_state = std::make_unique<WorkerState>(ctx);
+    IncrementalAssignment& ia = fill_state->ia;
     const auto scope = ia.begin_scope();
     std::vector<bool> used_uav(static_cast<std::size_t>(K), false);
     std::vector<bool> occupied(static_cast<std::size_t>(g.node_count()),

@@ -50,11 +50,24 @@ struct ApproAlgParams {
   /// Safety valve for pathological inputs: stop after this many evaluated
   /// subsets (0 = unlimited).  Deterministic: enumeration order is fixed.
   std::int64_t max_seed_subsets = 0;
+  /// Worker threads for the seed-subset search: 0 = hardware concurrency,
+  /// 1 = the serial path, N > 1 = a fixed pool of N workers.  The parallel
+  /// search is bit-identical to the serial one (each worker owns its flow
+  /// network; the reduction is deterministic — best served count wins,
+  /// ties broken by enumeration index), so this is purely a wall-clock
+  /// knob.  See DESIGN.md §7.
+  std::int32_t threads = 1;
   /// Run the deep invariant auditors (src/analysis/audit.hpp) on every
   /// greedy round and on the final solution, throwing AuditError on any
   /// violation.  Expensive; also enabled process-wide by the UAVCOV_AUDIT
   /// environment variable regardless of this field.
   bool audit = false;
+
+  /// Throws std::invalid_argument on any out-of-domain field (s < 1,
+  /// candidate_cap < 0, threads < 0, max_seed_subsets < 0).  Called at
+  /// every appro_alg / solve entry, so bad parameters fail loudly instead
+  /// of being silently clamped.
+  void validate() const;
 };
 
 /// Runs Algorithm 2.  `stats`, when non-null, receives search counters and
@@ -67,5 +80,16 @@ Solution appro_alg(const Scenario& scenario, const ApproAlgParams& params,
 Solution appro_alg(const Scenario& scenario, const CoverageModel& coverage,
                    const ApproAlgParams& params,
                    ApproAlgStats* stats = nullptr);
+
+/// Unified solver entry point: every solver in the system — approAlg here
+/// and each baseline in src/baselines/ — exposes the same
+/// solve(scenario, coverage, params, stats) shape, dispatched on the
+/// params type, so sweeps can share one precomputed CoverageModel across
+/// all of them and call them generically.
+inline Solution solve(const Scenario& scenario, const CoverageModel& coverage,
+                      const ApproAlgParams& params,
+                      ApproAlgStats* stats = nullptr) {
+  return appro_alg(scenario, coverage, params, stats);
+}
 
 }  // namespace uavcov

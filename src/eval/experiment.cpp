@@ -15,7 +15,13 @@ std::vector<AlgoResult> run_all(const RunConfig& config,
   const Scenario scenario =
       workload::make_disaster_scenario(config.scenario, rng);
   const CoverageModel coverage(scenario);
+  return run_all_on(scenario, coverage, config, appro_stats);
+}
 
+std::vector<AlgoResult> run_all_on(const Scenario& scenario,
+                                   const CoverageModel& coverage,
+                                   const RunConfig& config,
+                                   ApproAlgStats* appro_stats) {
   std::vector<AlgoResult> results;
   auto record = [&](const Solution& solution) {
     if (config.validate) validate_solution(scenario, coverage, solution);
@@ -24,24 +30,26 @@ std::vector<AlgoResult> run_all(const RunConfig& config,
   };
 
   if (config.run_appro) {
-    record(appro_alg(scenario, coverage, config.appro, appro_stats));
+    record(solve(scenario, coverage, config.appro, appro_stats));
   }
   if (config.run_max_throughput) {
     baselines::MaxThroughputParams params;
     params.candidate_cap = config.appro.candidate_cap;
-    record(baselines::max_throughput(scenario, coverage, params));
+    record(baselines::solve(scenario, coverage, params));
   }
   if (config.run_motion_ctrl) {
-    record(baselines::motion_ctrl(scenario, coverage));
+    record(baselines::solve(scenario, coverage, baselines::MotionCtrlParams{}));
   }
   if (config.run_mcs) {
-    record(baselines::mcs(scenario, coverage));
+    record(baselines::solve(scenario, coverage, baselines::McsParams{}));
   }
   if (config.run_greedy_assign) {
-    record(baselines::greedy_assign(scenario, coverage));
+    record(
+        baselines::solve(scenario, coverage, baselines::GreedyAssignParams{}));
   }
   if (config.run_random) {
-    record(baselines::random_connected(scenario, coverage));
+    record(baselines::solve(scenario, coverage,
+                            baselines::RandomConnectedParams{}));
   }
   return results;
 }

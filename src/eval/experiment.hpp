@@ -37,6 +37,15 @@ struct RunConfig {
 std::vector<AlgoResult> run_all(const RunConfig& config,
                                 ApproAlgStats* appro_stats = nullptr);
 
+/// Same as run_all() but on a caller-supplied scenario + coverage model,
+/// so sweeps that vary only algorithm parameters (e.g. the fig. 6 s-sweep)
+/// can reuse the eligibility precomputation instead of rebuilding it per
+/// sweep point.  `config.scenario`/`config.seed` are ignored here.
+std::vector<AlgoResult> run_all_on(const Scenario& scenario,
+                                   const CoverageModel& coverage,
+                                   const RunConfig& config,
+                                   ApproAlgStats* appro_stats = nullptr);
+
 /// Average `repetitions` runs with seeds seed, seed+1, ... (served counts
 /// and seconds are arithmetic means).
 std::vector<AlgoResult> run_averaged(const RunConfig& config,

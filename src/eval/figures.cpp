@@ -1,7 +1,9 @@
 #include "eval/figures.hpp"
 
 #include <memory>
+#include <vector>
 
+#include "common/check.hpp"
 #include "common/csv.hpp"
 #include "common/log.hpp"
 
@@ -15,6 +17,7 @@ RunConfig base_config(const FigureScale& scale) {
   config.scenario.fleet.uav_count = scale.uavs;
   config.appro.s = scale.s;
   config.appro.candidate_cap = scale.candidate_cap;
+  config.appro.threads = scale.threads;
   config.seed = scale.seed;
   return config;
 }
@@ -82,12 +85,45 @@ Table fig5_served_vs_n(const FigureScale& scale, std::int32_t n_min,
 
 Table fig6_s_tradeoff(const FigureScale& scale, Table& runtime_table,
                       std::int32_t s_min, std::int32_t s_max) {
+  // Only `s` varies across this sweep, so each repetition generates its
+  // scenario + coverage model once and reuses them for every s via
+  // run_all_on() (the eligibility precomputation dominates small runs).
+  std::vector<std::vector<AlgoResult>> sums(
+      static_cast<std::size_t>(s_max - s_min + 1));
+  for (std::int32_t rep = 0; rep < scale.repetitions; ++rep) {
+    RunConfig config = base_config(scale);
+    config.seed = scale.seed + static_cast<std::uint64_t>(rep);
+    Rng rng(config.seed);
+    const Scenario scenario =
+        workload::make_disaster_scenario(config.scenario, rng);
+    const CoverageModel coverage(scenario);
+    for (std::int32_t s = s_min; s <= s_max; ++s) {
+      config.appro.s = s;
+      const auto results = run_all_on(scenario, coverage, config);
+      auto& sum = sums[static_cast<std::size_t>(s - s_min)];
+      if (sum.empty()) {
+        sum = results;
+      } else {
+        UAVCOV_CHECK_MSG(sum.size() == results.size(),
+                         "algorithm set changed between repetitions");
+        for (std::size_t i = 0; i < sum.size(); ++i) {
+          sum[i].served += results[i].served;
+          sum[i].seconds += results[i].seconds;
+        }
+      }
+      UAVCOV_LOG(Info) << "fig6: rep=" << rep << " s=" << s << " done";
+    }
+  }
+
   Table served_table;
   std::unique_ptr<CsvWriter> csv;
   for (std::int32_t s = s_min; s <= s_max; ++s) {
-    RunConfig config = base_config(scale);
-    config.appro.s = s;
-    const auto results = run_averaged(config, scale.repetitions);
+    std::vector<AlgoResult>& results =
+        sums[static_cast<std::size_t>(s - s_min)];
+    for (AlgoResult& r : results) {
+      r.served = (r.served + scale.repetitions / 2) / scale.repetitions;
+      r.seconds /= scale.repetitions;
+    }
     if (served_table.row_count() == 0) {
       served_table.set_header(header_for(results, "s"));
       runtime_table.set_header(header_for(results, "s"));
@@ -100,7 +136,6 @@ Table fig6_s_tradeoff(const FigureScale& scale, Table& runtime_table,
                      false);
     append_sweep_row(runtime_table, nullptr, std::to_string(s), results,
                      true);
-    UAVCOV_LOG(Info) << "fig6: s=" << s << " done";
   }
   return served_table;
 }

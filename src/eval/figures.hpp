@@ -26,6 +26,7 @@ struct FigureScale {
   std::int32_t candidate_cap = 40; ///< 0 = no cap.
   std::int32_t repetitions = 1;
   std::uint64_t seed = 7;
+  std::int32_t threads = 1;        ///< approAlg workers (0 = hardware).
   std::string csv_path;            ///< empty = no CSV output.
 };
 

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "common/rng.hpp"
 #include "core/appro_alg.hpp"
@@ -276,6 +277,48 @@ TEST(ApproAlg, CapacityAscendingIsFeasibleButUsuallyWorse) {
   // The paper's largest-first rule must win in aggregate on
   // heterogeneous fleets.
   EXPECT_GE(desc_total, asc_total);
+}
+
+TEST(ApproAlgParamsValidate, RejectsOutOfRangeFields) {
+  ApproAlgParams p;
+  EXPECT_NO_THROW(p.validate());
+
+  p = {};
+  p.s = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.s = -3;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.candidate_cap = -1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.threads = -2;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = {};
+  p.max_seed_subsets = -1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+
+  // Zero is in-range for everything except s (0 = "no cap" / "auto").
+  p = {};
+  p.candidate_cap = 0;
+  p.threads = 0;
+  p.max_seed_subsets = 0;
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(ApproAlgParamsValidate, BothSolverEntryPointsValidate) {
+  Rng rng(7);
+  const Scenario sc = random_scenario(rng, 4, 10, 3);
+  const CoverageModel cov(sc);
+  ApproAlgParams bad;
+  bad.s = 0;
+  // Coverage-reusing overload.
+  EXPECT_THROW(appro_alg(sc, cov, bad), std::invalid_argument);
+  // Convenience overload (builds its own coverage model).
+  EXPECT_THROW(appro_alg(sc, bad), std::invalid_argument);
+  // Unified entry point forwards to the same checks.
+  EXPECT_THROW(solve(sc, cov, bad), std::invalid_argument);
 }
 
 TEST(ApproAlg, PruningNeverBreaksFeasibility) {

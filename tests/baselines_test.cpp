@@ -39,19 +39,19 @@ Scenario random_scenario(Rng& rng, std::int32_t cells, std::int32_t users,
 using BaselineFn = Solution (*)(const Scenario&, const CoverageModel&);
 
 Solution run_mcs(const Scenario& sc, const CoverageModel& cov) {
-  return baselines::mcs(sc, cov);
+  return baselines::solve(sc, cov, baselines::McsParams{});
 }
 Solution run_motion(const Scenario& sc, const CoverageModel& cov) {
-  return baselines::motion_ctrl(sc, cov);
+  return baselines::solve(sc, cov, baselines::MotionCtrlParams{});
 }
 Solution run_greedy(const Scenario& sc, const CoverageModel& cov) {
-  return baselines::greedy_assign(sc, cov);
+  return baselines::solve(sc, cov, baselines::GreedyAssignParams{});
 }
 Solution run_maxtp(const Scenario& sc, const CoverageModel& cov) {
-  return baselines::max_throughput(sc, cov);
+  return baselines::solve(sc, cov, baselines::MaxThroughputParams{});
 }
 Solution run_random(const Scenario& sc, const CoverageModel& cov) {
-  return baselines::random_connected(sc, cov);
+  return baselines::solve(sc, cov, baselines::RandomConnectedParams{});
 }
 
 struct BaselineCase {
@@ -182,8 +182,8 @@ TEST(Baselines, RandomConnectedSeedChangesResultDeterministically) {
   p1.seed = 1;
   baselines::RandomConnectedParams p2;
   p2.seed = 1;
-  EXPECT_EQ(baselines::random_connected(sc, cov, p1).served,
-            baselines::random_connected(sc, cov, p2).served);
+  EXPECT_EQ(baselines::solve(sc, cov, p1).served,
+            baselines::solve(sc, cov, p2).served);
 }
 
 }  // namespace

@@ -53,12 +53,12 @@ TEST_P(EndToEndSweep, AllAlgorithmsFeasibleAndOrdered) {
 
   std::vector<Solution> all;
   all.push_back(ours);
-  all.push_back(baselines::max_throughput(sc, cov));
-  all.push_back(baselines::motion_ctrl(sc, cov));
-  all.push_back(baselines::mcs(sc, cov));
-  all.push_back(baselines::greedy_assign(sc, cov));
-  all.push_back(baselines::kmeans_place(sc, cov));
-  all.push_back(baselines::random_connected(sc, cov));
+  all.push_back(baselines::solve(sc, cov, baselines::MaxThroughputParams{}));
+  all.push_back(baselines::solve(sc, cov, baselines::MotionCtrlParams{}));
+  all.push_back(baselines::solve(sc, cov, baselines::McsParams{}));
+  all.push_back(baselines::solve(sc, cov, baselines::GreedyAssignParams{}));
+  all.push_back(baselines::solve(sc, cov, baselines::KMeansParams{}));
+  all.push_back(baselines::solve(sc, cov, baselines::RandomConnectedParams{}));
 
   for (const Solution& sol : all) {
     SCOPED_TRACE(sol.algorithm);

@@ -123,8 +123,8 @@ TEST(KMeansPlace, FeasibleAndDeterministic) {
   }
   for (int k = 0; k < 6; ++k) sc.fleet.push_back({5, Radio{}, 120.0});
   const CoverageModel cov(sc);
-  const Solution a = baselines::kmeans_place(sc, cov);
-  const Solution b = baselines::kmeans_place(sc, cov);
+  const Solution a = baselines::solve(sc, cov, baselines::KMeansParams{});
+  const Solution b = baselines::solve(sc, cov, baselines::KMeansParams{});
   validate_solution(sc, cov, a);
   EXPECT_EQ(a.served, b.served);
   EXPECT_EQ(a.deployments, b.deployments);
@@ -146,7 +146,7 @@ TEST(KMeansPlace, SingleClusterCollapses) {
     sc.users.push_back({{240.0 + i, 240.0}, 1e3});
   }
   const CoverageModel cov(sc);
-  const Solution sol = baselines::kmeans_place(sc, cov);
+  const Solution sol = baselines::solve(sc, cov, baselines::KMeansParams{});
   validate_solution(sc, cov, sol);
   EXPECT_EQ(sol.served, 8);  // the pile fits one UAV's capacity? 8 <= 10 ✓
 }
@@ -162,7 +162,7 @@ TEST(KMeansPlace, NoUsers) {
       .fleet = {{5, Radio{}, 120.0}},
   };
   const CoverageModel cov(sc);
-  const Solution sol = baselines::kmeans_place(sc, cov);
+  const Solution sol = baselines::solve(sc, cov, baselines::KMeansParams{});
   validate_solution(sc, cov, sol);
   EXPECT_EQ(sol.served, 0);
 }

@@ -76,8 +76,9 @@ TEST(Integration, HeterogeneityAwareBeatsCapacityBlindBaselines) {
   ApproAlgParams params;
   params.s = 2;
   const Solution ours = appro_alg(sc, cov, params);
-  const Solution mcs = baselines::mcs(sc, cov);
-  const Solution mtp = baselines::max_throughput(sc, cov);
+  const Solution mcs = baselines::solve(sc, cov, baselines::McsParams{});
+  const Solution mtp =
+      baselines::solve(sc, cov, baselines::MaxThroughputParams{});
   validate_solution(sc, cov, mcs);
   validate_solution(sc, cov, mtp);
   EXPECT_GE(ours.served, mcs.served);

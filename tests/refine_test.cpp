@@ -93,7 +93,7 @@ TEST_P(RefineRandom, NeverWorseAlwaysFeasible) {
   for (const bool use_mcs : {false, true}) {
     Solution sol;
     if (use_mcs) {
-      sol = baselines::mcs(sc, cov);
+      sol = baselines::solve(sc, cov, baselines::McsParams{});
     } else {
       ApproAlgParams params;
       params.s = 1;

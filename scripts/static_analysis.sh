@@ -1,7 +1,12 @@
 #!/usr/bin/env bash
 # Static analysis runner for src/ (docs/STATIC_ANALYSIS.md).
 #
-#   scripts/static_analysis.sh [build-dir]
+#   scripts/static_analysis.sh [--fix] [build-dir]
+#
+# --fix: forward clang-tidy's -fix -fix-errors so checks with rewrites
+# (misc-const-correctness, modernize-use-*) patch the tree in place.
+# Apply on a clean worktree and review the diff; only meaningful in the
+# clang-tidy mode — the GCC fallback cannot rewrite and refuses the flag.
 #
 # Primary mode: clang-tidy over every src/**/*.cpp, driven by the
 # compilation database the CMake configure step exports
@@ -21,6 +26,11 @@
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+FIX=0
+if [[ "${1:-}" == "--fix" ]]; then
+  FIX=1
+  shift
+fi
 BUILD_DIR="${1:-${BUILD_DIR:-$ROOT/build}}"
 cd "$ROOT"
 
@@ -55,15 +65,27 @@ find_clang_tidy() {
 }
 
 if TIDY="$(find_clang_tidy)"; then
+  TIDY_ARGS=(-p "$BUILD_DIR" --quiet)
+  if [[ $FIX -eq 1 ]]; then
+    # -fix-errors applies rewrites even though WarningsAsErrors='*'
+    # upgrades every diagnostic; plain -fix would refuse to touch them.
+    TIDY_ARGS+=(-fix -fix-errors)
+    echo "==> applying fixes in place (-fix -fix-errors)" >&2
+  fi
   echo "==> $TIDY over ${#SOURCES[@]} translation units (db: $BUILD_DIR)" >&2
   STATUS=0
-  "$TIDY" -p "$BUILD_DIR" --quiet "${SOURCES[@]}" || STATUS=$?
+  "$TIDY" "${TIDY_ARGS[@]}" "${SOURCES[@]}" || STATUS=$?
   if [[ $STATUS -ne 0 ]]; then
     echo "==> clang-tidy reported diagnostics (see above)" >&2
     exit 1
   fi
   echo "==> clang-tidy clean" >&2
   exit 0
+fi
+
+if [[ $FIX -eq 1 ]]; then
+  echo "error: --fix requires clang-tidy (not found on PATH)" >&2
+  exit 2
 fi
 
 echo "==> clang-tidy not found; GCC strict-warning fallback" >&2

@@ -97,7 +97,10 @@ void require_clean(const AuditReport& report) {
 
 bool audit_env_enabled() {
   static const bool enabled = [] {
-    const char* v = std::getenv("UAVCOV_AUDIT");
+    // getenv is mt-unsafe only against concurrent setenv; nothing in this
+    // process mutates the environment, and the magic-static initializer
+    // makes the read once-only anyway.
+    const char* v = std::getenv("UAVCOV_AUDIT");  // NOLINT(concurrency-mt-unsafe)
     return v != nullptr && *v != '\0' && std::string_view(v) != "0";
   }();
   return enabled;

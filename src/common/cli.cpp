@@ -26,7 +26,7 @@ bool CliParser::parse(int argc, const char* const* argv) {
     }
     std::string name = arg, value;
     bool have_value = false;
-    if (auto eq = arg.find('='); eq != std::string::npos) {
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
       name = arg.substr(0, eq);
       value = arg.substr(eq + 1);
       have_value = true;
@@ -48,7 +48,7 @@ bool CliParser::parse(int argc, const char* const* argv) {
 }
 
 const CliParser::Flag& CliParser::find(const std::string& name) const {
-  auto it = flags_.find(name);
+  const auto it = flags_.find(name);
   UAVCOV_CHECK_MSG(it != flags_.end(), "flag not registered: --" + name);
   return it->second;
 }

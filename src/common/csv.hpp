@@ -1,5 +1,6 @@
 // CSV writer for experiment outputs (one file per figure; columns are the
-// paper's plotted series).  RFC-4180-style quoting.
+// paper's plotted series), plus the matching RFC-4180 record parser used
+// for reading results back and by the round-trip fuzzer.
 #pragma once
 
 #include <fstream>
@@ -7,6 +8,13 @@
 #include <vector>
 
 namespace uavcov {
+
+/// Parses one RFC-4180 CSV record into its cells — the exact inverse of
+/// CsvWriter quoting (parse_csv_row(quoted row) == original cells).  The
+/// record may contain quoted newlines.  Malformed input never truncates
+/// silently: an unterminated quoted cell, a quote opening mid-cell, or
+/// data trailing a closing quote all throw std::invalid_argument.
+std::vector<std::string> parse_csv_row(const std::string& line);
 
 class CsvWriter {
  public:

@@ -21,7 +21,7 @@ void Table::add_row(std::vector<std::string> row) {
 
 void Table::print(std::ostream& os) const {
   std::vector<std::size_t> width(header_.size(), 0);
-  auto widen = [&width](const std::vector<std::string>& row) {
+  const auto widen = [&width](const std::vector<std::string>& row) {
     if (width.size() < row.size()) width.resize(row.size(), 0);
     for (std::size_t i = 0; i < row.size(); ++i) {
       width[i] = std::max(width[i], row[i].size());
@@ -30,7 +30,7 @@ void Table::print(std::ostream& os) const {
   widen(header_);
   for (const auto& row : rows_) widen(row);
 
-  auto emit = [&os, &width](const std::vector<std::string>& row) {
+  const auto emit = [&os, &width](const std::vector<std::string>& row) {
     for (std::size_t i = 0; i < row.size(); ++i) {
       os << std::left << std::setw(static_cast<int>(width[i])) << row[i];
       if (i + 1 < row.size()) os << "  ";

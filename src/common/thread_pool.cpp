@@ -16,7 +16,7 @@ ThreadPool::ThreadPool(std::int32_t thread_count) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
   }
   task_ready_.notify_all();
@@ -26,7 +26,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::submit(std::function<void()> task) {
   UAVCOV_CHECK_MSG(task != nullptr, "cannot submit an empty task");
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    const std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
   }
   task_ready_.notify_one();
@@ -36,7 +36,7 @@ void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mu_);
   all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
   if (first_error_) {
-    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    const std::exception_ptr error = std::exchange(first_error_, nullptr);
     lock.unlock();
     std::rethrow_exception(error);
   }
@@ -63,11 +63,11 @@ void ThreadPool::worker_loop() {
     try {
       task();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
+      const std::lock_guard<std::mutex> lock(mu_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      const std::lock_guard<std::mutex> lock(mu_);
       --active_;
       if (queue_.empty() && active_ == 0) all_idle_.notify_all();
     }

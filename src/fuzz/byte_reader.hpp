@@ -1,0 +1,98 @@
+// Deterministic byte-stream consumer for the fuzzing harnesses
+// (docs/STATIC_ANALYSIS.md, "Fuzzing & differential oracles").
+//
+// Every structured value a harness needs — grid dimensions, user cluster
+// shapes, fleet specs, r_min/capacity extremes — is derived from the input
+// bytes and nothing else: no wall clock, no global RNG, no address-dependent
+// state.  Identical bytes therefore decode to identical scenarios on every
+// platform, which is what makes corpus files replayable as plain ctest
+// property tests and libFuzzer mutations meaningful.
+//
+// Exhaustion policy (the libFuzzer convention): once the stream runs out,
+// every read returns the lower bound of its range instead of failing.  A
+// truncated input is a *smaller* test case, never an error.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace uavcov::fuzz {
+
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(data == nullptr ? 0 : size) {}
+
+  std::size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ >= size_; }
+
+  /// Next byte, or 0 once exhausted.
+  std::uint8_t take_u8() { return exhausted() ? 0 : data_[pos_++]; }
+
+  /// Little-endian accumulation of `n` bytes (n <= 8).
+  std::uint64_t take_bytes(int n) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < n; ++i) {
+      v |= static_cast<std::uint64_t>(take_u8()) << (8 * i);
+    }
+    return v;
+  }
+
+  bool take_bool() { return (take_u8() & 1) != 0; }
+
+  /// Uniform-ish integer in [lo, hi] (inclusive).  Consumes only as many
+  /// bytes as the range needs, so small ranges keep inputs short and
+  /// mutation-friendly.  Returns `lo` when exhausted or lo >= hi.
+  std::int64_t take_int(std::int64_t lo, std::int64_t hi) {
+    if (lo >= hi) return lo;
+    const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+    int bytes = 1;
+    // Bytes needed so 256^bytes >= range (range == 0 means the full 2^64
+    // span, which needs all 8).
+    if (range == 0) {
+      bytes = 8;
+    } else {
+      std::uint64_t span = 256;
+      while (bytes < 8 && span < range) {
+        span *= 256;
+        ++bytes;
+      }
+    }
+    const std::uint64_t raw = take_bytes(bytes);
+    const std::uint64_t folded = (range == 0) ? raw : raw % range;
+    return lo + static_cast<std::int64_t>(folded);
+  }
+
+  /// Double in [0, 1] with 16 bits of resolution (plenty for geometry; a
+  /// coarse lattice makes interesting collisions — collinear users, users
+  /// exactly on cell borders — *likely* rather than measure-zero).
+  double take_unit() {
+    return static_cast<double>(take_bytes(2)) / 65535.0;
+  }
+
+  double take_double(double lo, double hi) {
+    return lo + (hi - lo) * take_unit();
+  }
+
+  /// One element of a fixed list (by reference to avoid copies).
+  template <typename T, std::size_t N>
+  const T& pick(const T (&options)[N]) {
+    return options[static_cast<std::size_t>(take_int(0, N - 1))];
+  }
+
+  /// Remaining bytes as text (for harnesses that parse raw input).
+  std::string take_rest_as_string() {
+    if (exhausted()) return {};
+    std::string s(reinterpret_cast<const char*>(data_) + pos_, remaining());
+    pos_ = size_;
+    return s;
+  }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace uavcov::fuzz

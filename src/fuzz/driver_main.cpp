@@ -1,0 +1,95 @@
+// Standalone replay driver: runs corpus files (or libFuzzer crash
+// artifacts) through a harness body without libFuzzer, so crashes can be
+// reproduced and bisected on any toolchain — including the GCC-only
+// containers where -fsanitize=fuzzer is unavailable.
+//
+//   uavcov_fuzz_driver <target> <file-or-dir>...   replay through <target>
+//   uavcov_fuzz_driver --list                      print harness names
+//
+// Directories are expanded to their regular files (sorted, one level), so
+// a whole corpus directory replays with one argument.  Exit status: 0 iff
+// every file ran clean.  A FuzzFailure (oracle disagreement) or unexpected
+// exception prints the offending file and the message — the same signal a
+// libFuzzer crash gives, minus the fuzzing.
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "fuzz/harness.hpp"
+
+namespace {
+
+std::vector<std::uint8_t> read_file(const std::string& path, bool& ok) {
+  std::ifstream in(path, std::ios::binary);
+  ok = in.good();
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+std::vector<std::string> expand_inputs(const std::vector<std::string>& args) {
+  std::vector<std::string> files;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(args[i], ec)) {
+      std::vector<std::string> in_dir;
+      for (const auto& entry : std::filesystem::directory_iterator(args[i])) {
+        if (entry.is_regular_file()) in_dir.push_back(entry.path().string());
+      }
+      std::sort(in_dir.begin(), in_dir.end());
+      files.insert(files.end(), in_dir.begin(), in_dir.end());
+    } else {
+      files.push_back(args[i]);
+    }
+  }
+  return files;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.size() == 1 && args[0] == "--list") {
+    for (const auto& h : uavcov::fuzz::all_harnesses()) {
+      std::cout << h.name << '\n';
+    }
+    return 0;
+  }
+  if (args.size() < 2) {
+    std::cerr << "usage: uavcov_fuzz_driver <target> <file-or-dir>...\n"
+                 "       uavcov_fuzz_driver --list\n";
+    return 2;
+  }
+  const uavcov::fuzz::HarnessFn harness = uavcov::fuzz::find_harness(args[0]);
+  if (harness == nullptr) {
+    std::cerr << "unknown target '" << args[0] << "' (try --list)\n";
+    return 2;
+  }
+  const std::vector<std::string> files = expand_inputs(args);
+  if (files.empty()) {
+    std::cerr << "no input files\n";
+    return 2;
+  }
+  int failures = 0;
+  for (const std::string& file : files) {
+    bool ok = false;
+    const std::vector<std::uint8_t> bytes = read_file(file, ok);
+    if (!ok) {
+      std::cerr << file << ": cannot read\n";
+      ++failures;
+      continue;
+    }
+    try {
+      harness(bytes.data(), bytes.size());
+      std::cout << file << ": ok (" << bytes.size() << " bytes)\n";
+    } catch (const std::exception& e) {
+      std::cerr << file << ": FAILED: " << e.what() << '\n';
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,347 @@
+#include "fuzz/harness.hpp"
+
+#include <array>
+#include <sstream>
+#include <vector>
+
+#include "analysis/audit.hpp"
+#include "common/csv.hpp"
+#include "core/appro_alg.hpp"
+#include "core/assignment.hpp"
+#include "core/exhaustive.hpp"
+#include "core/segment_plan.hpp"
+#include "core/solution.hpp"
+#include "fuzz/oracle_matching.hpp"
+#include "fuzz/scenario_decoder.hpp"
+#include "io/serialize.hpp"
+
+namespace uavcov::fuzz {
+
+namespace {
+
+void require(bool condition, const std::string& what) {
+  if (!condition) throw FuzzFailure(what);
+}
+
+/// Decodes up to `max_deployments` deployments with pairwise-distinct UAVs
+/// and locations.  Linear probing over the id spaces keeps the decode
+/// total (never fails) and deterministic.
+std::vector<Deployment> decode_deployments(ByteReader& r,
+                                           const Scenario& scenario,
+                                           std::int32_t max_deployments) {
+  const std::int32_t m = scenario.grid.size();
+  const std::int32_t K = scenario.uav_count();
+  const auto want = static_cast<std::int32_t>(
+      r.take_int(0, std::min({max_deployments, m, K})));
+  std::vector<bool> uav_used(static_cast<std::size_t>(K), false);
+  std::vector<bool> loc_used(static_cast<std::size_t>(m), false);
+  std::vector<Deployment> deployments;
+  for (std::int32_t i = 0; i < want; ++i) {
+    auto k = static_cast<std::int32_t>(r.take_int(0, K - 1));
+    while (uav_used[static_cast<std::size_t>(k)]) k = (k + 1) % K;
+    auto loc = static_cast<std::int32_t>(r.take_int(0, m - 1));
+    while (loc_used[static_cast<std::size_t>(loc)]) loc = (loc + 1) % m;
+    uav_used[static_cast<std::size_t>(k)] = true;
+    loc_used[static_cast<std::size_t>(loc)] = true;
+    deployments.push_back({k, loc});
+  }
+  return deployments;
+}
+
+/// Feasibility of an assignment vector against first-principles geometry:
+/// every mapping in range, every served user eligible under its serving
+/// UAV (range + rate via CoverageModel::is_eligible), every per-UAV load
+/// within capacity, and the served count consistent.
+void check_assignment_feasible(const Scenario& scenario,
+                               const CoverageModel& coverage,
+                               const std::vector<Deployment>& deployments,
+                               const std::vector<std::int32_t>& assignment,
+                               std::int64_t claimed_served,
+                               const std::string& label) {
+  require(assignment.size() == scenario.users.size(),
+          label + ": assignment vector size mismatch");
+  std::vector<std::int64_t> load(deployments.size(), 0);
+  std::int64_t served = 0;
+  for (std::size_t u = 0; u < assignment.size(); ++u) {
+    const std::int32_t d = assignment[u];
+    if (d == -1) continue;
+    require(d >= 0 && static_cast<std::size_t>(d) < deployments.size(),
+            label + ": assignment references unknown deployment");
+    const Deployment& dep = deployments[static_cast<std::size_t>(d)];
+    require(coverage.is_eligible(scenario, static_cast<UserId>(u), dep.loc,
+                                 dep.uav),
+            label + ": served user " + std::to_string(u) +
+                " ineligible under its UAV");
+    ++load[static_cast<std::size_t>(d)];
+    ++served;
+  }
+  for (std::size_t d = 0; d < deployments.size(); ++d) {
+    const auto cap =
+        scenario.fleet[static_cast<std::size_t>(deployments[d].uav)].capacity;
+    require(load[d] <= cap, label + ": deployment " + std::to_string(d) +
+                                " over capacity");
+  }
+  require(served == claimed_served,
+          label + ": served count inconsistent with assignment vector");
+}
+
+/// Everything except wall-clock must match bit-for-bit between the serial
+/// and parallel seed-subset searches (DESIGN.md §7's determinism contract).
+void check_solutions_identical(const Solution& a, const Solution& b) {
+  require(a.algorithm == b.algorithm, "serial/parallel algorithm mismatch");
+  require(a.served == b.served, "serial/parallel served mismatch");
+  require(a.deployments == b.deployments,
+          "serial/parallel deployments mismatch");
+  require(a.user_to_deployment == b.user_to_deployment,
+          "serial/parallel assignment mismatch");
+}
+
+template <typename T>
+std::string to_text(const T& value, void (*save)(std::ostream&, const T&)) {
+  std::ostringstream out;
+  save(out, value);
+  return out.str();
+}
+
+}  // namespace
+
+void run_assignment_harness(const std::uint8_t* data, std::size_t size) {
+  ByteReader r(data, size);
+  ScenarioLimits limits;
+  limits.max_cols = 4;
+  limits.max_rows = 4;
+  limits.max_users = 12;    // oracle tractability ceiling
+  limits.max_uavs = 4;
+  limits.max_capacity = 5;  // capacity state space stays tiny
+  const Scenario scenario = decode_scenario(r, limits);
+  const CoverageModel coverage(scenario);
+  const std::vector<Deployment> deployments =
+      decode_deployments(r, scenario, 4);
+
+  const AssignmentResult flow_result =
+      solve_assignment(scenario, coverage, deployments);
+  const MatchingResult oracle =
+      oracle_max_matching(make_matching_instance(scenario, coverage,
+                                                 deployments));
+
+  require(flow_result.served == oracle.served,
+          "max-flow served " + std::to_string(flow_result.served) +
+              " != oracle optimum " + std::to_string(oracle.served));
+  check_assignment_feasible(scenario, coverage, deployments,
+                            flow_result.user_to_deployment,
+                            flow_result.served, "max-flow");
+  check_assignment_feasible(scenario, coverage, deployments,
+                            oracle.user_to_deployment, oracle.served,
+                            "oracle witness");
+}
+
+void run_appro_alg_harness(const std::uint8_t* data, std::size_t size) {
+  ByteReader r(data, size);
+  ScenarioLimits limits;
+  limits.max_cols = 4;   // m <= 16 keeps the audited pipeline fast and the
+  limits.max_rows = 4;   // exhaustive comparison reachable
+  limits.max_users = 16;
+  limits.max_uavs = 5;
+  limits.max_capacity = 8;
+  const Scenario scenario = decode_scenario(r, limits);
+  const CoverageModel coverage(scenario);
+
+  ApproAlgParams params;
+  params.s = static_cast<std::int32_t>(
+      r.take_int(1, std::min<std::int64_t>(3, scenario.uav_count())));
+  params.candidate_cap = r.take_bool()
+                             ? 0
+                             : static_cast<std::int32_t>(r.take_int(1, 8));
+  params.prune_seed_pairs = r.take_bool();
+  params.lazy_greedy = r.take_bool();
+  params.capacity_ascending = r.take_bool();
+  params.fill_leftover_uavs = r.take_bool();
+  params.max_seed_subsets = 200;  // bounded runtime on pathological inputs
+  params.audit = true;            // every invariant auditor forced on
+
+  params.threads = 1;
+  ApproAlgStats serial_stats;
+  const Solution serial = appro_alg(scenario, coverage, params, &serial_stats);
+
+  params.threads = 4;
+  ApproAlgStats parallel_stats;
+  const Solution parallel =
+      appro_alg(scenario, coverage, params, &parallel_stats);
+
+  check_solutions_identical(serial, parallel);
+  require(serial_stats.candidates == parallel_stats.candidates &&
+              serial_stats.subsets_enumerated ==
+                  parallel_stats.subsets_enumerated &&
+              serial_stats.subsets_evaluated ==
+                  parallel_stats.subsets_evaluated &&
+              serial_stats.subsets_stitched ==
+                  parallel_stats.subsets_stitched &&
+              serial_stats.probes == parallel_stats.probes,
+          "serial/parallel search counters diverge");
+
+  validate_solution(scenario, coverage, serial);  // full §II-C feasibility
+  // approAlg returns before Algorithm 1 when no location covers any user,
+  // leaving stats.plan default-constructed; only audit a computed plan.
+  if (serial_stats.plan.K > 0) {
+    analysis::require_clean(analysis::audit_segment_plan(serial_stats.plan));
+    require(serial_stats.plan.relay_bound <= scenario.uav_count(),
+            "Lemma 2 relay bound exceeds K");
+  } else {
+    require(serial_stats.candidates == 0 && serial.served == 0,
+            "plan missing despite candidate locations");
+  }
+
+  const std::int64_t ceiling =
+      std::min<std::int64_t>(scenario.total_capacity(),
+                             scenario.user_count());
+  require(serial.served <= ceiling, "served exceeds capacity/user ceiling");
+
+  // Tiny instances: the exhaustive optimum bounds approAlg from above.
+  if (scenario.grid.size() <= 12 && scenario.uav_count() <= 3 &&
+      scenario.user_count() <= 10) {
+    const Solution optimum = exhaustive_optimal(scenario, coverage);
+    validate_solution(scenario, coverage, optimum);
+    require(serial.served <= optimum.served,
+            "approAlg served " + std::to_string(serial.served) +
+                " exceeds the exhaustive optimum " +
+                std::to_string(optimum.served));
+  }
+}
+
+void run_segment_plan_harness(const std::uint8_t* data, std::size_t size) {
+  ByteReader r(data, size);
+  const auto K = static_cast<std::int32_t>(r.take_int(1, 64));
+  const auto s = static_cast<std::int32_t>(
+      r.take_int(1, std::min<std::int64_t>(K, 8)));
+
+  const SegmentPlan plan = compute_segment_plan(K, s);
+  analysis::require_clean(analysis::audit_segment_plan(plan));
+  require(plan.K == K && plan.s == s, "plan echoes wrong K/s");
+  require(plan.L_max >= s, "L_max below the seed count");
+
+  // The balanced-profile search must match the exhaustive composition
+  // minimum (kept small: the brute force is exponential in L - s).
+  if (plan.L_max - plan.s <= 14 && s <= 4) {
+    require(plan.relay_bound == min_relay_bound_brute_force(s, plan.L_max),
+            "balanced budget profile is not optimal");
+  }
+
+  // Theorem 1's ratio: defined for K >= 2 within its domain; a clean
+  // ContractError outside the domain is correct, anything else is not.
+  if (K >= 2) {
+    try {
+      const double ratio = theoretical_approximation_ratio(K, s);
+      require(ratio > 0.0 && ratio <= 1.0 / 3.0,
+              "approximation ratio outside (0, 1/3]");
+    } catch (const ContractError&) {
+      // Out-of-domain (K, s) — documented behavior.
+    }
+  }
+}
+
+void run_serialize_roundtrip_harness(const std::uint8_t* data,
+                                     std::size_t size) {
+  ByteReader r(data, size);
+  if (r.take_bool()) {
+    // Raw mode: arbitrary bytes through every parser.  Success or a
+    // documented error type are both fine; UB, crashes, and unexpected
+    // exception types are what the sanitizers + this catch list reject.
+    const std::string text = r.take_rest_as_string();
+    try {
+      std::istringstream in(text);
+      const Scenario scenario = io::load_scenario(in);
+      // Anything that parsed must re-serialize to a fixed point.
+      const std::string saved =
+          to_text<Scenario>(scenario, io::save_scenario);
+      std::istringstream again(saved);
+      require(to_text<Scenario>(io::load_scenario(again),
+                                io::save_scenario) == saved,
+              "re-serialized scenario is not a fixed point");
+    } catch (const ContractError&) {
+    } catch (const std::invalid_argument&) {
+    }
+    try {
+      std::istringstream in(text);
+      (void)io::load_solution(in, /*user_count=*/16);
+    } catch (const ContractError&) {
+    } catch (const std::invalid_argument&) {
+    }
+    try {
+      (void)parse_csv_row(text);
+    } catch (const std::invalid_argument&) {
+    }
+    return;
+  }
+
+  // Structured mode: a valid scenario/solution pair must round-trip to the
+  // exact same bytes (the format writes max_digits10 floats).
+  ScenarioLimits limits;
+  const Scenario scenario = decode_scenario(r, limits);
+  const std::string text = to_text<Scenario>(scenario, io::save_scenario);
+  std::istringstream in(text);
+  Scenario loaded = scenario;
+  try {
+    loaded = io::load_scenario(in);
+  } catch (const ContractError& e) {
+    throw FuzzFailure(std::string("saved scenario failed to load: ") +
+                      e.what());
+  }
+  require(to_text<Scenario>(loaded, io::save_scenario) == text,
+          "scenario round trip is not bit-exact");
+
+  const CoverageModel coverage(scenario);
+  const std::vector<Deployment> deployments =
+      decode_deployments(r, scenario, 4);
+  const AssignmentResult assignment =
+      solve_assignment(scenario, coverage, deployments);
+  Solution solution;
+  solution.algorithm = "fuzz";
+  solution.deployments = deployments;
+  solution.user_to_deployment = assignment.user_to_deployment;
+  solution.served = assignment.served;
+  solution.solve_seconds = r.take_double(0.0, 100.0);
+  const std::string sol_text = to_text<Solution>(solution, io::save_solution);
+  std::istringstream sol_in(sol_text);
+  const Solution sol_loaded =
+      io::load_solution(sol_in, scenario.user_count());
+  require(to_text<Solution>(sol_loaded, io::save_solution) == sol_text,
+          "solution round trip is not bit-exact");
+  require(sol_loaded.served == solution.served &&
+              sol_loaded.deployments == solution.deployments &&
+              sol_loaded.user_to_deployment == solution.user_to_deployment,
+          "loaded solution differs from the saved one");
+
+  // CSV quoting must invert through the parser for arbitrary cell bytes.
+  const char palette[] = {'a', 'B', '7', ',', '"', '\n', '\r', ' '};
+  std::vector<std::string> cells(
+      static_cast<std::size_t>(r.take_int(1, 4)));
+  for (std::string& cell : cells) {
+    const std::int64_t len = r.take_int(0, 8);
+    for (std::int64_t i = 0; i < len; ++i) cell.push_back(r.pick(palette));
+  }
+  std::string row;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) row += ',';
+    row += CsvWriter::quote(cells[i]);
+  }
+  require(parse_csv_row(row) == cells, "CSV quote/parse not inverse");
+}
+
+std::span<const HarnessInfo> all_harnesses() {
+  static constexpr std::array<HarnessInfo, 4> kHarnesses{{
+      {"fuzz_assignment", &run_assignment_harness},
+      {"fuzz_appro_alg", &run_appro_alg_harness},
+      {"fuzz_segment_plan", &run_segment_plan_harness},
+      {"fuzz_serialize_roundtrip", &run_serialize_roundtrip_harness},
+  }};
+  return kHarnesses;
+}
+
+HarnessFn find_harness(const std::string& name) {
+  for (const HarnessInfo& h : all_harnesses()) {
+    if (name == h.name) return h.fn;
+  }
+  return nullptr;
+}
+
+}  // namespace uavcov::fuzz

@@ -1,0 +1,132 @@
+#include "fuzz/oracle_matching.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+
+namespace uavcov::fuzz {
+
+namespace {
+
+/// Deduplicated, validated copy of a user's eligibility list.
+std::vector<std::int32_t> clean_eligible(const std::vector<std::int32_t>& in,
+                                         std::int32_t deployment_count) {
+  std::vector<std::int32_t> out(in);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  for (const std::int32_t d : out) {
+    UAVCOV_CHECK_MSG(d >= 0 && d < deployment_count,
+                     "oracle: eligible deployment index out of range");
+  }
+  return out;
+}
+
+}  // namespace
+
+MatchingResult oracle_max_matching(const MatchingInstance& instance) {
+  const std::int32_t n = instance.user_count;
+  const auto deployment_count =
+      static_cast<std::int32_t>(instance.capacity.size());
+  UAVCOV_CHECK_MSG(n >= 0 && n <= 16,
+                   "oracle limited to 16 users (got " + std::to_string(n) +
+                       ")");
+  UAVCOV_CHECK_MSG(
+      instance.eligible.size() == static_cast<std::size_t>(n),
+      "oracle: eligibility list count must equal user_count");
+
+  // Capacities above n can never bind; clipping them keeps the mixed-radix
+  // state space tiny even for paper-scale capacities (C_k up to 300).
+  std::vector<std::int32_t> cap(instance.capacity);
+  for (std::int32_t& c : cap) {
+    UAVCOV_CHECK_MSG(c >= 0, "oracle: negative capacity");
+    c = std::min(c, n);
+  }
+
+  // Mixed-radix encoding: state = sum_d remaining_d * stride_d.
+  std::vector<std::int64_t> stride(cap.size());
+  std::int64_t states = 1;
+  for (std::size_t d = 0; d < cap.size(); ++d) {
+    stride[d] = states;
+    states *= cap[d] + 1;
+    UAVCOV_CHECK_MSG(states <= (std::int64_t{1} << 20),
+                     "oracle: capacity state space too large");
+  }
+  UAVCOV_CHECK_MSG((n + 1) * states <= (std::int64_t{1} << 22),
+                   "oracle: DP table too large");
+
+  std::vector<std::vector<std::int32_t>> eligible;
+  eligible.reserve(static_cast<std::size_t>(n));
+  for (const auto& e : instance.eligible) {
+    eligible.push_back(clean_eligible(e, deployment_count));
+  }
+
+  // dp[u][s] = max users servable among users u..n-1 with remaining
+  // capacity state s.  Filled backwards; layer n is all zeros.
+  std::vector<std::vector<std::int16_t>> dp(
+      static_cast<std::size_t>(n) + 1,
+      std::vector<std::int16_t>(static_cast<std::size_t>(states), 0));
+  for (std::int32_t u = n - 1; u >= 0; --u) {
+    const auto& next = dp[static_cast<std::size_t>(u) + 1];
+    auto& cur = dp[static_cast<std::size_t>(u)];
+    for (std::int64_t s = 0; s < states; ++s) {
+      std::int16_t best = next[static_cast<std::size_t>(s)];  // u unserved
+      for (const std::int32_t d : eligible[static_cast<std::size_t>(u)]) {
+        const auto du = static_cast<std::size_t>(d);
+        const std::int64_t rem = (s / stride[du]) % (cap[du] + 1);
+        if (rem == 0) continue;
+        const auto served_here = static_cast<std::int16_t>(
+            1 + next[static_cast<std::size_t>(s - stride[du])]);
+        best = std::max(best, served_here);
+      }
+      cur[static_cast<std::size_t>(s)] = best;
+    }
+  }
+
+  // Witness walk from the full-capacity state, preferring "unassigned"
+  // so the witness is deterministic.
+  MatchingResult result;
+  result.user_to_deployment.assign(static_cast<std::size_t>(n), -1);
+  std::int64_t state = states - 1;  // all deployments at full (clipped) cap
+  result.served = dp[0][static_cast<std::size_t>(state)];
+  for (std::int32_t u = 0; u < n; ++u) {
+    const auto& cur = dp[static_cast<std::size_t>(u)];
+    const auto& next = dp[static_cast<std::size_t>(u) + 1];
+    const std::int16_t want = cur[static_cast<std::size_t>(state)];
+    if (next[static_cast<std::size_t>(state)] == want) continue;  // unserved
+    bool placed = false;
+    for (const std::int32_t d : eligible[static_cast<std::size_t>(u)]) {
+      const auto du = static_cast<std::size_t>(d);
+      const std::int64_t rem = (state / stride[du]) % (cap[du] + 1);
+      if (rem == 0) continue;
+      if (1 + next[static_cast<std::size_t>(state - stride[du])] == want) {
+        result.user_to_deployment[static_cast<std::size_t>(u)] = d;
+        state -= stride[du];
+        placed = true;
+        break;
+      }
+    }
+    UAVCOV_CHECK_MSG(placed, "oracle: witness reconstruction failed");
+  }
+  return result;
+}
+
+MatchingInstance make_matching_instance(
+    const Scenario& scenario, const CoverageModel& coverage,
+    std::span<const Deployment> deployments) {
+  MatchingInstance instance;
+  instance.user_count = scenario.user_count();
+  instance.eligible.assign(static_cast<std::size_t>(instance.user_count), {});
+  for (std::size_t d = 0; d < deployments.size(); ++d) {
+    const Deployment& dep = deployments[d];
+    instance.capacity.push_back(
+        scenario.fleet[static_cast<std::size_t>(dep.uav)].capacity);
+    const std::int32_t cls = coverage.radio_class_of(dep.uav);
+    for (const UserId u : coverage.eligible_users(dep.loc, cls)) {
+      instance.eligible[static_cast<std::size_t>(u)].push_back(
+          static_cast<std::int32_t>(d));
+    }
+  }
+  return instance;
+}
+
+}  // namespace uavcov::fuzz

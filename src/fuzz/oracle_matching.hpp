@@ -1,0 +1,53 @@
+// Brute-force optimal bipartite b-matching oracle — the independent ground
+// truth the assignment fuzzer cross-checks the Dinic/incremental max-flow
+// pipeline against (§II-D, Lemma 1).
+//
+// The oracle shares *no* code with src/flow: it is an exact dynamic program
+// over (user index, remaining-capacity state), where the capacity state is
+// a mixed-radix encoding of every deployment's remaining slots.  That keeps
+// it obviously-correct and exponential only in the capacity profile, which
+// the fuzzer bounds to tiny instances (<= 12 users, state space <= 2^20).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/coverage.hpp"
+#include "core/scenario.hpp"
+#include "core/solution.hpp"
+
+namespace uavcov::fuzz {
+
+/// A capacitated bipartite matching instance, decoupled from Scenario so
+/// the oracle can also be unit-tested against hand-computed optima.
+struct MatchingInstance {
+  std::int32_t user_count = 0;
+  /// Remaining service slots per deployment (>= 0).
+  std::vector<std::int32_t> capacity;
+  /// eligible[u] = deployment indices that may serve user u (any order,
+  /// duplicates ignored).
+  std::vector<std::vector<std::int32_t>> eligible;
+};
+
+struct MatchingResult {
+  std::int64_t served = 0;
+  /// Per user: serving deployment index or -1 — a witness assignment that
+  /// attains `served` (feasible w.r.t. capacities and eligibility).
+  std::vector<std::int32_t> user_to_deployment;
+};
+
+/// Exact maximum: the largest number of users simultaneously assignable to
+/// eligible deployments without exceeding any capacity.  Preconditions
+/// (checked): user_count <= 16 and the product of (capacity_d + 1), with
+/// capacities clipped to user_count, is <= 2^20.
+MatchingResult oracle_max_matching(const MatchingInstance& instance);
+
+/// Builds the instance induced by `deployments` on a scenario: user u is
+/// eligible for deployment d iff the coverage model lists u at d's location
+/// under d's UAV radio class.  Capacities come from the fleet spec.
+MatchingInstance make_matching_instance(
+    const Scenario& scenario, const CoverageModel& coverage,
+    std::span<const Deployment> deployments);
+
+}  // namespace uavcov::fuzz

@@ -1,0 +1,136 @@
+#include "fuzz/scenario_decoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace uavcov::fuzz {
+
+namespace {
+
+/// User placement patterns.  Uniform scatter finds little that the unit
+/// tests don't; the named degenerate shapes are the point of the fuzzer.
+enum class UserPattern : std::int32_t {
+  kUniform = 0,
+  kOnePoint,      // every user on one coordinate (max capacity contention)
+  kCollinear,     // users on a line (Zhang & Duan's spiral worst cases)
+  kClusters,      // a few tight clusters, possibly out of every UAV's reach
+  kCellBorders,   // users snapped to cell boundaries (ties in locate())
+  kCount,
+};
+
+double clamp(double v, double lo, double hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+}  // namespace
+
+Scenario decode_scenario(ByteReader& r, const ScenarioLimits& limits) {
+  const std::int32_t cols = static_cast<std::int32_t>(
+      r.take_int(1, limits.max_cols));
+  const std::int32_t rows = static_cast<std::int32_t>(
+      r.take_int(1, limits.max_rows));
+  const double cell_options[] = {50.0, 100.0, 200.0, 300.0};
+  const double cell = r.pick(cell_options);
+  const double width = cols * cell;
+  const double height = rows * cell;
+
+  // R_uav relative to the cell side decides whether the candidate grid is
+  // even connected: < 1.0 disconnects 4-neighbours, < sqrt(2) disconnects
+  // diagonals — both regimes must be reachable.
+  const double range_factors[] = {0.9, 1.0, 1.5, 2.1, 4.0};
+  const double uav_range = r.pick(range_factors) * cell;
+
+  Scenario scenario{
+      .grid = Grid(width, height, cell),
+      .altitude_m = r.take_double(50.0, 500.0),
+      .uav_range_m = uav_range,
+      .channel = {},
+      .receiver = {},
+      .users = {},
+      .fleet = {},
+  };
+
+  // Fleet: capacities biased toward the extremes (capacity 1 is the
+  // matching-theoretic hard case; the max exercises the Lemma 1 flow's
+  // capacity edges) and up to two radio classes (heterogeneity).
+  const std::int32_t uav_count =
+      static_cast<std::int32_t>(r.take_int(1, limits.max_uavs));
+  for (std::int32_t k = 0; k < uav_count; ++k) {
+    UavSpec spec;
+    switch (r.take_int(0, 3)) {
+      case 0: spec.capacity = 1; break;
+      case 1: spec.capacity = limits.max_capacity; break;
+      default:
+        spec.capacity = static_cast<std::int32_t>(
+            r.take_int(1, limits.max_capacity));
+        break;
+    }
+    const bool heavy = r.take_bool();
+    spec.radio.tx_power_dbm = heavy ? 30.0 : 24.0;
+    spec.radio.antenna_gain_dbi = heavy ? 5.0 : 3.0;
+    // R_user <= R_uav is a model invariant (§II-B); tiny fractions give
+    // UAVs that can hold the network together but cover almost nobody.
+    const double user_fractions[] = {0.05, 0.5, 0.83, 1.0};
+    spec.user_range_m = r.pick(user_fractions) * uav_range;
+    scenario.fleet.push_back(spec);
+  }
+
+  const std::int32_t user_count =
+      static_cast<std::int32_t>(r.take_int(0, limits.max_users));
+  const auto pattern = static_cast<UserPattern>(
+      r.take_int(0, static_cast<std::int64_t>(UserPattern::kCount) - 1));
+
+  // Rate demands: the paper's 2 kbps, a trivially satisfiable floor, a
+  // demanding-but-possible rate, and (when allowed) an unsatisfiable
+  // extreme that makes users ineligible everywhere despite being in range.
+  const double rate_options_feasible[] = {2e3, 1.0, 2e5};
+  const double rate_options_extreme[] = {2e3, 1.0, 2e5, 1e15};
+
+  const double anchor_x = r.take_unit() * width;
+  const double anchor_y = r.take_unit() * height;
+  const double dir_x = r.take_unit() * 2.0 - 1.0;
+  const double dir_y = r.take_unit() * 2.0 - 1.0;
+
+  for (std::int32_t i = 0; i < user_count; ++i) {
+    User u;
+    switch (pattern) {
+      case UserPattern::kOnePoint:
+        u.pos = {anchor_x, anchor_y};
+        break;
+      case UserPattern::kCollinear: {
+        const double t = r.take_unit() * 2.0 - 0.5;  // may leave the area
+        u.pos = {clamp(anchor_x + t * dir_x * width, 0.0, width),
+                 clamp(anchor_y + t * dir_y * height, 0.0, height)};
+        break;
+      }
+      case UserPattern::kClusters: {
+        // Tight Gaussian-ish blobs around up to 3 anchors derived from the
+        // stream; blob radius of a tenth of a cell keeps them degenerate.
+        const double cx = (i % 3 == 0) ? anchor_x : r.take_unit() * width;
+        const double cy = (i % 3 == 0) ? anchor_y : r.take_unit() * height;
+        u.pos = {clamp(cx + (r.take_unit() - 0.5) * 0.2 * cell, 0.0, width),
+                 clamp(cy + (r.take_unit() - 0.5) * 0.2 * cell, 0.0, height)};
+        break;
+      }
+      case UserPattern::kCellBorders: {
+        const double bx = std::round(r.take_unit() * cols) * cell;
+        const double by = std::round(r.take_unit() * rows) * cell;
+        u.pos = {clamp(bx, 0.0, width), clamp(by, 0.0, height)};
+        break;
+      }
+      case UserPattern::kUniform:
+      default:
+        u.pos = {r.take_unit() * width, r.take_unit() * height};
+        break;
+    }
+    u.min_rate_bps = limits.allow_infeasible_rates
+                         ? r.pick(rate_options_extreme)
+                         : r.pick(rate_options_feasible);
+    scenario.users.push_back(u);
+  }
+
+  scenario.validate();  // decoder contract: every byte string decodes valid
+  return scenario;
+}
+
+}  // namespace uavcov::fuzz

@@ -1,0 +1,39 @@
+// Byte-stream → Scenario decoder for the fuzzing harnesses.
+//
+// The decoder is *structured*: rather than treating bytes as a serialized
+// scenario (which mutation would almost always break at the parser), each
+// byte range chooses a semantic feature — grid shape, user-cluster pattern,
+// heterogeneous fleet specs, r_min / capacity extremes — so every input,
+// however mangled, decodes to a Scenario that passes Scenario::validate()
+// while still reaching the degenerate geometries that break naive coverage
+// solvers: collinear users, all-users-on-one-point, capacity-1 fleets,
+// users with unsatisfiable rate requirements, and candidate grids whose
+// R_uav disconnects them from each other.
+#pragma once
+
+#include "core/scenario.hpp"
+#include "fuzz/byte_reader.hpp"
+
+namespace uavcov::fuzz {
+
+/// Size ceilings for a decoded scenario.  Harnesses pick limits that keep
+/// their oracle tractable (the brute-force matcher wants <= 12 users; the
+/// exhaustive optimum wants <= 16 cells and <= 5 UAVs).
+struct ScenarioLimits {
+  std::int32_t max_cols = 6;
+  std::int32_t max_rows = 6;
+  std::int32_t max_users = 24;
+  std::int32_t max_uavs = 6;
+  std::int32_t max_capacity = 300;
+  /// When true, user rate demands may be drawn from extremes that no link
+  /// budget can satisfy (exercises the "eligible by range, rejected by
+  /// rate" edge in the coverage model).
+  bool allow_infeasible_rates = true;
+};
+
+/// Decodes a scenario from `r` under `limits`.  Total-function: every byte
+/// string (including the empty one) yields a scenario that satisfies
+/// Scenario::validate().
+Scenario decode_scenario(ByteReader& r, const ScenarioLimits& limits);
+
+}  // namespace uavcov::fuzz

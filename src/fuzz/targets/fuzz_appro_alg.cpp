@@ -1,0 +1,10 @@
+// libFuzzer entry point: end-to-end approAlg under forced auditing —
+// serial vs parallel equality plus the exhaustive optimum on tiny
+// instances.  Build with -DUAVCOV_FUZZ=ON (clang).
+#include "fuzz/harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  uavcov::fuzz::run_appro_alg_harness(data, size);
+  return 0;
+}

@@ -1,0 +1,11 @@
+// libFuzzer entry point: Dinic max-flow assignment vs the brute-force
+// matching oracle.  Build with -DUAVCOV_FUZZ=ON (clang); see
+// docs/STATIC_ANALYSIS.md.  A FuzzFailure escaping here reaches
+// std::terminate, which libFuzzer reports as a crash with the input saved.
+#include "fuzz/harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  uavcov::fuzz::run_assignment_harness(data, size);
+  return 0;
+}

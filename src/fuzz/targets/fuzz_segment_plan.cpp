@@ -1,0 +1,9 @@
+// libFuzzer entry point: Algorithm 1 segment plans vs the exhaustive
+// composition search and the plan auditor.  Build with -DUAVCOV_FUZZ=ON.
+#include "fuzz/harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  uavcov::fuzz::run_segment_plan_harness(data, size);
+  return 0;
+}

@@ -1,0 +1,9 @@
+// libFuzzer entry point: serialization round trips and raw-byte parser
+// robustness (clean errors, never UB).  Build with -DUAVCOV_FUZZ=ON.
+#include "fuzz/harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  uavcov::fuzz::run_serialize_roundtrip_harness(data, size);
+  return 0;
+}

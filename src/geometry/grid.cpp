@@ -2,12 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 namespace uavcov {
 
 namespace {
 std::int32_t checked_cell_count(double extent, double cell_side,
                                 const char* axis) {
+  // std::isfinite also rejects NaN, which would sail through the > 0
+  // comparisons below (fuzzer finding: "area nan 100 100" must not produce
+  // a NaN-dimensioned grid).
+  UAVCOV_CHECK_MSG(std::isfinite(extent) && std::isfinite(cell_side),
+                   std::string("grid extent and cell side must be finite (") +
+                       axis + ")");
   UAVCOV_CHECK_MSG(extent > 0 && cell_side > 0,
                    std::string("grid extent and cell side must be positive (") +
                        axis + ")");
@@ -17,6 +24,11 @@ std::int32_t checked_cell_count(double extent, double cell_side,
                    std::string("grid extent must be a multiple of the cell "
                                "side (") +
                        axis + ")");
+  // Guard the cast: a double can hold counts far beyond LocationId's range,
+  // and casting such a value to int32 is undefined behavior, not an error.
+  UAVCOV_CHECK_MSG(
+      rounded <= static_cast<double>(std::numeric_limits<std::int32_t>::max()),
+      std::string("grid cell count overflows LocationId (") + axis + ")");
   return static_cast<std::int32_t>(rounded);
 }
 }  // namespace
@@ -26,7 +38,13 @@ Grid::Grid(double width, double height, double cell_side)
       height_(height),
       cell_side_(cell_side),
       cols_(checked_cell_count(width, cell_side, "width")),
-      rows_(checked_cell_count(height, cell_side, "height")) {}
+      rows_(checked_cell_count(height, cell_side, "height")) {
+  // size() multiplies the axes in int32; reject grids where that product
+  // overflows (cols_ >= 1 always holds after checked_cell_count).
+  UAVCOV_CHECK_MSG(
+      rows_ <= std::numeric_limits<std::int32_t>::max() / cols_,
+      "grid location count overflows LocationId");
+}
 
 LocationId Grid::locate(Vec2 p) const {
   if (p.x < 0 || p.y < 0 || p.x > width_ || p.y > height_) {

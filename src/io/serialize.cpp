@@ -56,6 +56,16 @@ T read_arg(Record& r, const char* what) {
   return value;
 }
 
+/// Rejects trailing tokens after a record's declared arguments — the
+/// alternative is silently dropping user data ("user 1 2 3 4" would load
+/// as a 3-field user), which the round-trip fuzzer rightly flags.
+void expect_end(Record& r) {
+  std::string extra;
+  r.args >> extra;
+  UAVCOV_CHECK_MSG(extra.empty(), "trailing data '" + extra +
+                                      "' in record '" + r.key + "'");
+}
+
 void expect_magic(std::istream& in, const std::string& magic) {
   std::string line;
   UAVCOV_CHECK_MSG(next_record(in, line), "empty input, expected " + magic);
@@ -64,6 +74,7 @@ void expect_magic(std::istream& in, const std::string& magic) {
   UAVCOV_CHECK_MSG(r.key == magic && version == "v1",
                    "bad header: expected '" + magic + " v1', got '" + line +
                        "'");
+  expect_end(r);
 }
 
 std::ostream& full_precision(std::ostream& out) {
@@ -112,6 +123,7 @@ Scenario load_scenario(std::istream& in) {
     width = read_arg<double>(r, "width");
     height = read_arg<double>(r, "height");
     cell = read_arg<double>(r, "cell side");
+    expect_end(r);
   }
   Scenario result{
       .grid = Grid(width, height, cell),
@@ -154,6 +166,7 @@ Scenario load_scenario(std::istream& in) {
     } else {
       UAVCOV_CHECK_MSG(false, "unknown scenario record: " + r.key);
     }
+    expect_end(r);
   }
   result.validate();
   return result;
@@ -189,22 +202,43 @@ Solution load_solution(std::istream& in, std::int32_t user_count) {
       solution.algorithm = read_arg<std::string>(r, "name");
     } else if (r.key == "served") {
       solution.served = read_arg<std::int64_t>(r, "served");
+      UAVCOV_CHECK_MSG(solution.served >= 0, "served must be nonnegative");
     } else if (r.key == "solve_seconds") {
       solution.solve_seconds = read_arg<double>(r, "seconds");
     } else if (r.key == "deployment") {
       Deployment d;
       d.uav = read_arg<UavId>(r, "uav");
       d.loc = read_arg<LocationId>(r, "location");
+      UAVCOV_CHECK_MSG(d.uav >= 0, "deployment UAV id must be nonnegative");
+      UAVCOV_CHECK_MSG(d.loc >= 0, "deployment location must be nonnegative");
       solution.deployments.push_back(d);
     } else if (r.key == "assignment") {
       const auto user = read_arg<std::int32_t>(r, "user");
       const auto dep = read_arg<std::int32_t>(r, "deployment");
       UAVCOV_CHECK_MSG(user >= 0 && user < user_count,
                        "assignment user out of range");
+      UAVCOV_CHECK_MSG(dep >= 0, "assignment deployment must be nonnegative");
+      UAVCOV_CHECK_MSG(
+          solution.user_to_deployment[static_cast<std::size_t>(user)] == -1,
+          "duplicate assignment for user " + std::to_string(user));
       solution.user_to_deployment[static_cast<std::size_t>(user)] = dep;
     } else {
       UAVCOV_CHECK_MSG(false, "unknown solution record: " + r.key);
     }
+    expect_end(r);
+  }
+  // Deployment/assignment records may arrive in any order, so referential
+  // integrity is a whole-file property: every assignment must point at a
+  // deployment that actually exists (an out-of-range index previously
+  // loaded "successfully" and blew up whoever consumed it).
+  const auto deployment_count =
+      static_cast<std::int32_t>(solution.deployments.size());
+  for (std::size_t u = 0; u < solution.user_to_deployment.size(); ++u) {
+    const std::int32_t dep = solution.user_to_deployment[u];
+    UAVCOV_CHECK_MSG(dep == -1 || dep < deployment_count,
+                     "assignment for user " + std::to_string(u) +
+                         " references nonexistent deployment " +
+                         std::to_string(dep));
   }
   return solution;
 }

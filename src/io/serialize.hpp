@@ -34,7 +34,8 @@ void save_scenario(std::ostream& out, const Scenario& scenario);
 void save_scenario_file(const std::string& path, const Scenario& scenario);
 
 /// Parses a scenario; throws ContractError on malformed input (wrong
-/// magic/version, unknown keys, bad counts).
+/// magic/version, unknown keys, bad or trailing record arguments,
+/// non-finite or overflowing grid dimensions).  Never truncates silently.
 Scenario load_scenario(std::istream& in);
 Scenario load_scenario_file(const std::string& path);
 
@@ -42,7 +43,9 @@ void save_solution(std::ostream& out, const Solution& solution);
 void save_solution_file(const std::string& path, const Solution& solution);
 
 /// Parses a solution.  `user_count` sizes the assignment vector (users not
-/// listed are unserved).
+/// listed are unserved).  Throws ContractError on malformed input: negative
+/// ids/counts, users out of [0, user_count), duplicate assignments, and
+/// assignments referencing deployments the file never declared.
 Solution load_solution(std::istream& in, std::int32_t user_count);
 Solution load_solution_file(const std::string& path,
                             std::int32_t user_count);

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <stdexcept>
 
 #include "common/check.hpp"
 #include "common/cli.hpp"
@@ -275,6 +276,31 @@ TEST(Csv, WritesRowsToFile) {
   std::getline(in, line2);
   EXPECT_EQ(line1, "a,\"b,c\"");
   EXPECT_EQ(line2.substr(0, 2), "1,");
+}
+
+TEST(Csv, ParseRowInvertsQuote) {
+  EXPECT_EQ(parse_csv_row(""), std::vector<std::string>{""});
+  EXPECT_EQ(parse_csv_row("a,b,c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(parse_csv_row("a,\"b,c\""), (std::vector<std::string>{"a", "b,c"}));
+  EXPECT_EQ(parse_csv_row("\"say \"\"hi\"\"\""),
+            std::vector<std::string>{"say \"hi\""});
+  // Trailing comma means a final empty cell, not silent truncation.
+  EXPECT_EQ(parse_csv_row("a,"), (std::vector<std::string>{"a", ""}));
+  EXPECT_EQ(parse_csv_row(",,"), (std::vector<std::string>{"", "", ""}));
+  // quote -> parse round trip over cells CsvWriter would actually emit
+  const std::vector<std::string> row = {"plain", "a,b", "say \"hi\"", ""};
+  std::string line;
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) line += ',';
+    line += CsvWriter::quote(row[i]);
+  }
+  EXPECT_EQ(parse_csv_row(line), row);
+}
+
+TEST(Csv, ParseRowRejectsMalformedQuoting) {
+  EXPECT_THROW(parse_csv_row("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW(parse_csv_row("\"done\"extra"), std::invalid_argument);
+  EXPECT_THROW(parse_csv_row("mid\"quote"), std::invalid_argument);
 }
 
 TEST(Csv, BadPathThrows) {

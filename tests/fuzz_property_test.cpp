@@ -1,0 +1,145 @@
+// Deterministic property tests over the fuzzing harness bodies (src/fuzz).
+//
+// Two layers:
+//   * seeded random byte streams — the standalone-driver mode of the
+//     fuzzers, so every differential oracle runs on GCC-only toolchains
+//     with zero extra dependencies (libFuzzer adds coverage guidance on
+//     top of exactly these bodies, it does not change them);
+//   * corpus replay — every checked-in file under tests/fuzz/corpus/ runs
+//     through its harness, which means the asan-ubsan and tsan presets
+//     re-execute the corpus under sanitizers on every ctest invocation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "fuzz/byte_reader.hpp"
+#include "fuzz/harness.hpp"
+#include "fuzz/scenario_decoder.hpp"
+#include "io/serialize.hpp"
+
+namespace uavcov::fuzz {
+namespace {
+
+/// Deterministic pseudo-random byte string for one (harness, case) pair.
+std::vector<std::uint8_t> seeded_bytes(std::uint64_t seed,
+                                       std::size_t length) {
+  Rng rng(seed);
+  std::vector<std::uint8_t> bytes(length);
+  for (auto& b : bytes) b = static_cast<std::uint8_t>(rng.next_u64() & 0xFF);
+  return bytes;
+}
+
+void run_seeded(HarnessFn harness, std::uint64_t cases,
+                std::uint64_t seed_salt) {
+  for (std::uint64_t i = 0; i < cases; ++i) {
+    const std::size_t length = 16 + (i * 37) % 240;  // 16..255 bytes
+    const std::vector<std::uint8_t> bytes =
+        seeded_bytes(i * 0x9E3779B97F4A7C15ULL + seed_salt, length);
+    ASSERT_NO_THROW(harness(bytes.data(), bytes.size()))
+        << "case " << i << " (length " << length << ")";
+  }
+}
+
+TEST(FuzzHarness, ByteReaderRangesAndExhaustion) {
+  const std::uint8_t data[] = {0xFF, 0x00, 0x7E, 0x01};
+  ByteReader r(data, sizeof(data));
+  for (int i = 0; i < 64; ++i) {
+    const std::int64_t v = r.take_int(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(r.take_int(5, 100), 5);     // exhausted -> lower bound
+  EXPECT_EQ(r.take_u8(), 0);
+  EXPECT_EQ(r.take_unit(), 0.0);
+  ByteReader null_reader(nullptr, 0);
+  EXPECT_TRUE(null_reader.exhausted());
+  EXPECT_EQ(null_reader.take_rest_as_string(), "");
+}
+
+TEST(FuzzHarness, DecoderIsDeterministicAndTotal) {
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    const std::vector<std::uint8_t> bytes = seeded_bytes(seed, 128);
+    ByteReader r1(bytes.data(), bytes.size());
+    ByteReader r2(bytes.data(), bytes.size());
+    const ScenarioLimits limits;
+    const Scenario a = decode_scenario(r1, limits);
+    const Scenario b = decode_scenario(r2, limits);
+    std::ostringstream sa, sb;
+    io::save_scenario(sa, a);
+    io::save_scenario(sb, b);
+    EXPECT_EQ(sa.str(), sb.str()) << "seed " << seed;
+    EXPECT_NO_THROW(a.validate());
+  }
+  // The empty stream is a valid (minimal) scenario, not an error.
+  ByteReader empty(nullptr, 0);
+  const ScenarioLimits limits;
+  EXPECT_NO_THROW(decode_scenario(empty, limits).validate());
+}
+
+TEST(FuzzHarness, AllHarnessesRegistered) {
+  ASSERT_EQ(all_harnesses().size(), 4u);
+  EXPECT_NE(find_harness("fuzz_assignment"), nullptr);
+  EXPECT_NE(find_harness("fuzz_appro_alg"), nullptr);
+  EXPECT_NE(find_harness("fuzz_segment_plan"), nullptr);
+  EXPECT_NE(find_harness("fuzz_serialize_roundtrip"), nullptr);
+  EXPECT_EQ(find_harness("no_such_target"), nullptr);
+}
+
+// The assignment differential is the acceptance bar: >= 1000 seeded tiny
+// instances where the max-flow cardinality equals the brute-force matching
+// optimum and capacities/radii are respected (the harness throws
+// FuzzFailure otherwise).
+TEST(FuzzHarness, AssignmentDifferentialOn1000SeededInstances) {
+  run_seeded(&run_assignment_harness, 1000, 0xA551);
+}
+
+TEST(FuzzHarness, ApproAlgSerialParallelAndExhaustiveProperties) {
+  run_seeded(&run_appro_alg_harness, 150, 0xA7701);
+}
+
+TEST(FuzzHarness, SegmentPlanProperties) {
+  run_seeded(&run_segment_plan_harness, 400, 0x5E6);
+}
+
+TEST(FuzzHarness, SerializeRoundTripProperties) {
+  run_seeded(&run_serialize_roundtrip_harness, 400, 0x5E71A);
+}
+
+// ---- Corpus replay ------------------------------------------------------
+
+std::vector<std::uint8_t> read_bytes(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+TEST(FuzzCorpus, EveryCorpusFileRunsCleanThroughItsHarness) {
+  const std::filesystem::path root = UAVCOV_FUZZ_CORPUS_DIR;
+  ASSERT_TRUE(std::filesystem::is_directory(root))
+      << "corpus directory missing: " << root;
+  for (const HarnessInfo& h : all_harnesses()) {
+    const std::filesystem::path dir = root / h.name;
+    ASSERT_TRUE(std::filesystem::is_directory(dir))
+        << "no corpus for " << h.name;
+    std::size_t files = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      ++files;
+      const std::vector<std::uint8_t> bytes = read_bytes(entry.path());
+      ASSERT_NO_THROW(h.fn(bytes.data(), bytes.size()))
+          << h.name << " corpus file " << entry.path();
+    }
+    EXPECT_GE(files, 3u) << "corpus for " << h.name << " looks gutted";
+  }
+}
+
+}  // namespace
+}  // namespace uavcov::fuzz

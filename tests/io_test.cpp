@@ -119,6 +119,53 @@ TEST(SolutionIo, RoundTripIsExact) {
   EXPECT_NO_THROW(validate_solution(sc, cov, loaded));
 }
 
+// ---- Malformed-input hardening (src/fuzz found these paths; the raw-mode
+// serialize fuzzer replays them from tests/fuzz/corpus) ------------------
+
+TEST(ScenarioIo, RejectsTrailingTokensOnEveryRecord) {
+  std::stringstream bad_magic("uavcov-scenario v1 extra\narea 300 300 100\n");
+  EXPECT_THROW(io::load_scenario(bad_magic), ContractError);
+  std::stringstream bad_area(
+      "uavcov-scenario v1\narea 300 300 100 extra\n");
+  EXPECT_THROW(io::load_scenario(bad_area), ContractError);
+  std::stringstream bad_user(
+      "uavcov-scenario v1\narea 300 300 100\nuser 50 50 1000 junk\n"
+      "uav 500 100 200 5\n");
+  EXPECT_THROW(io::load_scenario(bad_user), ContractError);
+}
+
+TEST(ScenarioIo, RejectsOverflowingAndNonFiniteGrids) {
+  // 1e18 / 1e-9 cells would overflow int32; before hardening this was a
+  // silent UB cast in Grid.
+  std::stringstream huge(
+      "uavcov-scenario v1\narea 1e18 1e18 1e-9\nuav 500 100 200 5\n");
+  EXPECT_THROW(io::load_scenario(huge), ContractError);
+  std::stringstream nan_area(
+      "uavcov-scenario v1\narea nan 300 100\nuav 500 100 200 5\n");
+  EXPECT_THROW(io::load_scenario(nan_area), ContractError);
+}
+
+TEST(SolutionIo, RejectsNegativeAndDanglingRecords) {
+  std::stringstream neg_served(
+      "uavcov-solution v1\nalgorithm x\nserved -1\n");
+  EXPECT_THROW(io::load_solution(neg_served, 1), ContractError);
+  std::stringstream neg_ids(
+      "uavcov-solution v1\nalgorithm x\nserved 0\ndeployment -1 0\n");
+  EXPECT_THROW(io::load_solution(neg_ids, 1), ContractError);
+  // assignment referencing a deployment index that was never declared
+  std::stringstream dangling(
+      "uavcov-solution v1\nalgorithm x\nserved 1\nassignment 0 3\n");
+  EXPECT_THROW(io::load_solution(dangling, 1), ContractError);
+}
+
+TEST(SolutionIo, RejectsDuplicateAssignmentForOneUser) {
+  std::stringstream dup(
+      "uavcov-solution v1\nalgorithm x\nserved 2\n"
+      "deployment 0 0\ndeployment 1 1\n"
+      "assignment 0 0\nassignment 0 1\n");
+  EXPECT_THROW(io::load_solution(dup, 1), ContractError);
+}
+
 TEST(SolutionIo, AssignmentOutOfRangeRejected) {
   std::stringstream bad(
       "uavcov-solution v1\nalgorithm x\nserved 1\nassignment 99 0\n");

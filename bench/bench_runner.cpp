@@ -1,0 +1,176 @@
+// Benchmark-regression runner (docs/OBSERVABILITY.md): executes a pinned-
+// seed suite of scenarios through approAlg and every baseline and emits a
+// schema-versioned BENCH_coverage.json with, per case:
+//   * the scenario fingerprint (generator identity),
+//   * per-algorithm served count, solution fingerprint, and best-of-repeats
+//     wall time,
+//   * the full metrics snapshot of one run (counters are deterministic:
+//     threads = 1 and the registry is reset before the measured repeat).
+// scripts/bench_compare.py diffs the document against the committed
+// baseline at the repo root; CI's bench-smoke job runs `--quick`.
+//
+// Everything except wall times is bit-reproducible across machines.  Times
+// are normalized by the calibration workload below before comparison.
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/cli.hpp"
+#include "common/fingerprint.hpp"
+#include "common/stopwatch.hpp"
+#include "eval/experiment.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+
+namespace {
+
+using uavcov::Fnv1a;
+
+struct BenchCase {
+  std::string name;
+  std::uint64_t seed = 1;
+  std::int32_t users = 400;
+  std::int32_t uavs = 8;
+  std::int32_t s = 2;
+  std::int32_t capacity_max = 150;  ///< C_max (C_min stays at 50).
+  bool quick = true;                ///< part of the --quick subset.
+};
+
+/// The pinned suite.  Append-only: renaming or reseeding a case silently
+/// invalidates the committed baseline, so add new cases instead.
+std::vector<BenchCase> suite() {
+  return {
+      {"small_s1", 101, 300, 6, 1, 100, true},
+      {"small_s2", 102, 400, 8, 2, 100, true},
+      {"medium_s2", 103, 800, 10, 2, 150, true},
+      {"medium_s3", 104, 800, 12, 3, 150, false},
+      {"large_s2", 105, 2000, 16, 2, 300, false},
+  };
+}
+
+uavcov::eval::RunConfig make_config(const BenchCase& c) {
+  uavcov::eval::RunConfig config;
+  config.seed = c.seed;
+  config.scenario.user_count = c.users;
+  config.scenario.fleet.uav_count = c.uavs;
+  config.scenario.fleet.capacity_max = c.capacity_max;
+  config.appro.s = c.s;
+  config.appro.candidate_cap = 40;
+  config.appro.threads = 1;  // deterministic metrics counters
+  config.run_random = true;
+  return config;
+}
+
+/// Fixed CPU-bound workload (FNV over a synthetic buffer) whose wall time
+/// proxies single-core speed.  bench_compare.py divides solver times by
+/// the calibration ratio so a faster/slower CI machine does not trip the
+/// regression gate.
+double calibration_seconds() {
+  double best = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const uavcov::Stopwatch watch;
+    Fnv1a h;
+    for (std::uint64_t i = 0; i < 2'000'000; ++i) h.mix(i);
+    // Consume the digest so the loop cannot be optimized away.
+    volatile std::uint64_t sink = h.digest();
+    (void)sink;
+    best = std::min(best, watch.elapsed_s());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uavcov::CliParser cli;
+  cli.add_flag("quick", "run only the quick subset (CI bench-smoke)", "false");
+  cli.add_flag("repeats", "timed repeats per case (min wall time wins)", "3");
+  cli.add_flag("out", "output JSON path", "BENCH_coverage.json");
+  if (!cli.parse(argc, argv)) return 0;
+
+  const bool quick = cli.get_bool("quick");
+  const auto repeats = static_cast<std::int32_t>(cli.get_int("repeats"));
+  UAVCOV_CHECK_MSG(repeats >= 1, "--repeats must be >= 1");
+
+  uavcov::obs::Registry& registry = uavcov::obs::Registry::instance();
+  registry.set_enabled(true);
+
+  uavcov::obs::JsonWriter w;
+  w.begin_object();
+  w.kv("schema_version", std::int64_t{1});
+  w.kv("suite", quick ? "quick" : "full");
+  w.kv("calibration_seconds", calibration_seconds());
+  w.key("cases").begin_array();
+
+  for (const BenchCase& c : suite()) {
+    if (quick && !c.quick) continue;
+    std::cerr << "[bench_runner] " << c.name << " (n=" << c.users
+              << ", K=" << c.uavs << ", s=" << c.s << ")\n";
+    const uavcov::eval::RunConfig config = make_config(c);
+    uavcov::Rng rng(config.seed);
+    const uavcov::Scenario scenario =
+        uavcov::workload::make_disaster_scenario(config.scenario, rng);
+    const uavcov::CoverageModel coverage(scenario);
+
+    // Best-of-repeats timing; the registry is reset before the *last*
+    // repeat so the embedded snapshot counts exactly one run of each
+    // algorithm — bit-reproducible with threads = 1.
+    std::vector<uavcov::eval::AlgoResult> results;
+    std::vector<double> best_seconds;
+    for (std::int32_t rep = 0; rep < repeats; ++rep) {
+      if (rep == repeats - 1) registry.reset();
+      const std::vector<uavcov::eval::AlgoResult> run =
+          uavcov::eval::run_all_on(scenario, coverage, config);
+      if (results.empty()) {
+        results = run;
+        for (const auto& r : run) best_seconds.push_back(r.seconds);
+      } else {
+        UAVCOV_CHECK_MSG(run.size() == results.size(),
+                         "algorithm set changed between repeats");
+        for (std::size_t i = 0; i < run.size(); ++i) {
+          UAVCOV_CHECK_MSG(run[i].fingerprint == results[i].fingerprint,
+                           "non-deterministic solver output for " +
+                               run[i].name + " in case " + c.name);
+          best_seconds[i] = std::min(best_seconds[i], run[i].seconds);
+        }
+      }
+    }
+    const uavcov::obs::Snapshot snapshot = registry.snapshot();
+
+    w.begin_object();
+    w.kv("name", c.name);
+    w.kv("seed", static_cast<std::int64_t>(c.seed));
+    w.kv("users", c.users);
+    w.kv("uavs", c.uavs);
+    w.kv("s", c.s);
+    w.kv("scenario_fingerprint",
+         uavcov::fingerprint_hex(scenario.fingerprint()));
+    w.key("algorithms").begin_array();
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      w.begin_object();
+      w.kv("name", results[i].name);
+      w.kv("served", results[i].served);
+      w.kv("fingerprint", uavcov::fingerprint_hex(results[i].fingerprint));
+      w.kv("seconds", best_seconds[i]);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("metrics");
+    uavcov::obs::write_snapshot(w, snapshot);
+    w.end_object();
+  }
+
+  w.end_array();
+  w.end_object();
+
+  const std::string out_path = cli.get_string("out");
+  std::ofstream out(out_path);
+  UAVCOV_CHECK_MSG(out.good(), "cannot open output file " + out_path);
+  out << w.take() << "\n";
+  UAVCOV_CHECK_MSG(out.good(), "failed writing " + out_path);
+  std::cerr << "[bench_runner] wrote " << out_path << "\n";
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include "analysis/audit.hpp"
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
 
 namespace uavcov::baselines {
 
@@ -9,6 +10,12 @@ Solution finalize(const Scenario& scenario, const CoverageModel& coverage,
                   std::span<const LocationId> locations,
                   std::string algorithm_name, double solve_seconds,
                   BaselineStats* stats) {
+  // Every baseline funnels through here, so this is the one place that
+  // gives all six solvers a uniform "solve.<algorithm>.*" metrics surface
+  // (approAlg records its own in src/core/appro_alg.cpp).
+  obs::counter("solve." + algorithm_name + ".runs").inc();
+  obs::histogram("solve." + algorithm_name + ".seconds")
+      .observe_seconds(solve_seconds);
   if (stats) {
     stats->locations_selected = static_cast<std::int64_t>(locations.size());
     stats->seconds = solve_seconds;

@@ -1,0 +1,77 @@
+// FNV-1a 64-bit fingerprinting for bench/regression baselines.
+//
+// The bench harness (bench/bench_runner.cpp) and the golden regression
+// tests pin *identity*, not just aggregate counts: a scenario fingerprint
+// proves the generator still produces the same instance, a solution
+// fingerprint proves the solver still returns bit-identical deployments
+// and assignments.  FNV-1a is used because it is trivially portable,
+// has no dependencies, and is stable across platforms for the same byte
+// sequence — doubles are folded in via std::bit_cast so the hash sees the
+// exact IEEE-754 bits (no printf round-tripping).
+//
+// Not a cryptographic hash; collisions are possible but irrelevant for
+// regression detection (we compare against one expected value).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace uavcov {
+
+/// Incremental FNV-1a 64-bit hasher.  Mix in fields in a fixed documented
+/// order; `digest()` is the running hash (safe to call repeatedly).
+class Fnv1a {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 0xcbf29ce484222325ULL;
+  static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+  Fnv1a& mix_byte(std::uint8_t byte) {
+    hash_ ^= byte;
+    hash_ *= kPrime;
+    return *this;
+  }
+
+  Fnv1a& mix(std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) {
+      mix_byte(static_cast<std::uint8_t>(value >> (8 * i)));
+    }
+    return *this;
+  }
+
+  Fnv1a& mix(std::int64_t value) {
+    return mix(static_cast<std::uint64_t>(value));
+  }
+  Fnv1a& mix(std::int32_t value) {
+    return mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(value)));
+  }
+  /// Doubles are hashed by bit pattern: +0.0 and -0.0 differ, NaNs hash by
+  /// payload.  Scenario/solution data never legitimately contains either.
+  Fnv1a& mix(double value) { return mix(std::bit_cast<std::uint64_t>(value)); }
+
+  Fnv1a& mix(std::string_view text) {
+    for (const char c : text) mix_byte(static_cast<std::uint8_t>(c));
+    // Length terminator so ("ab","c") != ("a","bc") across field boundaries.
+    return mix(static_cast<std::uint64_t>(text.size()));
+  }
+
+  std::uint64_t digest() const { return hash_; }
+
+ private:
+  std::uint64_t hash_ = kOffsetBasis;
+};
+
+/// Canonical textual form used in BENCH_coverage.json and the golden
+/// regression tests: "0x" + 16 lowercase hex digits.  Fingerprints travel
+/// as strings because JSON numbers are doubles and would silently lose
+/// bits past 2^53.
+inline std::string fingerprint_hex(std::uint64_t digest) {
+  char buffer[2 + 16 + 1];
+  std::snprintf(buffer, sizeof(buffer), "0x%016llx",
+                static_cast<unsigned long long>(digest));
+  return buffer;
+}
+
+}  // namespace uavcov

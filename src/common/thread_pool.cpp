@@ -3,8 +3,28 @@
 #include <utility>
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
 
 namespace uavcov {
+
+namespace {
+
+/// Pool metrics (docs/OBSERVABILITY.md): queue depth is sampled at every
+/// submit/dequeue (the gauge's high-water mark is the interesting part);
+/// task latency is recorded by the executing worker into its own shard.
+struct PoolMetrics {
+  obs::Gauge queue_depth = obs::gauge("common.thread_pool.queue_depth");
+  obs::Counter tasks = obs::counter("common.thread_pool.tasks");
+  obs::Histogram task_seconds =
+      obs::histogram("common.thread_pool.task_seconds");
+};
+
+const PoolMetrics& pool_metrics() {
+  static const PoolMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::int32_t thread_count) {
   UAVCOV_CHECK_MSG(thread_count >= 1, "thread pool needs >= 1 worker");
@@ -25,10 +45,13 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   UAVCOV_CHECK_MSG(task != nullptr, "cannot submit an empty task");
+  std::size_t depth = 0;
   {
     const std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    depth = queue_.size();
   }
+  pool_metrics().queue_depth.set(static_cast<std::int64_t>(depth));
   task_ready_.notify_one();
 }
 
@@ -60,7 +83,9 @@ void ThreadPool::worker_loop() {
       queue_.pop_front();
       ++active_;
     }
+    pool_metrics().tasks.inc();
     try {
+      const obs::ScopedTimer timer(pool_metrics().task_seconds);
       task();
     } catch (...) {
       const std::lock_guard<std::mutex> lock(mu_);

@@ -16,10 +16,36 @@
 #include "core/matroid.hpp"
 #include "core/relay.hpp"
 #include "graph/bfs.hpp"
+#include "obs/metrics.hpp"
 
 namespace uavcov {
 
 namespace {
+
+/// Solver metrics (docs/OBSERVABILITY.md).  The phase histograms receive
+/// the exact ApproAlgPhases values (one Stopwatch, see appro_alg() below);
+/// the per-subset histograms run on whichever thread evaluates the subset
+/// and land in that thread's shard.
+struct ApproMetrics {
+  obs::Counter runs = obs::counter("solve.approAlg.runs");
+  obs::Histogram solve_seconds = obs::histogram("solve.approAlg.seconds");
+  obs::Histogram plan_seconds = obs::histogram("appro.phase.plan_seconds");
+  obs::Histogram prepare_seconds =
+      obs::histogram("appro.phase.prepare_seconds");
+  obs::Histogram search_seconds =
+      obs::histogram("appro.phase.search_seconds");
+  obs::Histogram finalize_seconds =
+      obs::histogram("appro.phase.finalize_seconds");
+  obs::Histogram greedy_seconds =
+      obs::histogram("appro.subset.greedy_seconds");
+  obs::Histogram stitch_seconds =
+      obs::histogram("appro.subset.stitch_seconds");
+};
+
+const ApproMetrics& appro_metrics() {
+  static const ApproMetrics metrics;
+  return metrics;
+}
 
 /// Deep per-round audit (UAVCOV_AUDIT / ApproAlgParams::audit): the live
 /// flow network must stay an integral maximum flow and the current greedy
@@ -187,11 +213,18 @@ void evaluate_subset(const SearchContext& ctx, WorkerState& w,
   HopBudgetMatroid m2(w.hop, ctx.plan.quotas);
 
   const auto scope = w.ia.begin_scope();
-  const std::vector<LocationId> chosen =
-      greedy_place(w.ia, ctx.coverage, ctx.candidates, m2, ctx.uav_order,
-                   ctx.plan.L_max, ctx.params.lazy_greedy, ctx.audit,
-                   &w.probes);
-  const auto relay = stitch_connected(ctx.g, chosen);
+  std::vector<LocationId> chosen;
+  {
+    const obs::ScopedTimer timer(appro_metrics().greedy_seconds);
+    chosen =
+        greedy_place(w.ia, ctx.coverage, ctx.candidates, m2, ctx.uav_order,
+                     ctx.plan.L_max, ctx.params.lazy_greedy, ctx.audit,
+                     &w.probes);
+  }
+  const auto relay = [&] {
+    const obs::ScopedTimer timer(appro_metrics().stitch_seconds);
+    return stitch_connected(ctx.g, chosen);
+  }();
   if (relay.has_value() &&
       static_cast<std::int32_t>(relay->nodes.size()) <= ctx.K) {
     ++w.subsets_stitched;
@@ -289,7 +322,17 @@ Solution appro_alg(const Scenario& scenario, const ApproAlgParams& params,
 
 Solution appro_alg(const Scenario& scenario, const CoverageModel& coverage,
                    const ApproAlgParams& params, ApproAlgStats* stats) {
+  // One Stopwatch is the single timing source: ApproAlgStats::seconds and
+  // every ApproAlgPhases slot are laps of `watch`, so the phase breakdown
+  // can never exceed the end-to-end wall clock (tests/obs_test.cpp).
   Stopwatch watch;
+  appro_metrics().runs.inc();
+  double last_mark = 0.0;
+  auto lap = [&watch, &last_mark](double& slot) {
+    const double now = watch.elapsed_s();
+    slot += now - last_mark;
+    last_mark = now;
+  };
   params.validate();
   scenario.validate();
   const std::int32_t K = scenario.uav_count();
@@ -306,6 +349,7 @@ Solution appro_alg(const Scenario& scenario, const CoverageModel& coverage,
   ApproAlgStats& st = stats ? *stats : local_stats;
   st = ApproAlgStats{};
   st.candidates = static_cast<std::int64_t>(candidates.size());
+  lap(st.phases.prepare_s);
   if (candidates.empty()) {
     // Nobody can be covered anywhere; the empty deployment is optimal.
     st.seconds = watch.elapsed_s();
@@ -321,6 +365,7 @@ Solution appro_alg(const Scenario& scenario, const CoverageModel& coverage,
   const SegmentPlan plan = compute_segment_plan(K, s);
   st.plan = plan;
   if (audit) analysis::require_clean(analysis::audit_segment_plan(plan));
+  lap(st.phases.plan_s);
 
   const Graph g = build_location_graph(scenario.grid, scenario.uav_range_m);
   std::vector<UavId> uav_order = scenario.uavs_by_capacity_desc();
@@ -334,6 +379,7 @@ Solution appro_alg(const Scenario& scenario, const CoverageModel& coverage,
   std::vector<std::vector<std::int32_t>> cand_dist;
   cand_dist.reserve(candidates.size());
   for (LocationId c : candidates) cand_dist.push_back(bfs_distances(g, c));
+  lap(st.phases.prepare_s);
 
   const SearchContext ctx{scenario, coverage, params,    candidates,
                           cand_dist, g,        plan,      uav_order,
@@ -428,6 +474,7 @@ Solution appro_alg(const Scenario& scenario, const CoverageModel& coverage,
       }
     }
   }
+  lap(st.phases.search_s);
 
   if (best_served >= 0 && params.fill_leftover_uavs &&
       static_cast<std::int32_t>(best_deployments.size()) < K) {
@@ -509,8 +556,15 @@ Solution appro_alg(const Scenario& scenario, const CoverageModel& coverage,
     report.subject = "appro_alg.final_solution";
     analysis::require_clean(report);
   }
+  lap(st.phases.finalize_s);
   st.seconds = watch.elapsed_s();
   solution.solve_seconds = st.seconds;
+  const ApproMetrics& m = appro_metrics();
+  m.solve_seconds.observe_seconds(st.seconds);
+  m.plan_seconds.observe_seconds(st.phases.plan_s);
+  m.prepare_seconds.observe_seconds(st.phases.prepare_s);
+  m.search_seconds.observe_seconds(st.phases.search_s);
+  m.finalize_seconds.observe_seconds(st.phases.finalize_s);
   return solution;
 }
 

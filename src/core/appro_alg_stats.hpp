@@ -8,8 +8,23 @@
 
 namespace uavcov {
 
+/// Per-phase wall-clock breakdown of one appro_alg() call.  Every value is
+/// a delta of the *same* Stopwatch that produces ApproAlgStats::seconds
+/// (docs/OBSERVABILITY.md), so sum_s() <= seconds holds by construction —
+/// tests/obs_test.cpp asserts it.  The identical values are also observed
+/// into the "appro.phase.*_seconds" metrics histograms.
+struct ApproAlgPhases {
+  double plan_s = 0.0;      ///< Algorithm 1 segment planning (+ audit).
+  double prepare_s = 0.0;   ///< candidates, location graph, BFS tables.
+  double search_s = 0.0;    ///< subset enumeration + greedy + stitching.
+  double finalize_s = 0.0;  ///< leftover fill + final optimal assignment.
+
+  double sum_s() const { return plan_s + prepare_s + search_s + finalize_s; }
+};
+
 struct ApproAlgStats {
   SegmentPlan plan;                   ///< Algorithm 1 output used.
+  ApproAlgPhases phases;              ///< wall-clock per solver phase.
   std::int64_t candidates = 0;        ///< candidate locations after pruning.
   std::int64_t subsets_enumerated = 0;///< seed subsets generated.
   std::int64_t subsets_evaluated = 0; ///< subsets surviving all filters.

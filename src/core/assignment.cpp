@@ -1,12 +1,39 @@
 #include "core/assignment.hpp"
 
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
 
 namespace uavcov {
+
+namespace {
+
+/// Flow-substrate metrics (docs/OBSERVABILITY.md).  `probes` is the
+/// counter tests/obs_test.cpp cross-checks against ApproAlgStats::probes:
+/// IncrementalAssignment::probe() is its only increment site, so the two
+/// counts must agree exactly.
+struct AssignmentMetrics {
+  obs::Counter builds = obs::counter("core.assignment.builds");
+  obs::Counter probes = obs::counter("core.assignment.probes");
+  obs::Counter deploys = obs::counter("core.assignment.deploys");
+  obs::Counter solves = obs::counter("core.assignment.solves");
+  obs::Histogram probe_seconds =
+      obs::histogram("core.assignment.probe_seconds");
+  obs::Histogram solve_seconds =
+      obs::histogram("core.assignment.solve_seconds");
+};
+
+const AssignmentMetrics& assignment_metrics() {
+  static const AssignmentMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 AssignmentResult solve_assignment(const Scenario& scenario,
                                   const CoverageModel& coverage,
                                   std::span<const Deployment> deployments) {
+  assignment_metrics().solves.inc();
+  const obs::ScopedTimer timer(assignment_metrics().solve_seconds);
   DinicFlow flow;
   const std::int32_t n = scenario.user_count();
   flow.reserve(n + static_cast<std::int32_t>(deployments.size()) + 2,
@@ -54,6 +81,7 @@ AssignmentResult solve_assignment(const Scenario& scenario,
 IncrementalAssignment::IncrementalAssignment(const Scenario& scenario,
                                              const CoverageModel& coverage)
     : scenario_(scenario), coverage_(coverage) {
+  assignment_metrics().builds.inc();
   const std::int32_t n = scenario.user_count();
   flow_.reserve(n + scenario.uav_count() + 2, n * 4);
   source_ = flow_.add_node();
@@ -78,6 +106,8 @@ std::int64_t IncrementalAssignment::add_uav_and_augment(UavId k,
 }
 
 std::int64_t IncrementalAssignment::probe(UavId k, LocationId loc) {
+  assignment_metrics().probes.inc();
+  const obs::ScopedTimer timer(assignment_metrics().probe_seconds);
   const auto cp = flow_.checkpoint();
   const std::int64_t gain = add_uav_and_augment(k, loc);
   flow_.rollback(cp);
@@ -85,6 +115,7 @@ std::int64_t IncrementalAssignment::probe(UavId k, LocationId loc) {
 }
 
 std::int64_t IncrementalAssignment::deploy(UavId k, LocationId loc) {
+  assignment_metrics().deploys.inc();
   const std::int64_t gain = add_uav_and_augment(k, loc);
   deployments_.push_back({k, loc});
   served_ += gain;

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/check.hpp"
+#include "common/fingerprint.hpp"
 
 namespace uavcov {
 
@@ -29,6 +30,30 @@ void Scenario::validate() const {
                          u.pos.y <= grid.height(),
                      "user outside the disaster area");
   }
+}
+
+std::uint64_t Scenario::fingerprint() const {
+  Fnv1a h;
+  h.mix(grid.width()).mix(grid.height()).mix(grid.cell_side());
+  h.mix(altitude_m).mix(uav_range_m);
+  h.mix(channel.environment.a)
+      .mix(channel.environment.b)
+      .mix(channel.environment.eta_los_db)
+      .mix(channel.environment.eta_nlos_db)
+      .mix(channel.carrier_hz);
+  h.mix(receiver.noise_dbm).mix(receiver.bandwidth_hz);
+  h.mix(static_cast<std::int64_t>(users.size()));
+  for (const User& u : users) {
+    h.mix(u.pos.x).mix(u.pos.y).mix(u.min_rate_bps);
+  }
+  h.mix(static_cast<std::int64_t>(fleet.size()));
+  for (const UavSpec& u : fleet) {
+    h.mix(u.capacity)
+        .mix(u.radio.tx_power_dbm)
+        .mix(u.radio.antenna_gain_dbi)
+        .mix(u.user_range_m);
+  }
+  return h.digest();
 }
 
 std::vector<UavId> Scenario::uavs_by_capacity_desc() const {

@@ -60,6 +60,13 @@ struct Scenario {
   /// UAV indices sorted by capacity descending (ties by index).  Algorithm 2
   /// deploys in this order so large-capacity UAVs take the coverage spots.
   std::vector<UavId> uavs_by_capacity_desc() const;
+
+  /// FNV-1a 64-bit digest of every field that defines the instance (grid
+  /// dimensions, channel/receiver constants, all users and UAV specs, in
+  /// declaration order).  Stable across platforms; used by the bench
+  /// harness and golden regression tests to prove the generator still
+  /// emits bit-identical instances for a pinned seed.
+  std::uint64_t fingerprint() const;
 };
 
 }  // namespace uavcov

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/check.hpp"
+#include "common/fingerprint.hpp"
 #include "graph/dsu.hpp"
 
 namespace uavcov {
@@ -14,6 +15,16 @@ std::int64_t Solution::load_of(std::int32_t d) const {
     if (assigned == d) ++load;
   }
   return load;
+}
+
+std::uint64_t Solution::fingerprint() const {
+  Fnv1a h;
+  h.mix(static_cast<std::int64_t>(deployments.size()));
+  for (const Deployment& d : deployments) h.mix(d.uav).mix(d.loc);
+  h.mix(static_cast<std::int64_t>(user_to_deployment.size()));
+  for (const std::int32_t d : user_to_deployment) h.mix(d);
+  h.mix(served);
+  return h.digest();
 }
 
 bool deployments_connected(const Scenario& scenario,

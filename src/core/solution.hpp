@@ -27,6 +27,13 @@ struct Solution {
 
   /// Users served by deployment `d`.
   std::int64_t load_of(std::int32_t d) const;
+
+  /// FNV-1a 64-bit digest of the *outcome*: deployments (uav, loc pairs in
+  /// order), the full user→deployment vector, and `served`.  Deliberately
+  /// excludes `algorithm` and `solve_seconds` so the fingerprint changes
+  /// iff the solver's decisions change — the bench harness and golden
+  /// regression tests pin it per (scenario, algorithm).
+  std::uint64_t fingerprint() const;
 };
 
 /// Audits every problem constraint (§II-C); throws ContractError with a

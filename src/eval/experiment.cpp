@@ -25,8 +25,8 @@ std::vector<AlgoResult> run_all_on(const Scenario& scenario,
   std::vector<AlgoResult> results;
   auto record = [&](const Solution& solution) {
     if (config.validate) validate_solution(scenario, coverage, solution);
-    results.push_back(
-        {solution.algorithm, solution.served, solution.solve_seconds});
+    results.push_back({solution.algorithm, solution.served,
+                       solution.solve_seconds, solution.fingerprint()});
   };
 
   if (config.run_appro) {
@@ -76,6 +76,7 @@ std::vector<AlgoResult> run_averaged(const RunConfig& config,
   for (AlgoResult& r : mean) {
     r.served = (r.served + repetitions / 2) / repetitions;  // rounded mean
     r.seconds /= repetitions;
+    r.fingerprint = 0;  // identity of a mean is meaningless
   }
   return mean;
 }

@@ -16,6 +16,10 @@ struct AlgoResult {
   std::string name;
   std::int64_t served = 0;
   double seconds = 0.0;
+  /// Solution::fingerprint() of the produced solution — lets the bench
+  /// harness pin solver identity without keeping the Solution alive.
+  /// run_averaged() zeroes it (fingerprints do not average).
+  std::uint64_t fingerprint = 0;
 };
 
 struct RunConfig {

@@ -7,10 +7,25 @@
 #include "analysis/audit.hpp"
 #include "channel/link_budget.hpp"
 #include "common/check.hpp"
+#include "obs/metrics.hpp"
 
 namespace uavcov::netsim {
 
 namespace {
+
+/// Service-loop metrics (docs/OBSERVABILITY.md): one tick = one scheduler
+/// slot across every UAV.  tests/netsim_test.cpp asserts ticks == the
+/// simulated slot count and that tick latencies land in the histogram.
+struct NetsimMetrics {
+  obs::Counter runs = obs::counter("netsim.runs");
+  obs::Counter ticks = obs::counter("netsim.ticks");
+  obs::Histogram tick_seconds = obs::histogram("netsim.tick_seconds");
+};
+
+const NetsimMetrics& netsim_metrics() {
+  static const NetsimMetrics metrics;
+  return metrics;
+}
 
 struct Packet {
   std::int32_t flow = -1;   ///< index into the attached-user flow table.
@@ -117,8 +132,11 @@ ServiceSimResult simulate_service(const Scenario& scenario,
   const double server_pkts_per_slot =
       config.server_pkts_per_s * config.slot_s;
 
+  netsim_metrics().runs.inc();
   std::vector<double> delays;
   for (std::int64_t t = 0; t < slots; ++t) {
+    netsim_metrics().ticks.inc();
+    const obs::ScopedTimer tick_timer(netsim_metrics().tick_seconds);
     const double now = static_cast<double>(t) * config.slot_s;
     for (std::size_t d = 0; d < uavs.size(); ++d) {
       UavState& uav = uavs[d];

@@ -1,0 +1,328 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "common/check.hpp"
+
+namespace uavcov::obs {
+
+namespace {
+
+/// Global uid source for registries; keys the thread-local shard cache so
+/// a test registry destroyed and reallocated at the same address can never
+/// inherit a stale shard.
+std::atomic<std::uint64_t> next_registry_uid{1};
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::int64_t histogram_bucket_bound(std::int32_t i) {
+  UAVCOV_CHECK(i >= 0 && i < kHistogramBucketCount);
+  return std::int64_t{1} << (2 * i);  // 4^i
+}
+
+void HistogramData::record(std::int64_t value) {
+  ++count;
+  sum += value;
+  min = std::min(min, value);
+  max = std::max(max, value);
+  std::int32_t bucket = kHistogramBucketCount;  // overflow by default
+  for (std::int32_t i = 0; i < kHistogramBucketCount; ++i) {
+    if (value <= histogram_bucket_bound(i)) {
+      bucket = i;
+      break;
+    }
+  }
+  ++buckets[static_cast<std::size_t>(bucket)];
+}
+
+void HistogramData::merge(const HistogramData& other) {
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    buckets[i] += other.buckets[i];
+  }
+}
+
+void HistogramData::reset() { *this = HistogramData{}; }
+
+const SnapshotEntry* Snapshot::find(std::string_view name) const {
+  for (const SnapshotEntry& e : entries) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::int64_t Snapshot::counter_value(std::string_view name) const {
+  const SnapshotEntry* e = find(name);
+  return (e != nullptr && e->kind == MetricKind::kCounter) ? e->value : 0;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+/// Per-thread recording shard.  The owning thread takes `mu` on every
+/// record (uncontended — only snapshot/reset ever touch it from outside),
+/// so there is no cross-thread cache-line ping-pong on the hot path and
+/// merging is a simple, order-independent summation.
+struct Registry::Shard {
+  std::mutex mu;
+  std::vector<std::int64_t> counters;
+  std::vector<HistogramData> hists;
+};
+
+Registry& Registry::instance() {
+  static Registry* global = [] {
+    auto* r = new Registry();  // immortal: instrumentation handles outlive
+    r->set_enabled(metrics_env_enabled());
+    return r;
+  }();
+  return *global;
+}
+
+Registry::Registry() : uid_(next_registry_uid.fetch_add(1)) {}
+
+Registry::~Registry() = default;
+
+std::int32_t Registry::intern(MetricKind kind, const std::string& name) {
+  UAVCOV_CHECK_MSG(!name.empty(), "metric name must be non-empty");
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = std::lower_bound(
+      metrics_.begin(), metrics_.end(), name,
+      [](const auto& entry, const std::string& key) {
+        return entry.first < key;
+      });
+  if (it != metrics_.end() && it->first == name) {
+    UAVCOV_CHECK_MSG(it->second.kind == kind,
+                     "metric '" + name + "' already registered as a " +
+                         kind_name(it->second.kind));
+    return it->second.id;
+  }
+  std::int32_t id = 0;
+  switch (kind) {
+    case MetricKind::kCounter:
+      id = static_cast<std::int32_t>(counter_names_.size());
+      counter_names_.push_back(name);
+      break;
+    case MetricKind::kGauge:
+      id = static_cast<std::int32_t>(gauge_names_.size());
+      gauge_names_.push_back(name);
+      gauges_.emplace_back();
+      break;
+    case MetricKind::kHistogram:
+      id = static_cast<std::int32_t>(histogram_names_.size());
+      histogram_names_.push_back(name);
+      break;
+  }
+  metrics_.insert(it, {name, Registered{kind, id}});
+  return id;
+}
+
+Counter Registry::counter(const std::string& name) {
+  return Counter(this, intern(MetricKind::kCounter, name));
+}
+
+Gauge Registry::gauge(const std::string& name) {
+  return Gauge(this, intern(MetricKind::kGauge, name));
+}
+
+Histogram Registry::histogram(const std::string& name) {
+  return Histogram(this, intern(MetricKind::kHistogram, name));
+}
+
+Registry::Shard& Registry::local_shard() {
+  // Cache keyed by registry uid, not address: a stale entry for a dead
+  // registry can only leak its (detached) shard, never be reused.
+  thread_local std::unordered_map<std::uint64_t, std::shared_ptr<Shard>>
+      cache;
+  std::shared_ptr<Shard>& slot = cache[uid_];
+  if (!slot) {
+    slot = std::make_shared<Shard>();
+    const std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(slot);
+  }
+  return *slot;
+}
+
+void Registry::counter_add(std::int32_t id, std::int64_t delta) {
+  Shard& shard = local_shard();
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  if (static_cast<std::size_t>(id) >= shard.counters.size()) {
+    shard.counters.resize(static_cast<std::size_t>(id) + 1, 0);
+  }
+  shard.counters[static_cast<std::size_t>(id)] += delta;
+}
+
+void Registry::gauge_set(std::int32_t id, std::int64_t value) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  GaugeData& g = gauges_[static_cast<std::size_t>(id)];
+  g.value = value;
+  g.high_water = std::max(g.high_water, value);
+}
+
+void Registry::gauge_add(std::int32_t id, std::int64_t delta) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  GaugeData& g = gauges_[static_cast<std::size_t>(id)];
+  g.value += delta;
+  g.high_water = std::max(g.high_water, g.value);
+}
+
+void Registry::histogram_observe(std::int32_t id, std::int64_t value) {
+  Shard& shard = local_shard();
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  if (static_cast<std::size_t>(id) >= shard.hists.size()) {
+    shard.hists.resize(static_cast<std::size_t>(id) + 1);
+  }
+  shard.hists[static_cast<std::size_t>(id)].record(value);
+}
+
+Snapshot Registry::snapshot() const {
+  // Copy the registration tables and shard list under the registry lock,
+  // then merge shard contents under each shard's own lock.
+  std::vector<std::string> counter_names;
+  std::vector<std::string> gauge_names;
+  std::vector<std::string> histogram_names;
+  std::vector<GaugeData> gauges;
+  std::vector<std::shared_ptr<Shard>> shards;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    counter_names = counter_names_;
+    gauge_names = gauge_names_;
+    histogram_names = histogram_names_;
+    gauges = gauges_;
+    shards = shards_;
+  }
+  std::vector<std::int64_t> counters(counter_names.size(), 0);
+  std::vector<HistogramData> hists(histogram_names.size());
+  for (const auto& shard : shards) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    for (std::size_t i = 0;
+         i < shard->counters.size() && i < counters.size(); ++i) {
+      counters[i] += shard->counters[i];
+    }
+    for (std::size_t i = 0; i < shard->hists.size() && i < hists.size();
+         ++i) {
+      hists[i].merge(shard->hists[i]);
+    }
+  }
+
+  Snapshot snap;
+  snap.entries.reserve(counter_names.size() + gauge_names.size() +
+                       histogram_names.size());
+  for (std::size_t i = 0; i < counter_names.size(); ++i) {
+    SnapshotEntry e;
+    e.name = counter_names[i];
+    e.kind = MetricKind::kCounter;
+    e.value = counters[i];
+    snap.entries.push_back(std::move(e));
+  }
+  for (std::size_t i = 0; i < gauge_names.size(); ++i) {
+    SnapshotEntry e;
+    e.name = gauge_names[i];
+    e.kind = MetricKind::kGauge;
+    e.value = gauges[i].value;
+    e.high_water =
+        gauges[i].high_water == std::numeric_limits<std::int64_t>::min()
+            ? gauges[i].value
+            : gauges[i].high_water;
+    snap.entries.push_back(std::move(e));
+  }
+  for (std::size_t i = 0; i < histogram_names.size(); ++i) {
+    SnapshotEntry e;
+    e.name = histogram_names[i];
+    e.kind = MetricKind::kHistogram;
+    e.hist = hists[i];
+    snap.entries.push_back(std::move(e));
+  }
+  std::sort(snap.entries.begin(), snap.entries.end(),
+            [](const SnapshotEntry& a, const SnapshotEntry& b) {
+              return a.name < b.name;
+            });
+  return snap;
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (GaugeData& g : gauges_) g = GaugeData{};
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> shard_lock(shard->mu);
+    std::fill(shard->counters.begin(), shard->counters.end(), 0);
+    for (HistogramData& h : shard->hists) h.reset();
+  }
+  // Shards whose thread has exited (we hold the only reference) carry no
+  // future writes; drop them so long test runs do not accumulate one per
+  // retired pool worker.
+  std::erase_if(shards_,
+                [](const std::shared_ptr<Shard>& s) { return s.use_count() == 1; });
+}
+
+// ---------------------------------------------------------------------------
+// Handles
+
+bool Counter::enabled() const {
+  return registry_ != nullptr && registry_->enabled();
+}
+
+void Counter::inc(std::int64_t delta) const {
+  if (enabled()) registry_->counter_add(id_, delta);
+}
+
+bool Gauge::enabled() const {
+  return registry_ != nullptr && registry_->enabled();
+}
+
+void Gauge::set(std::int64_t value) const {
+  if (enabled()) registry_->gauge_set(id_, value);
+}
+
+void Gauge::add(std::int64_t delta) const {
+  if (enabled()) registry_->gauge_add(id_, delta);
+}
+
+bool Histogram::enabled() const {
+  return registry_ != nullptr && registry_->enabled();
+}
+
+void Histogram::observe(std::int64_t value) const {
+  if (enabled()) registry_->histogram_observe(id_, value);
+}
+
+void Histogram::observe_seconds(double seconds) const {
+  observe(static_cast<std::int64_t>(seconds * 1e9));
+}
+
+Counter counter(const std::string& name) {
+  return Registry::instance().counter(name);
+}
+
+Gauge gauge(const std::string& name) {
+  return Registry::instance().gauge(name);
+}
+
+Histogram histogram(const std::string& name) {
+  return Registry::instance().histogram(name);
+}
+
+bool metrics_env_enabled() {
+  static const bool enabled = [] {
+    // getenv is mt-unsafe only against concurrent setenv; nothing in this
+    // process mutates the environment (same rationale as UAVCOV_AUDIT).
+    const char* v = std::getenv("UAVCOV_METRICS");  // NOLINT(concurrency-mt-unsafe)
+    return v != nullptr && *v != '\0' && std::string_view(v) != "0";
+  }();
+  return enabled;
+}
+
+}  // namespace uavcov::obs

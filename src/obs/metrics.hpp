@@ -1,0 +1,243 @@
+// Observability layer: a lightweight process-wide metrics registry.
+//
+// The paper's headline claims are quantitative (Fig. 6(b) plots approAlg's
+// running time against the baselines), so the solver needs a way to see
+// where time goes *inside* solve() beyond one wall clock.  This module
+// provides:
+//
+//   * Counter    — monotonic 64-bit event counts (flow probes, deploys);
+//   * Gauge      — instantaneous value + high-water mark (queue depth);
+//   * Histogram  — latency/value distribution over fixed log-spaced
+//                  buckets (powers of 4), with count/sum/min/max;
+//   * ScopedTimer — RAII timing into a Histogram, built on the existing
+//                  Stopwatch.
+//
+// Design constraints, in order:
+//   1. Zero overhead when disabled.  Every recording call is one relaxed
+//      atomic load + branch when the registry is off (the default).  The
+//      UAVCOV_METRICS environment variable or set_enabled(true) turns it
+//      on.  ScopedTimer does not even read the clock while disabled.
+//   2. Never perturb results.  The registry is write-only from the
+//      solver's point of view: nothing in src/core reads a metric back,
+//      so serial/parallel bit-identity (DESIGN.md §7) is preserved with
+//      metrics on — tests/parallel_search_test.cpp asserts exactly this.
+//   3. Deterministic snapshots.  Counters and histograms are recorded in
+//      per-thread shards (no cross-thread contention on the hot path) and
+//      merged by summation, which is order-independent; snapshot entries
+//      are sorted by name.  Two runs of a deterministic workload produce
+//      identical counter values regardless of thread interleaving.
+//
+// Naming convention: dot-separated paths rooted at the subsystem, e.g.
+// "core.assignment.probes", "appro.phase.search_seconds",
+// "common.thread_pool.queue_depth".  Histograms that carry time observe
+// nanoseconds and end in "_seconds" (the exporter converts).
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/stopwatch.hpp"
+
+namespace uavcov::obs {
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// Histogram bucket upper bounds: kBucketBound[i] = 4^i, i in [0, 20).
+/// Log-spaced so one layout serves nanosecond latencies (4^19 ns ≈ 275 s)
+/// and plain value distributions alike; the last bucket is the overflow.
+inline constexpr std::int32_t kHistogramBucketCount = 20;
+
+/// Upper bound of bucket `i` (values v with v <= bound land in the first
+/// such bucket); index kHistogramBucketCount is the overflow bucket.
+std::int64_t histogram_bucket_bound(std::int32_t i);
+
+/// Merged histogram state (also the per-shard representation).
+struct HistogramData {
+  std::int64_t count = 0;
+  std::int64_t sum = 0;
+  std::int64_t min = std::numeric_limits<std::int64_t>::max();
+  std::int64_t max = std::numeric_limits<std::int64_t>::min();
+  std::array<std::int64_t, kHistogramBucketCount + 1> buckets{};
+
+  void record(std::int64_t value);
+  void merge(const HistogramData& other);
+  void reset();
+};
+
+/// One metric in a snapshot.  `value`/`high_water` are meaningful for
+/// counters and gauges, `hist` for histograms.
+struct SnapshotEntry {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  std::int64_t value = 0;       ///< counter total or gauge current value.
+  std::int64_t high_water = 0;  ///< gauge maximum since reset.
+  HistogramData hist;
+};
+
+/// Deterministic point-in-time view: entries sorted by name.
+struct Snapshot {
+  std::vector<SnapshotEntry> entries;
+
+  const SnapshotEntry* find(std::string_view name) const;
+  /// Counter total by name; 0 when absent (unregistered or never hit).
+  std::int64_t counter_value(std::string_view name) const;
+};
+
+class Registry;
+
+/// Cheap copyable handles; obtain once (e.g. a function-local static) and
+/// record through them.  All operations are no-ops while the owning
+/// registry is disabled.
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::int64_t delta = 1) const;
+  bool enabled() const;
+
+ private:
+  friend class Registry;
+  Counter(Registry* registry, std::int32_t id)
+      : registry_(registry), id_(id) {}
+  Registry* registry_ = nullptr;
+  std::int32_t id_ = -1;
+};
+
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(std::int64_t value) const;
+  void add(std::int64_t delta) const;
+  bool enabled() const;
+
+ private:
+  friend class Registry;
+  Gauge(Registry* registry, std::int32_t id)
+      : registry_(registry), id_(id) {}
+  Registry* registry_ = nullptr;
+  std::int32_t id_ = -1;
+};
+
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(std::int64_t value) const;
+  void observe_seconds(double seconds) const;  ///< recorded as nanoseconds.
+  bool enabled() const;
+
+ private:
+  friend class Registry;
+  Histogram(Registry* registry, std::int32_t id)
+      : registry_(registry), id_(id) {}
+  Registry* registry_ = nullptr;
+  std::int32_t id_ = -1;
+};
+
+/// RAII timer: reads the clock only while the histogram's registry is
+/// enabled, records elapsed nanoseconds on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram hist) : hist_(hist) {
+    if (hist_.enabled()) watch_.emplace();
+  }
+  ~ScopedTimer() {
+    if (watch_) {
+      hist_.observe(static_cast<std::int64_t>(watch_->elapsed_s() * 1e9));
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram hist_;
+  std::optional<Stopwatch> watch_;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry used by all in-tree instrumentation.
+  /// Enabled at startup iff UAVCOV_METRICS is set to a non-empty value
+  /// other than "0" (same convention as UAVCOV_AUDIT).
+  static Registry& instance();
+
+  /// Registries other than instance() are supported for tests; they start
+  /// disabled.
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+
+  /// Interning: returns the (stable) handle for `name`, creating the
+  /// metric on first use.  Throws ContractError if `name` is already
+  /// registered with a different kind.
+  Counter counter(const std::string& name);
+  Gauge gauge(const std::string& name);
+  Histogram histogram(const std::string& name);
+
+  /// Merge every shard into a deterministic, name-sorted snapshot.
+  Snapshot snapshot() const;
+
+  /// Zero every metric (values only; registrations and handles stay
+  /// valid).  Test/bench support — call it only while no instrumented
+  /// worker threads are running.
+  void reset();
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  struct Shard;
+
+  std::int32_t intern(MetricKind kind, const std::string& name);
+  Shard& local_shard();
+  void counter_add(std::int32_t id, std::int64_t delta);
+  void gauge_set(std::int32_t id, std::int64_t value);
+  void gauge_add(std::int32_t id, std::int64_t delta);
+  void histogram_observe(std::int32_t id, std::int64_t value);
+
+  struct GaugeData {
+    std::int64_t value = 0;
+    std::int64_t high_water = std::numeric_limits<std::int64_t>::min();
+  };
+
+  std::atomic<bool> enabled_{false};
+  const std::uint64_t uid_;  ///< keys the thread-local shard cache.
+
+  mutable std::mutex mu_;
+  // name → (kind, per-kind id); names_ mirrors ids back per kind.
+  struct Registered {
+    MetricKind kind;
+    std::int32_t id;
+  };
+  std::vector<std::pair<std::string, Registered>> metrics_;  // sorted lookup
+  std::vector<std::string> counter_names_;
+  std::vector<std::string> gauge_names_;
+  std::vector<std::string> histogram_names_;
+  std::vector<GaugeData> gauges_;  // gauges are global (set under mu_).
+  std::vector<std::shared_ptr<Shard>> shards_;
+};
+
+/// Convenience wrappers over Registry::instance().
+Counter counter(const std::string& name);
+Gauge gauge(const std::string& name);
+Histogram histogram(const std::string& name);
+
+/// True iff UAVCOV_METRICS requests metrics at startup.
+bool metrics_env_enabled();
+
+}  // namespace uavcov::obs

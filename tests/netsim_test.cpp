@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "netsim/service_sim.hpp"
+#include "obs/metrics.hpp"
 
 namespace uavcov {
 namespace {
@@ -33,6 +34,31 @@ std::pair<Scenario, Solution> single_uav_instance(std::int32_t n) {
   sol.user_to_deployment.assign(static_cast<std::size_t>(n), 0);
   sol.served = n;
   return {std::move(sc), std::move(sol)};
+}
+
+TEST(ServiceSim, TickMetricsCountEverySlot) {
+  obs::Registry& reg = obs::Registry::instance();
+  const bool was_enabled = reg.enabled();
+  reg.set_enabled(true);
+  reg.reset();
+
+  auto [sc, sol] = single_uav_instance(5);
+  netsim::ServiceSimConfig config;
+  config.duration_s = 0.25;  // 250 slots at the 1 ms TTI
+  const auto result = netsim::simulate_service(sc, sol, config);
+  ASSERT_EQ(result.users.size(), 5u);
+
+  const obs::Snapshot snap = reg.snapshot();
+  reg.set_enabled(was_enabled);
+  const auto slots = static_cast<std::int64_t>(
+      std::ceil(config.duration_s / config.slot_s));
+  EXPECT_EQ(snap.counter_value("netsim.runs"), 1);
+  EXPECT_EQ(snap.counter_value("netsim.ticks"), slots);
+  const obs::SnapshotEntry* ticks = snap.find("netsim.tick_seconds");
+  ASSERT_NE(ticks, nullptr);
+  // One latency sample per slot, all non-negative.
+  EXPECT_EQ(ticks->hist.count, slots);
+  EXPECT_GE(ticks->hist.min, 0);
 }
 
 TEST(SustainableUsers, MatchesPaperExample) {

@@ -12,6 +12,7 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "core/appro_alg.hpp"
+#include "obs/metrics.hpp"
 
 namespace uavcov {
 namespace {
@@ -109,6 +110,35 @@ TEST(ParallelDeterminism, SubsetBudgetCountersStayExact) {
     expect_identical_counters(serial_stats, parallel_stats);
     EXPECT_LE(serial_stats.subsets_evaluated, budget);
   }
+}
+
+TEST(ParallelDeterminism, BitIdenticalWithMetricsRecording) {
+  // Observability design constraint 2 (docs/OBSERVABILITY.md): the metrics
+  // registry is write-only from the solver's perspective, so recording must
+  // not perturb the serial/parallel bit-identity.  ctest already exports
+  // UAVCOV_METRICS=1 for this binary; force-enable anyway so a bare run of
+  // the test binary checks the same thing.
+  obs::Registry& reg = obs::Registry::instance();
+  const bool was_enabled = reg.enabled();
+  reg.set_enabled(true);
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    Rng rng(seed);
+    const Scenario sc = random_scenario(rng, 5, 25, 5);
+    const CoverageModel cov(sc);
+    ApproAlgParams serial_params;
+    serial_params.s = 2;
+    serial_params.threads = 1;
+    ApproAlgParams parallel_params = serial_params;
+    parallel_params.threads = 4;
+
+    ApproAlgStats serial_stats;
+    ApproAlgStats parallel_stats;
+    const Solution a = solve(sc, cov, serial_params, &serial_stats);
+    const Solution b = solve(sc, cov, parallel_params, &parallel_stats);
+    expect_identical(a, b);
+    expect_identical_counters(serial_stats, parallel_stats);
+  }
+  reg.set_enabled(was_enabled);
 }
 
 TEST(ParallelDeterminism, ThreadsZeroMeansHardwareConcurrency) {

@@ -8,6 +8,11 @@
 // constants here and say why in the commit.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/fingerprint.hpp"
 #include "core/segment_plan.hpp"
 #include "eval/experiment.hpp"
 
@@ -40,6 +45,107 @@ TEST(Regression, ServedCountsPinned) {
   EXPECT_EQ(results[4].served, 340);
   EXPECT_EQ(results[5].name, "RandomConnected");
   EXPECT_EQ(results[5].served, 282);
+}
+
+/// One pinned instance for the fingerprint suite below.
+struct GoldenScenario {
+  std::uint64_t seed;
+  std::int32_t users;
+  std::int32_t uavs;
+  std::int32_t s;
+  /// Expected table: one line per algorithm, "name served 0x<fingerprint>",
+  /// preceded by a "scenario 0x<fingerprint>" line.  Produced by
+  /// golden_table() — on mismatch gtest prints the actual table, which is
+  /// the replacement text when the change is intentional.
+  const char* table;
+};
+
+std::string golden_table(const GoldenScenario& g) {
+  eval::RunConfig config;
+  config.seed = g.seed;
+  config.scenario.user_count = g.users;
+  config.scenario.fleet.uav_count = g.uavs;
+  config.appro.s = g.s;
+  config.appro.candidate_cap = 25;
+  config.run_random = true;
+
+  Rng rng(config.seed);
+  const Scenario scenario =
+      workload::make_disaster_scenario(config.scenario, rng);
+  const CoverageModel coverage(scenario);
+  std::ostringstream out;
+  out << "scenario " << fingerprint_hex(scenario.fingerprint()) << "\n";
+  for (const eval::AlgoResult& r :
+       eval::run_all_on(scenario, coverage, config)) {
+    out << r.name << " " << r.served << " " << fingerprint_hex(r.fingerprint)
+        << "\n";
+  }
+  return out.str();
+}
+
+// Served counts alone can stay stable while the actual deployment drifts
+// (two different placements often serve the same number of users), so this
+// suite additionally pins the FNV-1a fingerprint of every solution — any
+// change to deployments, the assignment vector, or the generator itself
+// trips it.  Update the tables only for intentional behavioral changes and
+// say why in the commit.
+TEST(Regression, SolutionFingerprintsPinned) {
+  const std::vector<GoldenScenario> goldens = {
+      {12345, 400, 8, 2,
+       "scenario 0x8cce6cc85b76dcea\n"
+       "approAlg 343 0x6f1fe2aa0bc1f187\n"
+       "maxThroughput 333 0x41fc3858a026801b\n"
+       "MotionCtrl 317 0x2c33d1bc0590bbdf\n"
+       "MCS 348 0x79bba34310e3e2b6\n"
+       "GreedyAssign 340 0x612f636ad2a8ca69\n"
+       "RandomConnected 282 0x649e6df295912576\n"},
+      {777, 250, 6, 1,
+       "scenario 0x3b6712449fb6c03f\n"
+       "approAlg 171 0x875d263e6f27e6d6\n"
+       "maxThroughput 171 0x51cd4b6d8b871196\n"
+       "MotionCtrl 175 0x04dc5d804b384a80\n"
+       "MCS 182 0xd69231b5a7a2dbfb\n"
+       "GreedyAssign 170 0xc5ca33cad9d01165\n"
+       "RandomConnected 132 0xdb19361ba1812094\n"},
+      {2024, 300, 8, 2,
+       "scenario 0xb697422d2686acd4\n"
+       "approAlg 211 0x7697e56422677f92\n"
+       "maxThroughput 176 0xef263b0f2cca5431\n"
+       "MotionCtrl 202 0x025e99b93b7f7b2a\n"
+       "MCS 216 0x094896b47ccc2e0e\n"
+       "GreedyAssign 244 0xcd6995fb2582376a\n"
+       "RandomConnected 106 0x80ca387f99b79728\n"},
+      {31337, 350, 10, 1,
+       "scenario 0x863c5a5c6d07dfaa\n"
+       "approAlg 294 0x3bb0120f2eccf44f\n"
+       "maxThroughput 293 0x787d1019c81c88e6\n"
+       "MotionCtrl 300 0x24563036623fbd66\n"
+       "MCS 317 0xa35b5e8f02258fdf\n"
+       "GreedyAssign 288 0x0166c8166247d992\n"
+       "RandomConnected 171 0x3e70a19e1f46de1a\n"},
+      {555, 450, 7, 2,
+       "scenario 0x0db08b778a55f664\n"
+       "approAlg 365 0xb45ee5fc64743fa8\n"
+       "maxThroughput 270 0xee523c3df4dbf851\n"
+       "MotionCtrl 336 0xc10c1ed1bc3012d4\n"
+       "MCS 370 0x0935cffb6ca266c4\n"
+       "GreedyAssign 355 0xddd567a538bd8897\n"
+       "RandomConnected 240 0x288c89d246ae6234\n"},
+      {9090, 500, 9, 2,
+       "scenario 0x121b48f80e89feb8\n"
+       "approAlg 339 0x3165881080904f38\n"
+       "maxThroughput 314 0x5040773438a13950\n"
+       "MotionCtrl 277 0xdd7d910d7aa16a48\n"
+       "MCS 404 0x9578f99b86d51d82\n"
+       "GreedyAssign 309 0xd9974e3d430a6274\n"
+       "RandomConnected 190 0x1ae5659929d9741e\n"},
+  };
+  for (const GoldenScenario& g : goldens) {
+    const std::string actual = golden_table(g);
+    EXPECT_EQ(actual, g.table)
+        << "seed " << g.seed << ": paste the table below if intentional\n"
+        << actual;
+  }
 }
 
 TEST(Regression, SegmentPlansPinned) {

@@ -83,6 +83,34 @@ TEST(Render, FullDeploymentRendering) {
   EXPECT_NE(svg.find("</svg>"), std::string::npos);
 }
 
+TEST(Render, ByteIdenticalAcrossRuns) {
+  // The renderer feeds mission reports and the docs; byte-identical output
+  // for identical input means SVG diffs in review are always real changes.
+  workload::ScenarioConfig config;
+  config.width_m = 1200;
+  config.height_m = 900;
+  config.cell_side_m = 300;
+  config.user_count = 25;
+  config.fleet.uav_count = 3;
+  RenderOptions options;
+  options.draw_associations = true;
+  std::string first;
+  for (int run = 0; run < 3; ++run) {
+    Rng rng(42);
+    const Scenario sc = workload::make_disaster_scenario(config, rng);
+    ApproAlgParams params;
+    params.s = 1;
+    const Solution sol = appro_alg(sc, params);
+    const std::string svg = render_deployment(sc, sol, options);
+    if (run == 0) {
+      first = svg;
+      EXPECT_FALSE(first.empty());
+    } else {
+      EXPECT_EQ(svg, first) << "render differs on run " << run;
+    }
+  }
+}
+
 TEST(Render, ScenarioOnlyPlot) {
   Rng rng(4);
   workload::ScenarioConfig config;

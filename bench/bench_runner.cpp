@@ -24,6 +24,8 @@
 #include "eval/experiment.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "resilience/fault_plan.hpp"
+#include "resilience/repair.hpp"
 
 namespace {
 
@@ -157,6 +159,92 @@ int main(int argc, char** argv) {
       w.kv("seconds", best_seconds[i]);
       w.end_object();
     }
+    w.end_array();
+    w.key("metrics");
+    uavcov::obs::write_snapshot(w, snapshot);
+    w.end_object();
+  }
+
+  // Failure-repair drill (docs/RESILIENCE.md): one pinned (scenario,
+  // fault plan) pair through deploy → inject → self-healing repair.
+  // Append-only like the solver suite; part of the quick subset.  The
+  // identity entries are the initial deployment and the post-drill
+  // solution, so any behavioral change to fault injection or repair
+  // moves a pinned fingerprint here.
+  {
+    const BenchCase c{"repair_drill_s2", 106, 500, 10, 2, 150, true};
+    std::cerr << "[bench_runner] " << c.name << " (n=" << c.users
+              << ", K=" << c.uavs << ", s=" << c.s << ")\n";
+    const uavcov::eval::RunConfig config = make_config(c);
+    uavcov::Rng rng(config.seed);
+    const uavcov::Scenario scenario =
+        uavcov::workload::make_disaster_scenario(config.scenario, rng);
+
+    uavcov::resilience::RepairPolicy policy;
+    policy.appro = config.appro;
+    uavcov::resilience::FaultPlanConfig faults;
+    faults.events = 3;
+    faults.include_gateway_loss = true;  // exercises the escalation path
+    const uavcov::resilience::FaultPlan plan =
+        uavcov::resilience::make_fault_plan(scenario, faults, c.seed * 1009);
+
+    std::uint64_t initial_fp = 0;
+    std::uint64_t final_fp = 0;
+    std::int64_t initial_served = 0;
+    std::int64_t final_served = 0;
+    double deploy_seconds = 1e300;
+    double repair_seconds = 1e300;
+    for (std::int32_t rep = 0; rep < repeats; ++rep) {
+      if (rep == repeats - 1) registry.reset();
+      uavcov::resilience::RepairController controller(scenario, policy);
+      const uavcov::Stopwatch deploy_watch;
+      const uavcov::Solution& initial = controller.deploy();
+      const double deploy_s = deploy_watch.elapsed_s();
+      const std::uint64_t fp0 = initial.fingerprint();
+      const std::int64_t served0 = initial.served;
+      const uavcov::Stopwatch repair_watch;
+      for (const uavcov::resilience::FaultEvent& e : plan.events) {
+        controller.on_fault(e);
+      }
+      const double repair_s = repair_watch.elapsed_s();
+      if (rep == 0) {
+        initial_fp = fp0;
+        initial_served = served0;
+        final_fp = controller.current().fingerprint();
+        final_served = controller.current().served;
+      } else {
+        UAVCOV_CHECK_MSG(fp0 == initial_fp &&
+                             controller.current().fingerprint() == final_fp,
+                         "non-deterministic repair drill in repair_drill_s2");
+      }
+      deploy_seconds = std::min(deploy_seconds, deploy_s);
+      repair_seconds = std::min(repair_seconds, repair_s);
+    }
+    const uavcov::obs::Snapshot snapshot = registry.snapshot();
+
+    w.begin_object();
+    w.kv("name", c.name);
+    w.kv("seed", static_cast<std::int64_t>(c.seed));
+    w.kv("users", c.users);
+    w.kv("uavs", c.uavs);
+    w.kv("s", c.s);
+    w.kv("scenario_fingerprint",
+         uavcov::fingerprint_hex(scenario.fingerprint()));
+    w.kv("fault_plan_fingerprint",
+         uavcov::fingerprint_hex(plan.fingerprint()));
+    w.key("algorithms").begin_array();
+    w.begin_object();
+    w.kv("name", "approAlg_initial");
+    w.kv("served", initial_served);
+    w.kv("fingerprint", uavcov::fingerprint_hex(initial_fp));
+    w.kv("seconds", deploy_seconds);
+    w.end_object();
+    w.begin_object();
+    w.kv("name", "repair_final");
+    w.kv("served", final_served);
+    w.kv("fingerprint", uavcov::fingerprint_hex(final_fp));
+    w.kv("seconds", repair_seconds);
+    w.end_object();
     w.end_array();
     w.key("metrics");
     uavcov::obs::write_snapshot(w, snapshot);

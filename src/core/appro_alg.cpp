@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <memory>
 #include <queue>
 #include <span>
@@ -47,6 +48,31 @@ const ApproMetrics& appro_metrics() {
   return metrics;
 }
 
+/// Cooperative deadline for ApproAlgParams::time_budget_s.  Workers poll
+/// between seed subsets and between greedy rounds; once the shared flag
+/// flips it stays set, so every thread winds down promptly.  A null
+/// monitor (budget 0) keeps the search on the exact pre-deadline path.
+struct DeadlineMonitor {
+  DeadlineMonitor(const Stopwatch& watch, double budget_s)
+      : watch_(watch), budget_s_(budget_s) {}
+
+  bool expired() {
+    if (expired_.load(std::memory_order_relaxed)) return true;
+    if (watch_.elapsed_s() > budget_s_) {
+      expired_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+  bool hit() const { return expired_.load(std::memory_order_relaxed); }
+
+ private:
+  const Stopwatch& watch_;
+  double budget_s_;
+  std::atomic<bool> expired_{false};
+};
+
 /// Deep per-round audit (UAVCOV_AUDIT / ApproAlgParams::audit): the live
 /// flow network must stay an integral maximum flow and the current greedy
 /// state must stay independent in M1 ∩ M2.  Throws AuditError otherwise.
@@ -68,7 +94,7 @@ std::vector<LocationId> greedy_place(
     IncrementalAssignment& ia, const CoverageModel& coverage,
     const std::vector<LocationId>& pool, HopBudgetMatroid& m2,
     const std::vector<UavId>& uav_order, std::int32_t l_max, bool lazy,
-    bool audit, std::int64_t* probes) {
+    bool audit, std::int64_t* probes, DeadlineMonitor* deadline) {
   std::vector<LocationId> chosen;
   chosen.reserve(static_cast<std::size_t>(l_max));
   std::vector<bool> taken;  // indexed by position in `pool`
@@ -84,6 +110,9 @@ std::vector<LocationId> greedy_place(
     }
     taken.assign(pool.size(), false);
     for (std::int32_t k = 0; k < l_max && !heap.empty(); ++k) {
+      // Cooperative deadline: a truncated greedy prefix is still a valid
+      // (independent, feasible) placement, so stopping here is safe.
+      if (deadline != nullptr && deadline->expired()) break;
       const UavId uav = uav_order[static_cast<std::size_t>(k)];
       LocationId pick = kInvalidLocation;
       std::int32_t pick_idx = -1;
@@ -129,6 +158,7 @@ std::vector<LocationId> greedy_place(
     // Plain greedy: probe every feasible pool entry each iteration.
     taken.assign(pool.size(), false);
     for (std::int32_t k = 0; k < l_max; ++k) {
+      if (deadline != nullptr && deadline->expired()) break;
       const UavId uav = uav_order[static_cast<std::size_t>(k)];
       std::int64_t best_gain = -1;
       std::int32_t best_idx = -1;
@@ -175,6 +205,7 @@ struct SearchContext {
   const std::vector<UavId>& uav_order;
   std::int32_t K;
   bool audit;
+  DeadlineMonitor* deadline = nullptr;  ///< null when time_budget_s == 0.
 };
 
 /// Mutable solver state owned by exactly one worker: the live flow network
@@ -219,7 +250,7 @@ void evaluate_subset(const SearchContext& ctx, WorkerState& w,
     chosen =
         greedy_place(w.ia, ctx.coverage, ctx.candidates, m2, ctx.uav_order,
                      ctx.plan.L_max, ctx.params.lazy_greedy, ctx.audit,
-                     &w.probes);
+                     &w.probes, ctx.deadline);
   }
   const auto relay = [&] {
     const obs::ScopedTimer timer(appro_metrics().stitch_seconds);
@@ -311,6 +342,10 @@ void ApproAlgParams::validate() const {
     fail("max_seed_subsets must be >= 0 (got " +
          std::to_string(max_seed_subsets) + ")");
   }
+  if (!(time_budget_s >= 0.0) || !std::isfinite(time_budget_s)) {
+    fail("time_budget_s must be finite and >= 0 (got " +
+         std::to_string(time_budget_s) + ")");
+  }
 }
 
 Solution appro_alg(const Scenario& scenario, const ApproAlgParams& params,
@@ -381,9 +416,15 @@ Solution appro_alg(const Scenario& scenario, const CoverageModel& coverage,
   for (LocationId c : candidates) cand_dist.push_back(bfs_distances(g, c));
   lap(st.phases.prepare_s);
 
+  // The deadline shares `watch` with the phase laps, so the budget covers
+  // the whole solve (plan + prepare included), not just the search.
+  std::unique_ptr<DeadlineMonitor> deadline;
+  if (params.time_budget_s > 0.0) {
+    deadline = std::make_unique<DeadlineMonitor>(watch, params.time_budget_s);
+  }
   const SearchContext ctx{scenario, coverage, params,    candidates,
                           cand_dist, g,        plan,      uav_order,
-                          K,         audit};
+                          K,         audit,    deadline.get()};
 
   const std::int32_t requested = ThreadPool::resolve(params.threads);
 
@@ -400,6 +441,11 @@ Solution appro_alg(const Scenario& scenario, const CoverageModel& coverage,
     auto state = std::make_unique<WorkerState>(ctx);
     std::int64_t rank = 0;
     enumerate_subsets(ctx, s, [&](const std::vector<std::int32_t>& subset) {
+      // Deadline check between subsets; the first subset always runs so a
+      // binding budget still yields a non-trivial solution.
+      if (rank > 0 && ctx.deadline != nullptr && ctx.deadline->expired()) {
+        return false;
+      }
       ++st.subsets_enumerated;
       ++st.subsets_evaluated;
       evaluate_subset(ctx, *state, subset, rank);
@@ -435,9 +481,10 @@ Solution appro_alg(const Scenario& scenario, const CoverageModel& coverage,
       std::vector<std::unique_ptr<WorkerState>> states(
           static_cast<std::size_t>(workers));
       std::atomic<std::int64_t> next{0};
+      std::atomic<std::int64_t> evaluated{0};
       ThreadPool pool(workers);
       for (std::int32_t wi = 0; wi < workers; ++wi) {
-        pool.submit([&ctx, &states, &next, &flat, s, total, wi] {
+        pool.submit([&ctx, &states, &next, &evaluated, &flat, s, total, wi] {
           // Per-worker state lives on the worker thread: its DinicFlow,
           // probe journals, and scratch never touch another thread.
           auto state = std::make_unique<WorkerState>(ctx);
@@ -445,6 +492,12 @@ Solution appro_alg(const Scenario& scenario, const CoverageModel& coverage,
             const std::int64_t i =
                 next.fetch_add(1, std::memory_order_relaxed);
             if (i >= total) break;
+            // Cooperative deadline: stop claiming work once the budget is
+            // spent, except for subset 0 — someone always evaluates it so
+            // a binding budget still yields a non-trivial solution.
+            if (i > 0 && ctx.deadline != nullptr && ctx.deadline->expired())
+              break;
+            evaluated.fetch_add(1, std::memory_order_relaxed);
             evaluate_subset(
                 ctx, *state,
                 std::span<const std::int32_t>(
@@ -455,6 +508,7 @@ Solution appro_alg(const Scenario& scenario, const CoverageModel& coverage,
         });
       }
       pool.wait_idle();  // rethrows the first worker AuditError, if any
+      st.subsets_evaluated = evaluated.load(std::memory_order_relaxed);
 
       // Deterministic reduction: highest served count wins; ties go to
       // the smallest enumeration rank — the subset the serial loop would
@@ -557,6 +611,7 @@ Solution appro_alg(const Scenario& scenario, const CoverageModel& coverage,
     analysis::require_clean(report);
   }
   lap(st.phases.finalize_s);
+  st.deadline_hit = deadline != nullptr && deadline->hit();
   st.seconds = watch.elapsed_s();
   solution.solve_seconds = st.seconds;
   const ApproMetrics& m = appro_metrics();

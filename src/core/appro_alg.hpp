@@ -62,11 +62,22 @@ struct ApproAlgParams {
   /// violation.  Expensive; also enabled process-wide by the UAVCOV_AUDIT
   /// environment variable regardless of this field.
   bool audit = false;
+  /// Wall-clock budget for the whole solve [s]; 0 = unlimited (the
+  /// default, bit-identical to the pre-deadline behavior).  The search
+  /// checks the budget cooperatively between seed subsets and between
+  /// greedy rounds and, once expired, returns the best *valid* solution
+  /// found so far with stats.deadline_hit = true.  At least one subset is
+  /// always evaluated, so the result is never gratuitously empty; a run
+  /// whose budget never binds is bit-identical to an unbudgeted run.
+  /// Used by the resilience repair controller (docs/RESILIENCE.md) to
+  /// bound repair latency in emergency operation.
+  double time_budget_s = 0.0;
 
   /// Throws std::invalid_argument on any out-of-domain field (s < 1,
-  /// candidate_cap < 0, threads < 0, max_seed_subsets < 0).  Called at
-  /// every appro_alg / solve entry, so bad parameters fail loudly instead
-  /// of being silently clamped.
+  /// candidate_cap < 0, threads < 0, max_seed_subsets < 0,
+  /// time_budget_s < 0 or non-finite).  Called at every appro_alg / solve
+  /// entry, so bad parameters fail loudly instead of being silently
+  /// clamped.
   void validate() const;
 };
 

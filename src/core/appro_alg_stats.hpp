@@ -31,6 +31,11 @@ struct ApproAlgStats {
   std::int64_t subsets_stitched = 0;  ///< subsets with a <= K stitching.
   std::int64_t probes = 0;            ///< marginal-gain flow probes.
   double seconds = 0.0;               ///< end-to-end wall clock.
+  /// True iff ApproAlgParams::time_budget_s bound the search: the subset
+  /// enumeration (or a greedy round) was cut short and the returned
+  /// solution is the best evaluated so far rather than the full search's
+  /// winner.  The solution is still fully §II-C feasible.
+  bool deadline_hit = false;
 };
 
 }  // namespace uavcov

@@ -1,12 +1,47 @@
 #include "core/redeploy.hpp"
 
+#include <cmath>
 #include <map>
+#include <stdexcept>
+#include <string>
 
 #include "core/assignment.hpp"
+#include "obs/metrics.hpp"
 
 namespace uavcov {
 
+namespace {
+
+struct RedeployMetrics {
+  obs::Counter full_solves = obs::counter("redeploy.full_solves");
+  obs::Gauge travel_m = obs::gauge("redeploy.travel_m");
+  obs::Histogram update_seconds = obs::histogram("redeploy.update_seconds");
+};
+
+const RedeployMetrics& redeploy_metrics() {
+  static const RedeployMetrics m;
+  return m;
+}
+
+}  // namespace
+
+void validate_unit_threshold(const char* context, double value) {
+  if (!std::isfinite(value) || value <= 0.0 || value > 1.0) {
+    throw std::invalid_argument(std::string(context) +
+                                " must be in (0, 1] (got " +
+                                std::to_string(value) + ")");
+  }
+}
+
+void RedeployPolicy::validate() const {
+  validate_unit_threshold("RedeployPolicy::degradation_threshold",
+                          degradation_threshold);
+  appro.validate();
+}
+
 const Solution& RedeployController::update(const Scenario& scenario) {
+  policy_.validate();
+  const obs::ScopedTimer timer(redeploy_metrics().update_seconds);
   // Cheap path: keep the standing placement, refresh the assignment (user
   // positions changed, so eligibility did too).
   if (!solution_.deployments.empty()) {
@@ -26,6 +61,7 @@ const Solution& RedeployController::update(const Scenario& scenario) {
   solution_ = appro_alg(scenario, policy_.appro);
   served_at_last_solve_ = solution_.served;
   ++full_solves_;
+  redeploy_metrics().full_solves.inc();
   account_travel(scenario, before, solution_.deployments);
   return solution_;
 }
@@ -45,6 +81,7 @@ void RedeployController::account_travel(
     uav_travel_m_ +=
         distance(scenario.grid.center(it->second), scenario.grid.center(to));
   }
+  redeploy_metrics().travel_m.set(static_cast<std::int64_t>(uav_travel_m_));
 }
 
 }  // namespace uavcov

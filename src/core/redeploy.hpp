@@ -8,11 +8,21 @@
 
 namespace uavcov {
 
+/// Shared by RedeployPolicy and resilience::RepairPolicy: throws
+/// std::invalid_argument unless `value` is a finite fraction in (0, 1].
+/// `context` names the offending field in the message, matching the
+/// ApproAlgParams::validate() style.
+void validate_unit_threshold(const char* context, double value);
+
 struct RedeployPolicy {
   /// Re-run approAlg when served users fall below this fraction of the
-  /// served count right after the last full solve.
+  /// served count right after the last full solve.  Must be in (0, 1].
   double degradation_threshold = 0.9;
   ApproAlgParams appro{};
+
+  /// Throws std::invalid_argument on out-of-domain fields; called at
+  /// every RedeployController::update entry.
+  void validate() const;
 };
 
 class RedeployController {

@@ -14,6 +14,8 @@
 #include "fuzz/oracle_matching.hpp"
 #include "fuzz/scenario_decoder.hpp"
 #include "io/serialize.hpp"
+#include "resilience/impact.hpp"
+#include "resilience/repair.hpp"
 
 namespace uavcov::fuzz {
 
@@ -327,12 +329,93 @@ void run_serialize_roundtrip_harness(const std::uint8_t* data,
   require(parse_csv_row(row) == cells, "CSV quote/parse not inverse");
 }
 
+void run_repair_harness(const std::uint8_t* data, std::size_t size) {
+  ByteReader r(data, size);
+  ScenarioLimits limits;
+  limits.max_cols = 4;   // small instances keep the audited repair loop
+  limits.max_rows = 4;   // and the full re-solve escalations fast
+  limits.max_users = 14;
+  limits.max_uavs = 5;
+  limits.max_capacity = 8;
+  const Scenario scenario = decode_scenario(r, limits);
+  const CoverageModel coverage(scenario);
+  const std::int32_t K = scenario.uav_count();
+
+  resilience::RepairPolicy policy;
+  policy.local_repair_floor = r.take_double(0.05, 1.0);
+  policy.escalate_on_gateway_loss = r.take_bool();
+  policy.refine_rounds = static_cast<std::int32_t>(r.take_int(0, 2));
+  policy.audit = true;  // deep-audit every emitted solution, mid-repair too
+  policy.appro.s = static_cast<std::int32_t>(
+      r.take_int(1, std::min<std::int64_t>(2, K)));
+  policy.appro.max_seed_subsets = 50;
+  policy.appro.audit = true;
+  if (r.take_bool()) {
+    // Sometimes bind the repair latency: the result may differ run to run
+    // (wall clock), but must always stay feasible — that is the contract.
+    policy.appro.time_budget_s = r.take_double(1e-4, 0.05);
+  }
+
+  resilience::RepairController controller(scenario, policy);
+  const Solution initial = controller.deploy();
+  const std::int64_t ceiling = std::min<std::int64_t>(
+      scenario.total_capacity(), scenario.user_count());
+
+  resilience::FaultPlan plan;  // accumulated for the impact analyzer
+  const auto n_events = r.take_int(0, 4);
+  double now_s = 0.0;
+  for (std::int64_t i = 0; i < n_events; ++i) {
+    now_s += r.take_double(0.0, 50.0);
+    resilience::FaultEvent event;
+    event.time_s = now_s;
+    event.kind = static_cast<resilience::FaultKind>(r.take_int(0, 3));
+    if (event.kind == resilience::FaultKind::kLinkDegrade) {
+      event.range_scale = r.take_double(0.3, 1.0);
+    } else {
+      // May target an already-dead UAV — the no-op path must hold too.
+      event.uav = static_cast<UavId>(r.take_int(0, K - 1));
+    }
+    plan.events.push_back(event);
+
+    const resilience::RepairOutcome outcome = controller.on_fault(event);
+    const Solution& current = controller.current();
+    require(current.served == outcome.served_after,
+            "outcome served_after disagrees with the standing solution");
+    require(current.served >= 0 && current.served <= ceiling,
+            "repaired served count outside [0, capacity ceiling]");
+    if (!current.deployments.empty()) {
+      // Feasible for the *original* instance: degradation only removed
+      // UAVs and shrank ranges, so this must hold for every repair.
+      validate_solution(scenario, coverage, current);
+      for (const Deployment& d : current.deployments) {
+        require(d.uav >= 0 && d.uav < K,
+                "repaired deployment references an unknown UAV");
+      }
+    } else {
+      require(current.served == 0, "empty network claims served users");
+    }
+  }
+
+  // The impact analyzer reports the do-nothing baseline for the same plan;
+  // it must run clean on anything the controller accepted.
+  const resilience::ImpactReport impact =
+      resilience::analyze_impact(scenario, initial, plan);
+  require(impact.events.size() == plan.events.size(),
+          "impact analyzer dropped events");
+  for (const resilience::EventImpact& e : impact.events) {
+    require(e.served_remaining >= 0 && e.served_remaining <= ceiling,
+            "impact served_remaining outside [0, ceiling]");
+    require(e.users_stranded >= 0, "negative stranded-user count");
+  }
+}
+
 std::span<const HarnessInfo> all_harnesses() {
-  static constexpr std::array<HarnessInfo, 4> kHarnesses{{
+  static constexpr std::array<HarnessInfo, 5> kHarnesses{{
       {"fuzz_assignment", &run_assignment_harness},
       {"fuzz_appro_alg", &run_appro_alg_harness},
       {"fuzz_segment_plan", &run_segment_plan_harness},
       {"fuzz_serialize_roundtrip", &run_serialize_roundtrip_harness},
+      {"fuzz_repair", &run_repair_harness},
   }};
   return kHarnesses;
 }

@@ -1,4 +1,4 @@
-// The four fuzzing harness bodies, shared verbatim by
+// The five fuzzing harness bodies, shared verbatim by
 //   * the libFuzzer entry points in src/fuzz/targets/ (-DUAVCOV_FUZZ=ON),
 //   * the standalone replay driver (uavcov_fuzz_driver), and
 //   * the deterministic ctest property tests (tests/fuzz_property_test.cpp,
@@ -53,6 +53,15 @@ void run_segment_plan_harness(const std::uint8_t* data, std::size_t size);
 void run_serialize_roundtrip_harness(const std::uint8_t* data,
                                      std::size_t size);
 
+/// Fault-tolerance (docs/RESILIENCE.md): decode a scenario plus a fault
+/// plan, deploy, inject each event through the self-healing
+/// RepairController with deep audits forced on, and require every emitted
+/// solution to stay §II-C feasible for the original instance (connected,
+/// capacities respected, no stranded assignment) — graceful degradation,
+/// never an invalid network.  Also cross-checks the impact analyzer's
+/// no-repair numbers against the repaired ones.
+void run_repair_harness(const std::uint8_t* data, std::size_t size);
+
 using HarnessFn = void (*)(const std::uint8_t*, std::size_t);
 
 struct HarnessInfo {
@@ -60,7 +69,7 @@ struct HarnessInfo {
   HarnessFn fn;
 };
 
-/// All four harnesses, in a fixed order (drives the replay driver and the
+/// All five harnesses, in a fixed order (drives the replay driver and the
 /// corpus-replay ctest).
 std::span<const HarnessInfo> all_harnesses();
 

@@ -1,0 +1,10 @@
+// libFuzzer entry point: fault injection → self-healing repair with deep
+// audits forced on; every emitted solution must stay §II-C feasible.
+// Build with -DUAVCOV_FUZZ=ON (clang).
+#include "fuzz/harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  uavcov::fuzz::run_repair_harness(data, size);
+  return 0;
+}

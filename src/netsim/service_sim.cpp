@@ -58,6 +58,12 @@ struct UavState {
 
 constexpr std::size_t kServerQueueCap = 4096;
 
+/// num / den with a zero-duration / zero-slot guard: an empty observation
+/// window has zero throughput and utilization, not NaN.  The fault-drill
+/// timeline (src/resilience/timeline.hpp) legitimately produces
+/// zero-length phases when two faults coincide.
+double safe_div(double num, double den) { return den > 0 ? num / den : 0.0; }
+
 }  // namespace
 
 std::int32_t sustainable_users(const ServiceSimConfig& config) {
@@ -72,7 +78,7 @@ std::int32_t sustainable_users(const ServiceSimConfig& config) {
 ServiceSimResult simulate_service(const Scenario& scenario,
                                   const Solution& solution,
                                   const ServiceSimConfig& config) {
-  UAVCOV_CHECK_MSG(config.duration_s > 0 && config.slot_s > 0,
+  UAVCOV_CHECK_MSG(config.duration_s >= 0 && config.slot_s > 0,
                    "invalid simulation horizon");
   if (analysis::audit_env_enabled()) {
     // Simulating an infeasible assignment silently produces garbage
@@ -205,7 +211,8 @@ ServiceSimResult simulate_service(const Scenario& scenario,
   for (const Flow& flow : flows) {
     UserServiceStats stats;
     stats.user = flow.user;
-    stats.mean_throughput_bps = flow.delivered_bits / config.duration_s;
+    stats.mean_throughput_bps = safe_div(flow.delivered_bits,
+                                         config.duration_s);
     stats.mean_delay_s =
         flow.delivered > 0
             ? flow.delay_sum_s / static_cast<double>(flow.delivered)
@@ -223,11 +230,11 @@ ServiceSimResult simulate_service(const Scenario& scenario,
     UavServiceStats stats;
     stats.deployment = static_cast<std::int32_t>(d);
     stats.attached_users = static_cast<std::int32_t>(uav.flows.size());
-    stats.airtime_utilization =
-        static_cast<double>(uav.busy_slots) / static_cast<double>(slots);
+    stats.airtime_utilization = safe_div(
+        static_cast<double>(uav.busy_slots), static_cast<double>(slots));
     stats.server_utilization =
-        static_cast<double>(uav.processed_pkts) /
-        (config.server_pkts_per_s * config.duration_s);
+        safe_div(static_cast<double>(uav.processed_pkts),
+                 config.server_pkts_per_s * config.duration_s);
     double delay_sum = 0.0;
     for (std::int32_t fi : uav.flows) {
       const Flow& flow = flows[static_cast<std::size_t>(fi)];
@@ -240,7 +247,7 @@ ServiceSimResult simulate_service(const Scenario& scenario,
                           : delay_sum / static_cast<double>(uav.flows.size());
     result.uavs.push_back(stats);
   }
-  result.network_throughput_bps = total_bits / config.duration_s;
+  result.network_throughput_bps = safe_div(total_bits, config.duration_s);
   result.mean_delay_s =
       result.users.empty()
           ? 0.0

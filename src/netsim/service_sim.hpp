@@ -27,7 +27,8 @@
 namespace uavcov::netsim {
 
 struct ServiceSimConfig {
-  double duration_s = 10.0;       ///< simulated time.
+  double duration_s = 10.0;       ///< simulated time; 0 is allowed (empty
+                                  ///< window: all stats come back zero).
   double slot_s = 1e-3;           ///< scheduler slot length (1 ms TTI).
   double packet_bits = 4096.0;    ///< fixed packet size.
   double offered_load_bps = 2e3;  ///< per-user offered traffic.

@@ -1,0 +1,80 @@
+// Fault injection (docs/RESILIENCE.md): a deterministic, seeded timeline
+// of failure events applied to a standing deployment.
+//
+// The paper targets disaster-area operation, where losing UAVs mid-mission
+// is the norm rather than the exception — batteries deplete, airframes
+// crash, links get jammed, the backhaul gateway can go down with the
+// emergency vehicle.  A FaultPlan models one such episode as an ordered
+// event list; `analyze_impact` (impact.hpp) reports what each event would
+// cost with no reaction, and RepairController (repair.hpp) reacts to the
+// events one by one.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/scenario.hpp"
+
+namespace uavcov::resilience {
+
+enum class FaultKind : std::int32_t {
+  kCrash = 0,         ///< UAV lost instantly (airframe failure, collision).
+  kBatteryDrain = 1,  ///< UAV lands and leaves the network (same effect as
+                      ///< a crash at the network layer; counted apart so
+                      ///< drills can attribute losses to energy planning).
+  kLinkDegrade = 2,   ///< fleet-wide UAV-to-UAV range drops to
+                      ///< range_scale × the current range (jamming, rain
+                      ///< fade).  Cumulative across events.
+  kGatewayLoss = 3,   ///< the UAV acting as backhaul gateway is lost; the
+                      ///< network effect equals a crash, but repair policy
+                      ///< treats it as an escalation trigger (the paper's
+                      ///< Fig. 1 backhaul requirement cannot be restored
+                      ///< by local re-stitching alone).
+};
+
+const char* to_string(FaultKind kind);
+
+struct FaultEvent {
+  double time_s = 0.0;             ///< nondecreasing within a plan.
+  FaultKind kind = FaultKind::kCrash;
+  /// Target UAV (original fleet id) for kCrash / kBatteryDrain /
+  /// kGatewayLoss; must be -1 for kLinkDegrade (fleet-wide).
+  UavId uav = -1;
+  /// kLinkDegrade only: multiplier in (0, 1] applied to the current
+  /// UAV-to-UAV range.  Ignored (must be 1.0) for other kinds.
+  double range_scale = 1.0;
+
+  bool operator==(const FaultEvent&) const = default;
+};
+
+struct FaultPlan {
+  std::vector<FaultEvent> events;  ///< sorted by time_s, nondecreasing.
+
+  /// Throws std::invalid_argument on the first malformed event: negative
+  /// or non-finite time, out-of-order times, UAV id outside the fleet,
+  /// range_scale outside (0, 1], or a kind/field combination that
+  /// contradicts the rules above.
+  void validate(const Scenario& scenario) const;
+
+  /// FNV-1a 64-bit digest of every event (time bits, kind, uav, scale
+  /// bits) — pins generator output in tests and the bench suite.
+  std::uint64_t fingerprint() const;
+};
+
+struct FaultPlanConfig {
+  std::int32_t events = 3;            ///< total events to generate.
+  double horizon_s = 600.0;           ///< event times drawn from (0, horizon).
+  double min_range_scale = 0.6;       ///< link-degrade scale ∈ [min, 1).
+  bool include_link_degrade = true;
+  bool include_gateway_loss = false;  ///< at most one per plan, always last.
+};
+
+/// Deterministic generator: the same (scenario, config, seed) triple
+/// yields a bit-identical plan on every platform (Rng is xoshiro256**).
+/// UAV-loss events target distinct UAVs and never exhaust the fleet (at
+/// most K − 1 removals); surplus loss events become link degradations, or
+/// are dropped when those are excluded.
+FaultPlan make_fault_plan(const Scenario& scenario,
+                          const FaultPlanConfig& config, std::uint64_t seed);
+
+}  // namespace uavcov::resilience

@@ -1,0 +1,146 @@
+#include "resilience/impact.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "core/assignment.hpp"
+#include "graph/articulation.hpp"
+#include "graph/dsu.hpp"
+#include "graph/graph.hpp"
+
+namespace uavcov::resilience {
+
+namespace {
+
+/// True when UAVs at these two cells can hear each other (same altitude,
+/// so the link length is the ground distance between cell centers —
+/// matching validate_solution's connectivity rule).
+bool linked(const Scenario& scenario, LocationId a, LocationId b,
+            double range_m) {
+  return distance(scenario.grid.center(a), scenario.grid.center(b)) <=
+         range_m;
+}
+
+}  // namespace
+
+ImpactReport analyze_impact(const Scenario& scenario,
+                            const Solution& solution, const FaultPlan& plan) {
+  plan.validate(scenario);
+  ImpactReport report;
+
+  const std::vector<Deployment>& deps = solution.deployments;
+  const std::int32_t n = static_cast<std::int32_t>(deps.size());
+
+  // Single points of failure of the intact network: articulation points
+  // of the deployment graph, mapped back to fleet ids.
+  {
+    std::vector<std::pair<NodeId, NodeId>> edges;
+    for (std::int32_t i = 0; i < n; ++i) {
+      for (std::int32_t j = i + 1; j < n; ++j) {
+        if (linked(scenario, deps[static_cast<std::size_t>(i)].loc,
+                   deps[static_cast<std::size_t>(j)].loc,
+                   scenario.uav_range_m)) {
+          edges.emplace_back(i, j);
+        }
+      }
+    }
+    const Graph g = Graph::from_edges(n, edges);
+    for (NodeId v : articulation_points(g)) {
+      report.single_points_of_failure.push_back(
+          deps[static_cast<std::size_t>(v)].uav);
+    }
+    std::sort(report.single_points_of_failure.begin(),
+              report.single_points_of_failure.end());
+  }
+
+  // Walk the events, accumulating losses; nothing is repaired.
+  std::vector<bool> alive(static_cast<std::size_t>(scenario.uav_count()),
+                          true);
+  double range_scale = 1.0;
+  // Degraded instance for the "served_remaining" assignments: the range
+  // scale shrinks both the mesh range and (to keep R_user <= R_uav, the
+  // §II-B invariant) the user service radii.  Rebuilt only when the scale
+  // actually changes — coverage is the expensive part.
+  Scenario degraded = scenario;
+  std::optional<CoverageModel> coverage;
+  coverage.emplace(degraded);
+  double built_scale = 1.0;
+
+  report.events.reserve(plan.events.size());
+  for (const FaultEvent& e : plan.events) {
+    if (e.kind == FaultKind::kLinkDegrade) {
+      range_scale *= e.range_scale;
+    } else {
+      alive[static_cast<std::size_t>(e.uav)] = false;
+    }
+    if (range_scale != built_scale) {
+      degraded.uav_range_m = scenario.uav_range_m * range_scale;
+      for (std::size_t k = 0; k < degraded.fleet.size(); ++k) {
+        degraded.fleet[k].user_range_m = std::min(
+            scenario.fleet[k].user_range_m, degraded.uav_range_m);
+      }
+      coverage.emplace(degraded);
+      built_scale = range_scale;
+    }
+
+    EventImpact impact;
+    impact.event = e;
+    std::vector<std::int32_t> survivors;  // indices into deps
+    for (std::int32_t i = 0; i < n; ++i) {
+      if (alive[static_cast<std::size_t>(
+              deps[static_cast<std::size_t>(i)].uav)]) {
+        survivors.push_back(i);
+      }
+    }
+    impact.deployments_alive = static_cast<std::int32_t>(survivors.size());
+
+    if (!survivors.empty()) {
+      Dsu dsu(static_cast<std::int32_t>(survivors.size()));
+      for (std::size_t a = 0; a < survivors.size(); ++a) {
+        for (std::size_t b = a + 1; b < survivors.size(); ++b) {
+          if (linked(degraded,
+                     deps[static_cast<std::size_t>(survivors[a])].loc,
+                     deps[static_cast<std::size_t>(survivors[b])].loc,
+                     degraded.uav_range_m)) {
+            dsu.unite(static_cast<std::int32_t>(a),
+                      static_cast<std::int32_t>(b));
+          }
+        }
+      }
+      impact.components = dsu.component_count();
+
+      // Group survivors by DSU root, in first-member order (deterministic).
+      std::vector<std::pair<std::int32_t, std::vector<Deployment>>> groups;
+      for (std::size_t a = 0; a < survivors.size(); ++a) {
+        const std::int32_t root = dsu.find(static_cast<std::int32_t>(a));
+        auto it = std::find_if(groups.begin(), groups.end(),
+                               [root](const auto& g) {
+                                 return g.first == root;
+                               });
+        if (it == groups.end()) {
+          groups.push_back({root, {}});
+          it = groups.end() - 1;
+        }
+        it->second.push_back(deps[static_cast<std::size_t>(survivors[a])]);
+      }
+      for (const auto& [root, members] : groups) {
+        const AssignmentResult r =
+            solve_assignment(degraded, *coverage, members);
+        // First group wins ties: groups are ordered by lowest member index.
+        if (r.served > impact.served_remaining ||
+            impact.main_component_size == 0) {
+          impact.served_remaining = r.served;
+          impact.main_component_size =
+              static_cast<std::int32_t>(members.size());
+        }
+      }
+    }
+    impact.users_stranded =
+        std::max<std::int64_t>(0, solution.served - impact.served_remaining);
+    report.events.push_back(impact);
+  }
+  return report;
+}
+
+}  // namespace uavcov::resilience

@@ -1,0 +1,56 @@
+#include "resilience/timeline.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace uavcov::resilience {
+
+TimelineReport run_fault_timeline(const Scenario& scenario,
+                                  const Solution& initial,
+                                  const FaultPlan& plan,
+                                  const TimelineConfig& config) {
+  plan.validate(scenario);
+  if (!(config.horizon_s > 0.0)) {
+    throw std::invalid_argument("TimelineConfig: horizon_s must be > 0");
+  }
+  if (!plan.events.empty() &&
+      plan.events.back().time_s > config.horizon_s) {
+    throw std::invalid_argument(
+        "TimelineConfig: plan extends past horizon_s (" +
+        std::to_string(plan.events.back().time_s) + " > " +
+        std::to_string(config.horizon_s) + ")");
+  }
+
+  RepairController controller(scenario, config.policy);
+  controller.adopt(initial);
+
+  TimelineReport report;
+  report.served_initial = initial.served;
+  report.phases.reserve(plan.events.size() + 1);
+
+  double phase_start = 0.0;
+  for (std::size_t i = 0; i <= plan.events.size(); ++i) {
+    TimelinePhase phase;
+    phase.start_s = phase_start;
+    phase.end_s =
+        i < plan.events.size() ? plan.events[i].time_s : config.horizon_s;
+    if (i > 0) {
+      phase.repair = controller.on_fault(plan.events[i - 1]);
+      // (i-1 because phase i starts right after event i-1 fires.)
+    }
+    const Solution& standing = controller.current();
+    phase.served = standing.served;
+    netsim::ServiceSimConfig sim = config.sim;
+    sim.duration_s = phase.end_s - phase.start_s;
+    phase.service = netsim::simulate_service(scenario, standing, sim);
+    phase_start = phase.end_s;
+    report.phases.push_back(std::move(phase));
+  }
+
+  report.served_final = controller.current().served;
+  report.local_repairs = controller.local_repairs();
+  report.full_solves = controller.full_solves();
+  return report;
+}
+
+}  // namespace uavcov::resilience

@@ -85,11 +85,12 @@ TEST(FuzzHarness, DecoderIsDeterministicAndTotal) {
 }
 
 TEST(FuzzHarness, AllHarnessesRegistered) {
-  ASSERT_EQ(all_harnesses().size(), 4u);
+  ASSERT_EQ(all_harnesses().size(), 5u);
   EXPECT_NE(find_harness("fuzz_assignment"), nullptr);
   EXPECT_NE(find_harness("fuzz_appro_alg"), nullptr);
   EXPECT_NE(find_harness("fuzz_segment_plan"), nullptr);
   EXPECT_NE(find_harness("fuzz_serialize_roundtrip"), nullptr);
+  EXPECT_NE(find_harness("fuzz_repair"), nullptr);
   EXPECT_EQ(find_harness("no_such_target"), nullptr);
 }
 
@@ -111,6 +112,10 @@ TEST(FuzzHarness, SegmentPlanProperties) {
 
 TEST(FuzzHarness, SerializeRoundTripProperties) {
   run_seeded(&run_serialize_roundtrip_harness, 400, 0x5E71A);
+}
+
+TEST(FuzzHarness, RepairFeasibilityProperties) {
+  run_seeded(&run_repair_harness, 60, 0x4EA1);
 }
 
 // ---- Corpus replay ------------------------------------------------------

@@ -162,7 +162,10 @@ TEST(ServiceSim, EmptySolution) {
 TEST(ServiceSim, ConfigContracts) {
   auto [sc, sol] = single_uav_instance(3);
   netsim::ServiceSimConfig bad;
-  bad.duration_s = 0;
+  bad.duration_s = -1;
+  EXPECT_THROW(netsim::simulate_service(sc, sol, bad), ContractError);
+  bad = {};
+  bad.slot_s = 0;
   EXPECT_THROW(netsim::simulate_service(sc, sol, bad), ContractError);
   bad = {};
   bad.packet_bits = 0;
@@ -170,6 +173,81 @@ TEST(ServiceSim, ConfigContracts) {
   bad = {};
   bad.server_pkts_per_s = -1;
   EXPECT_THROW(netsim::simulate_service(sc, sol, bad), ContractError);
+}
+
+// Edge cases the fault-drill timeline hits (docs/RESILIENCE.md): empty
+// observation windows and UAVs with nobody attached must produce zeroed
+// statistics, never a division by zero.
+TEST(ServiceSim, ZeroDurationWindowYieldsZeroedStats) {
+  auto [sc, sol] = single_uav_instance(3);
+  netsim::ServiceSimConfig config;
+  config.duration_s = 0;  // coincident fault events => zero-length phase
+  const netsim::ServiceSimResult r = netsim::simulate_service(sc, sol, config);
+  ASSERT_EQ(r.users.size(), 3u);
+  ASSERT_EQ(r.uavs.size(), 1u);
+  for (const auto& u : r.users) {
+    EXPECT_TRUE(std::isfinite(u.mean_throughput_bps));
+    EXPECT_EQ(u.mean_throughput_bps, 0.0);
+    EXPECT_EQ(u.packets_delivered, 0);
+  }
+  EXPECT_TRUE(std::isfinite(r.uavs[0].airtime_utilization));
+  EXPECT_EQ(r.uavs[0].airtime_utilization, 0.0);
+  EXPECT_TRUE(std::isfinite(r.uavs[0].server_utilization));
+  EXPECT_EQ(r.uavs[0].server_utilization, 0.0);
+  EXPECT_TRUE(std::isfinite(r.network_throughput_bps));
+  EXPECT_EQ(r.network_throughput_bps, 0.0);
+  EXPECT_EQ(r.mean_delay_s, 0.0);
+  EXPECT_EQ(r.p95_delay_s, 0.0);
+}
+
+TEST(ServiceSim, UavWithZeroAttachedUsersHasFiniteStats) {
+  // Two deployed UAVs, every user on the first: the idle UAV must report
+  // zero utilization and delay, not NaN.
+  auto [sc, sol] = single_uav_instance(4);
+  sc.grid = Grid(2000, 1000, 1000);
+  sc.uav_range_m = 1200.0;
+  sc.fleet.push_back({4, Radio{}, 500.0});
+  sol.deployments.push_back({1, 1});
+  const netsim::ServiceSimResult r = netsim::simulate_service(sc, sol, {});
+  ASSERT_EQ(r.uavs.size(), 2u);
+  EXPECT_EQ(r.uavs[1].attached_users, 0);
+  EXPECT_TRUE(std::isfinite(r.uavs[1].airtime_utilization));
+  EXPECT_EQ(r.uavs[1].airtime_utilization, 0.0);
+  EXPECT_TRUE(std::isfinite(r.uavs[1].mean_delay_s));
+  EXPECT_EQ(r.uavs[1].mean_delay_s, 0.0);
+}
+
+TEST(ServiceSim, UavRemovedMidSimulationKeepsStatsFinite) {
+  // A UAV lost mid-mission shows up as two back-to-back windows: before
+  // (both UAVs) and after (survivor only, orphaned users unserved).  Both
+  // windows — including a degenerate zero-length "after" — must produce
+  // finite stats for every user and UAV.
+  auto [sc, sol] = single_uav_instance(4);
+  sc.grid = Grid(2000, 1000, 1000);
+  sc.uav_range_m = 1200.0;
+  sc.fleet.push_back({4, Radio{}, 500.0});
+  sol.deployments.push_back({1, 1});
+  netsim::ServiceSimConfig config;
+  config.duration_s = 1.0;
+  const netsim::ServiceSimResult before =
+      netsim::simulate_service(sc, sol, config);
+  EXPECT_EQ(before.uavs.size(), 2u);
+
+  Solution after = sol;
+  after.deployments.pop_back();  // UAV 1 removed; nobody was attached
+  for (double window : {1.0, 0.0}) {
+    config.duration_s = window;
+    const netsim::ServiceSimResult r =
+        netsim::simulate_service(sc, after, config);
+    ASSERT_EQ(r.uavs.size(), 1u);
+    for (const auto& u : r.users) {
+      EXPECT_TRUE(std::isfinite(u.mean_throughput_bps));
+      EXPECT_TRUE(std::isfinite(u.mean_delay_s));
+    }
+    EXPECT_TRUE(std::isfinite(r.uavs[0].airtime_utilization));
+    EXPECT_TRUE(std::isfinite(r.uavs[0].server_utilization));
+    EXPECT_TRUE(std::isfinite(r.network_throughput_bps));
+  }
 }
 
 TEST(ServiceSim, MultiUavLoadsAreIndependent) {

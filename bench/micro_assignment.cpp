@@ -25,12 +25,10 @@ std::vector<Deployment> dense_deployments(const Scenario& sc,
                                           const CoverageModel& cov) {
   const auto candidates = cov.candidate_locations(sc.uav_count());
   std::vector<Deployment> deps;
-  for (UavId k = 0;
-       k < std::min<std::int32_t>(sc.uav_count(),
-                                  static_cast<std::int32_t>(
-                                      candidates.size()));
-       ++k) {
-    deps.push_back({k, candidates[static_cast<std::size_t>(k)]});
+  const std::int32_t limit = std::min<std::int32_t>(
+      sc.uav_count(), static_cast<std::int32_t>(candidates.size()));
+  for (const UavId k : IdRange<UavId>{limit}) {
+    deps.push_back({k, candidates[k.index()]});
   }
   return deps;
 }

@@ -50,8 +50,8 @@ void BM_HopMatroidAddRemove(benchmark::State& state) {
   std::vector<std::int32_t> dist{0, 0, 0, 1, 1, 2, 2, 3};
   HopBudgetMatroid m2(dist, plan.quotas);
   for (auto _ : state) {
-    m2.add(3);
-    m2.remove(3);
+    m2.add(LocationId{3});
+    m2.remove(LocationId{3});
   }
 }
 BENCHMARK(BM_HopMatroidAddRemove);

@@ -54,7 +54,7 @@ int main(int argc, char** argv) {
     }
     Solution sol;
     sol.algorithm = "static";
-    sol.deployments = {{0, 0}};
+    sol.deployments = {{UavId{0}, LocationId{0}}};
     sol.user_to_deployment.assign(static_cast<std::size_t>(users), 0);
     sol.served = users;
 

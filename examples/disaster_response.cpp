@@ -60,10 +60,10 @@ void draw_map(const Scenario& sc, const Solution& sol) {
   std::vector<int> density(static_cast<std::size_t>(sc.grid.size()), 0);
   for (const User& u : sc.users) {
     const LocationId cell = sc.grid.locate(u.pos);
-    if (cell != kInvalidLocation) ++density[static_cast<std::size_t>(cell)];
+    if (cell.valid()) ++density[cell.index()];
   }
-  for (LocationId v = 0; v < sc.grid.size(); ++v) {
-    const int d = density[static_cast<std::size_t>(v)];
+  for (const LocationId v : sc.grid.cells()) {
+    const int d = density[v.index()];
     if (d > 0) {
       rows[static_cast<std::size_t>(sc.grid.row_of(v))]
           [static_cast<std::size_t>(sc.grid.col_of(v))] =
@@ -72,7 +72,7 @@ void draw_map(const Scenario& sc, const Solution& sol) {
   }
   for (const Deployment& dep : sol.deployments) {
     const bool heavy =
-        sc.fleet[static_cast<std::size_t>(dep.uav)].capacity > 50;
+        sc.fleet[dep.uav].capacity > 50;
     rows[static_cast<std::size_t>(sc.grid.row_of(dep.loc))]
         [static_cast<std::size_t>(sc.grid.col_of(dep.loc))] =
             heavy ? '6' : '3';
@@ -118,8 +118,8 @@ int main() {
   std::cout << "\napproAlg load distribution:\n";
   for (std::size_t d = 0; d < ours.deployments.size(); ++d) {
     const Deployment& dep = ours.deployments[d];
-    const auto& spec = sc.fleet[static_cast<std::size_t>(dep.uav)];
-    std::cout << "  UAV " << dep.uav << " (cap " << spec.capacity << ") -> "
+    const auto& spec = sc.fleet[dep.uav];
+    std::cout << "  UAV " << dep.uav.value() << " (cap " << spec.capacity << ") -> "
               << ours.load_of(static_cast<std::int32_t>(d)) << " users\n";
   }
   return 0;

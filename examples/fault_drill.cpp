@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
   } else {
     for (std::size_t i = 0; i < impact.single_points_of_failure.size(); ++i) {
       std::cout << (i ? ", " : "") << "UAV "
-                << impact.single_points_of_failure[i];
+                << impact.single_points_of_failure[i].value();
     }
   }
   std::cout << "\n\n";
@@ -86,7 +86,7 @@ int main(int argc, char** argv) {
     if (i > 0) {
       const resilience::FaultEvent& e = plan.events[i - 1];
       fault = to_string(e.kind);
-      if (e.uav >= 0) fault += " UAV " + std::to_string(e.uav);
+      if (e.uav.valid()) fault += " UAV " + std::to_string(e.uav.value());
     }
     table.add_row({format_double(phase.start_s / 60.0, 1), fault,
                    i > 0 ? to_string(phase.repair.action) : "-",

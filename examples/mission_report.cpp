@@ -102,7 +102,7 @@ int main(int argc, char** argv) {
                                                    [static_cast<std::size_t>(
                                                         gateway
                                                             .gateway_deployment)]
-                                                       .uav) +
+                                                       .uav.value()) +
                                       " (+" +
                                       std::to_string(gateway.relays_added) +
                                       " relays)"
@@ -111,7 +111,7 @@ int main(int argc, char** argv) {
   if (!metrics.critical_uavs.empty()) {
     critical.clear();
     for (UavId k : metrics.critical_uavs) {
-      critical += (critical.empty() ? "" : ", ") + std::to_string(k);
+      critical += (critical.empty() ? "" : ", ") + std::to_string(k.value());
     }
   }
   audit.add_row({"single points of failure", critical});

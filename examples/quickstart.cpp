@@ -51,11 +51,9 @@ int main() {
   for (std::size_t d = 0; d < solution.deployments.size(); ++d) {
     const Deployment& dep = solution.deployments[d];
     const Vec2 c = scenario.grid.center(dep.loc);
-    std::cout << "  UAV " << dep.uav << " @ (" << c.x << ", " << c.y
+    std::cout << "  UAV " << dep.uav.value() << " @ (" << c.x << ", " << c.y
               << ")  " << solution.load_of(static_cast<std::int32_t>(d))
-              << "/"
-              << scenario.fleet[static_cast<std::size_t>(dep.uav)].capacity
-              << "\n";
+              << "/" << scenario.fleet[dep.uav].capacity << "\n";
   }
   return 0;
 }

@@ -1,0 +1,10 @@
+#pragma once
+// Fixture: self-contained header with pragma-once and no <iostream>;
+// the include-hygiene rule must be silent.
+#include <string>
+
+struct Widget {
+  std::string name;
+};
+
+inline const std::string& widget_name(const Widget& w) { return w.name; }

@@ -1,0 +1,5 @@
+// Fixture: missing #pragma once, includes <iostream>, and references an
+// undeclared type — the include-hygiene rule must flag this header.
+#include <iostream>
+
+inline void print_widget(const Widget& w) { std::cout << w.name; }

@@ -1,0 +1,20 @@
+// Fixture: every registered metric is documented (including via {a,b}
+// alternation and a <placeholder> wildcard row) and every concrete
+// documented name is registered; the metric-names rule must be silent.
+#include <string>
+
+namespace obs {
+struct Counter {};
+struct Histogram {};
+Counter counter(const char*);
+Counter counter(const std::string&);
+Histogram histogram(const char*);
+}  // namespace obs
+
+void good(const std::string& algorithm_name) {
+  (void)obs::counter("core.fixture.builds");
+  (void)obs::counter("core.fixture.probes");
+  (void)obs::histogram("solve.greedy.seconds");
+  // Dynamic names are matched by the <algorithm> wildcard row.
+  (void)obs::counter("solve." + algorithm_name + ".runs");
+}

@@ -1,0 +1,11 @@
+// Fixture: one undocumented metric registration; together with the
+// unused documented row in docs/OBSERVABILITY.md, the metric-names rule
+// must flag both directions.
+namespace obs {
+struct Counter {};
+Counter counter(const char*);
+}  // namespace obs
+
+void bad() {
+  (void)obs::counter("solver.rogue.metric");  // not in the docs table
+}

@@ -1,0 +1,18 @@
+// Fixture: owning containers, make_unique, and one justified suppression;
+// the naked-new rule must report nothing here.
+#include <memory>
+#include <vector>
+
+struct Node {
+  int v = 0;
+};
+
+Node* good() {
+  std::vector<int> xs(4, 0);
+  auto owned = std::make_unique<Node>();
+  // Intentional leak of a process-lifetime singleton.
+  static Node* immortal = new Node();  // lint:allow naked-new -- immortal singleton, freed at exit by the OS
+  (void)xs;
+  (void)owned;
+  return immortal;
+}

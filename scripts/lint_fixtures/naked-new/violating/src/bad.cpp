@@ -1,0 +1,10 @@
+// Fixture: every allocation here must be flagged by the naked-new rule.
+#include <cstdlib>
+
+int* bad() {
+  int* a = new int(7);                                   // naked new
+  void* b = malloc(16);                                  // C allocation
+  void* c = realloc(b, 32);                              // C allocation
+  (void)c;
+  return a;
+}

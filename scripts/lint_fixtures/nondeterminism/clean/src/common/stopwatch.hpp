@@ -1,0 +1,10 @@
+#pragma once
+// Fixture: src/common/stopwatch.hpp is the sanctioned home for clock
+// reads, so the nondeterminism rule must not fire on this file.
+#include <chrono>
+
+inline double seconds_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}

@@ -1,0 +1,16 @@
+// Fixture: deterministic solver code plus one justified suppression;
+// the nondeterminism rule must report nothing here.
+#include <map>
+#include <set>
+#include <unordered_map>
+
+int good() {
+  std::map<int, int> m;  // ordered iteration: reproducible
+  std::set<int> s;
+  // Lookups never iterate, so hashing is safe when order can't leak out.
+  std::unordered_map<int, int> cache;  // lint:allow nondeterminism -- lookup-only cache, never iterated
+  m[1] = 2;
+  s.insert(3);
+  cache[4] = 5;
+  return static_cast<int>(m.size() + s.size() + cache.size());
+}

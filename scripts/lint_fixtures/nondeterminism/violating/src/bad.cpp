@@ -1,0 +1,16 @@
+// Fixture: every construct here must be flagged by the nondeterminism rule.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <unordered_map>
+#include <unordered_set>
+
+int bad() {
+  std::unordered_map<int, int> m;          // unstable iteration order
+  std::unordered_set<int> s;               // unstable iteration order
+  const auto t0 = std::chrono::steady_clock::now();  // wall-clock read
+  (void)t0;
+  const auto wall = time(nullptr);         // wall-clock read
+  (void)wall;
+  return std::rand();                      // unseeded global RNG
+}

@@ -1,0 +1,354 @@
+#!/usr/bin/env python3
+"""Repo-specific linter for uavcov (see docs/STATIC_ANALYSIS.md).
+
+Rules
+-----
+nondeterminism   Solver code under src/ must be bit-reproducible: no
+                 iteration-order-unstable containers (std::unordered_map,
+                 std::unordered_set), no std::rand, no wall-clock reads
+                 (time(nullptr), std::chrono::*::now()).  Timing reads are
+                 allowed only in src/obs/ and src/common/stopwatch.hpp,
+                 where they feed observability histograms that are excluded
+                 from fingerprints.
+naked-new        No naked `new` / `malloc`-family allocation in src/; use
+                 containers or std::make_unique.
+metric-names     Every complete string-literal metric name passed to
+                 obs::counter/gauge/histogram in src/ must appear in the
+                 docs/OBSERVABILITY.md table, and every concrete name in the
+                 table must appear in src/.  Table names may use {a,b} brace
+                 alternation; rows with <placeholder> segments are wildcard
+                 patterns (dynamic names) and are only checked src -> docs.
+include-hygiene  Headers under src/ must use `#pragma once`, must not
+                 include <iostream>, and must be self-contained (each header
+                 compiles on its own; requires g++, skipped if absent or
+                 with --no-compile).
+
+Suppression: append `// lint:allow <rule> -- <reason>` on the offending
+line, or place it alone on the line directly above.  A reason is mandatory.
+
+Exit status: 0 when clean, 1 when findings were reported, 2 on usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import itertools
+import re
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+RULES = ("nondeterminism", "naked-new", "metric-names", "include-hygiene")
+
+ALLOW_RE = re.compile(r"//\s*lint:allow\s+([a-z-]+)\s+--\s+\S")
+
+# Paths (relative to the lint root, using '/' separators) where wall-clock
+# reads are legitimate: the stopwatch abstraction and the observability
+# layer that consumes it.
+NONDET_TIME_ALLOWED = ("src/obs/", "src/common/stopwatch.hpp")
+
+METRIC_CALL_RE = re.compile(
+    r'obs::(?:counter|gauge|histogram)\s*\(\s*"([^"]+)"\s*\)')
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line count."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join(ch if ch == "\n" else " "
+                               for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n and text[j] != quote:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(quote + " " * (j - i - 2) + (quote if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def suppressed_lines(text: str, rule: str) -> set[int]:
+    """1-based line numbers where `rule` findings are suppressed."""
+    lines = set()
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        m = ALLOW_RE.search(line)
+        if m and m.group(1) == rule:
+            lines.add(lineno)
+            lines.add(lineno + 1)  # allow-line above the offending line
+    return lines
+
+
+def iter_src_files(root: Path) -> list[Path]:
+    src = root / "src"
+    if not src.is_dir():
+        return []
+    return sorted(p for p in src.rglob("*")
+                  if p.suffix in (".hpp", ".cpp") and p.is_file())
+
+
+def rel(root: Path, path: Path) -> str:
+    return path.relative_to(root).as_posix()
+
+
+def scan_pattern_rule(root: Path, rule: str,
+                      patterns: list[tuple[re.Pattern, str]],
+                      path_filter=None) -> list[Finding]:
+    findings = []
+    for path in iter_src_files(root):
+        relpath = rel(root, path)
+        text = path.read_text()
+        code = strip_comments_and_strings(text)
+        allowed = suppressed_lines(text, rule)
+        for lineno, line in enumerate(code.splitlines(), start=1):
+            if lineno in allowed:
+                continue
+            for pat, message in patterns:
+                if pat.search(line):
+                    if path_filter and path_filter(relpath, pat):
+                        continue
+                    findings.append(Finding(path, lineno, rule, message))
+    return findings
+
+
+def check_nondeterminism(root: Path) -> list[Finding]:
+    patterns = [
+        (re.compile(r"\btime\s*\(\s*(nullptr|NULL|0)\s*\)"),
+         "wall-clock read (time()) in solver code"),
+        (re.compile(r"\b(?:steady_clock|system_clock|high_resolution_clock)"
+                    r"\s*::\s*now\s*\("),
+         "std::chrono clock read outside common/stopwatch and obs/"),
+        (re.compile(r"\bstd::unordered_map\b"),
+         "std::unordered_map has unspecified iteration order; "
+         "use std::map or a sorted vector"),
+        (re.compile(r"\bstd::unordered_set\b"),
+         "std::unordered_set has unspecified iteration order; "
+         "use std::set or a sorted vector"),
+        (re.compile(r"\bstd::rand\b|\brand\s*\(\s*\)"),
+         "std::rand is not seedable per-run; use common/rng"),
+    ]
+
+    def exempt(relpath: str, _pat) -> bool:
+        return any(relpath == p or relpath.startswith(p)
+                   for p in NONDET_TIME_ALLOWED)
+
+    return scan_pattern_rule(root, "nondeterminism", patterns,
+                             path_filter=exempt)
+
+
+def check_naked_new(root: Path) -> list[Finding]:
+    patterns = [
+        (re.compile(r"\bnew\b(?!\s*\()"),
+         "naked new; use std::make_unique or a container"),
+        (re.compile(r"\b(?:malloc|calloc|realloc)\s*\("),
+         "C allocation; use containers or std::make_unique"),
+    ]
+    return scan_pattern_rule(root, "naked-new", patterns)
+
+
+def parse_metric_table(doc_path: Path):
+    """Return (concrete_names, wildcard_regexes) from the metric table."""
+    concrete: dict[str, int] = {}
+    wildcards: list[tuple[re.Pattern, int]] = []
+    if not doc_path.is_file():
+        return concrete, wildcards
+    for lineno, line in enumerate(doc_path.read_text().splitlines(), 1):
+        m = re.match(r"\|\s*`([^`]+)`\s*\|", line)
+        if not m:
+            continue
+        name = m.group(1)
+        for expanded in expand_braces(name):
+            if "<" in expanded:
+                regex = re.escape(expanded)
+                regex = re.sub(r"<[a-z_]+>", r"[A-Za-z0-9_]+", regex)
+                wildcards.append((re.compile(f"^{regex}$"), lineno))
+            else:
+                concrete[expanded] = lineno
+    return concrete, wildcards
+
+
+def expand_braces(name: str) -> list[str]:
+    m = re.search(r"\{([^{}]+)\}", name)
+    if not m:
+        return [name]
+    head, tail = name[:m.start()], name[m.end():]
+    return list(itertools.chain.from_iterable(
+        expand_braces(head + alt + tail)
+        for alt in m.group(1).split(",")))
+
+
+def check_metric_names(root: Path) -> list[Finding]:
+    findings: list[Finding] = []
+    doc_path = root / "docs" / "OBSERVABILITY.md"
+    concrete, wildcards = parse_metric_table(doc_path)
+    used: set[str] = set()
+    for path in iter_src_files(root):
+        text = path.read_text()
+        allowed = suppressed_lines(text, "metric-names")
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            for m in METRIC_CALL_RE.finditer(line):
+                name = m.group(1)
+                used.add(name)
+                if lineno in allowed:
+                    continue
+                if name in concrete:
+                    continue
+                if any(pat.match(name) for pat, _ in wildcards):
+                    continue
+                findings.append(Finding(
+                    path, lineno, "metric-names",
+                    f'metric "{name}" is not documented in '
+                    f"docs/OBSERVABILITY.md"))
+    for name, lineno in sorted(concrete.items()):
+        if name not in used:
+            findings.append(Finding(
+                doc_path, lineno, "metric-names",
+                f'documented metric "{name}" is never registered in src/'))
+    return findings
+
+
+def check_include_hygiene(root: Path, compile_headers: bool) -> list[Finding]:
+    findings: list[Finding] = []
+    headers = [p for p in iter_src_files(root) if p.suffix == ".hpp"]
+    for path in headers:
+        text = path.read_text()
+        allowed = suppressed_lines(text, "include-hygiene")
+        code = strip_comments_and_strings(text)
+        if "#pragma once" not in text and 1 not in allowed:
+            findings.append(Finding(path, 1, "include-hygiene",
+                                    "header is missing #pragma once"))
+        for lineno, line in enumerate(code.splitlines(), start=1):
+            if lineno in allowed:
+                continue
+            if re.search(r"#\s*include\s*<iostream>", line):
+                findings.append(Finding(
+                    path, lineno, "include-hygiene",
+                    "<iostream> in a header injects static iostream "
+                    "initializers into every TU; include it in .cpp files"))
+    if compile_headers and shutil.which("g++"):
+        for path in headers:
+            proc = subprocess.run(
+                ["g++", "-std=c++20", "-fsyntax-only", "-x", "c++",
+                 "-I", str(root / "src"), str(path)],
+                capture_output=True, text=True)
+            if proc.returncode != 0:
+                allowed = suppressed_lines(path.read_text(),
+                                           "include-hygiene")
+                if 1 in allowed:
+                    continue
+                first_error = next(
+                    (ln for ln in proc.stderr.splitlines() if "error" in ln),
+                    proc.stderr.strip().splitlines()[-1]
+                    if proc.stderr.strip() else "compile failed")
+                findings.append(Finding(
+                    path, 1, "include-hygiene",
+                    f"header is not self-contained: {first_error}"))
+    return findings
+
+
+def run_rules(root: Path, rules, compile_headers: bool) -> list[Finding]:
+    findings: list[Finding] = []
+    if "nondeterminism" in rules:
+        findings += check_nondeterminism(root)
+    if "naked-new" in rules:
+        findings += check_naked_new(root)
+    if "metric-names" in rules:
+        findings += check_metric_names(root)
+    if "include-hygiene" in rules:
+        findings += check_include_hygiene(root, compile_headers)
+    return findings
+
+
+def self_test(fixtures_dir: Path, compile_headers: bool) -> int:
+    failures = 0
+    for rule in RULES:
+        for kind in ("violating", "clean"):
+            fixture_root = fixtures_dir / rule / kind
+            if not fixture_root.is_dir():
+                print(f"self-test: MISSING fixture {fixture_root}")
+                failures += 1
+                continue
+            findings = [f for f in run_rules(fixture_root, [rule],
+                                             compile_headers)
+                        if f.rule == rule]
+            if kind == "violating" and not findings:
+                print(f"self-test: FAIL {rule}/{kind}: expected >=1 "
+                      f"finding, got 0")
+                failures += 1
+            elif kind == "clean" and findings:
+                print(f"self-test: FAIL {rule}/{kind}: expected 0 findings:")
+                for f in findings:
+                    print(f"  {f}")
+                failures += 1
+            else:
+                print(f"self-test: ok {rule}/{kind} "
+                      f"({len(findings)} finding(s))")
+    if failures:
+        print(f"self-test: {failures} fixture check(s) failed")
+        return 1
+    print("self-test: all fixtures behave as expected")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repo root to lint (default: this repo)")
+    parser.add_argument("--rule", action="append", choices=RULES,
+                        help="run only this rule (repeatable)")
+    parser.add_argument("--no-compile", action="store_true",
+                        help="skip the header self-containment compile pass")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run each rule against its fixtures and exit")
+    args = parser.parse_args(argv)
+
+    compile_headers = not args.no_compile
+    if args.self_test:
+        fixtures = Path(__file__).resolve().parent / "lint_fixtures"
+        return self_test(fixtures, compile_headers)
+
+    rules = args.rule or list(RULES)
+    root = args.root.resolve()
+    if not (root / "src").is_dir():
+        print(f"error: no src/ directory under {root}", file=sys.stderr)
+        return 2
+    findings = run_rules(root, rules, compile_headers)
+    for f in sorted(findings, key=lambda f: (str(f.path), f.line)):
+        print(f)
+    if findings:
+        print(f"lint_uavcov: {len(findings)} finding(s)")
+        return 1
+    print(f"lint_uavcov: clean ({', '.join(rules)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

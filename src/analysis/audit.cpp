@@ -239,17 +239,17 @@ AuditReport audit_matroids(const HopBudgetMatroid& m2,
                              false);
   for (const Deployment& d : deployments) {
     ++report.checks;
-    if (d.uav < 0 || d.uav >= uav_count) {
+    if (!d.uav.valid() || d.uav.value() >= uav_count) {
       report.add(ViolationCode::kMatroidUavOutOfRange,
-                 "deployment uses UAV " + std::to_string(d.uav) +
+                 "deployment uses UAV " + std::to_string(d.uav.value()) +
                      " outside fleet of " + std::to_string(uav_count));
       continue;
     }
-    if (uav_used[static_cast<std::size_t>(d.uav)]) {
+    if (uav_used[d.uav.index()]) {
       report.add(ViolationCode::kMatroidUavReused,
-                 "UAV " + std::to_string(d.uav) + " deployed twice");
+                 "UAV " + std::to_string(d.uav.value()) + " deployed twice");
     }
-    uav_used[static_cast<std::size_t>(d.uav)] = true;
+    uav_used[d.uav.index()] = true;
   }
 
   // M2 — laminar independence of the chosen set, recomputed from the hop
@@ -260,7 +260,7 @@ AuditReport audit_matroids(const HopBudgetMatroid& m2,
     ++report.checks;
     if (d == kUnreachable || d > hmax) {
       report.add(ViolationCode::kMatroidHopOverflow,
-                 "location " + std::to_string(v) + " at hop distance " +
+                 "location " + std::to_string(v.value()) + " at hop distance " +
                      (d == kUnreachable ? std::string("inf")
                                         : std::to_string(d)) +
                      " > h_max " + std::to_string(hmax));
@@ -347,29 +347,29 @@ AuditReport audit_solution(const Scenario& scenario,
   for (std::size_t i = 0; i < deps.size(); ++i) {
     const Deployment& d = deps[i];
     ++report.checks;
-    if (d.uav < 0 || d.uav >= scenario.uav_count()) {
+    if (!d.uav.valid() || d.uav.value() >= scenario.uav_count()) {
       report.add(ViolationCode::kSolutionUnknownUav,
                  "deployment " + std::to_string(i) + " references UAV " +
-                     std::to_string(d.uav));
+                     std::to_string(d.uav.value()));
       continue;
     }
-    if (d.loc < 0 || d.loc >= scenario.grid.size()) {
+    if (!d.loc.valid() || d.loc.value() >= scenario.grid.size()) {
       report.add(ViolationCode::kSolutionUnknownLocation,
                  "deployment " + std::to_string(i) + " references cell " +
-                     std::to_string(d.loc));
+                     std::to_string(d.loc.value()));
       continue;
     }
-    if (uav_seen[static_cast<std::size_t>(d.uav)]) {
+    if (uav_seen[d.uav.index()]) {
       report.add(ViolationCode::kSolutionUavReused,
-                 "UAV " + std::to_string(d.uav) + " deployed twice");
+                 "UAV " + std::to_string(d.uav.value()) + " deployed twice");
     }
-    uav_seen[static_cast<std::size_t>(d.uav)] = true;
-    if (loc_seen[static_cast<std::size_t>(d.loc)]) {
+    uav_seen[d.uav.index()] = true;
+    if (loc_seen[d.loc.index()]) {
       report.add(ViolationCode::kSolutionCellShared,
-                 "grid cell " + std::to_string(d.loc) +
+                 "grid cell " + std::to_string(d.loc.value()) +
                      " holds two UAVs");
     }
-    loc_seen[static_cast<std::size_t>(d.loc)] = true;
+    loc_seen[d.loc.index()] = true;
   }
 
   ++report.checks;
@@ -396,40 +396,40 @@ AuditReport audit_solution(const Scenario& scenario,
                    " entries for " + std::to_string(scenario.users.size()) +
                    " users");
   }
-  for (UserId u = 0; u < n; ++u) {
-    const std::int32_t d =
-        solution.user_to_deployment[static_cast<std::size_t>(u)];
+  for (const UserId u : IdRange<UserId>{n}) {
+    const std::int32_t d = solution.user_to_deployment[u];
     if (d == -1) continue;
     ++report.checks;
     if (d < 0 || d >= static_cast<std::int32_t>(deps.size())) {
       report.add(ViolationCode::kSolutionBadAssignment,
-                 "user " + std::to_string(u) +
+                 "user " + std::to_string(u.value()) +
                      " assigned to unknown deployment " + std::to_string(d));
       continue;
     }
     const Deployment& dep = deps[static_cast<std::size_t>(d)];
-    if (dep.uav < 0 || dep.uav >= scenario.uav_count() || dep.loc < 0 ||
-        dep.loc >= scenario.grid.size()) {
+    if (!dep.uav.valid() || dep.uav.value() >= scenario.uav_count() ||
+        !dep.loc.valid() || dep.loc.value() >= scenario.grid.size()) {
       continue;  // already reported above; eligibility undefined.
     }
     if (!coverage.is_eligible(scenario, u, dep.loc, dep.uav)) {
       report.add(ViolationCode::kSolutionIneligibleUser,
-                 "user " + std::to_string(u) + " served by UAV " +
-                     std::to_string(dep.uav) + " at cell " +
-                     std::to_string(dep.loc) +
+                 "user " + std::to_string(u.value()) + " served by UAV " +
+                     std::to_string(dep.uav.value()) + " at cell " +
+                     std::to_string(dep.loc.value()) +
                      " but outside its range or below r_min");
     }
     ++load[static_cast<std::size_t>(d)];
     ++served;
   }
   for (std::size_t d = 0; d < deps.size(); ++d) {
-    if (deps[d].uav < 0 || deps[d].uav >= scenario.uav_count()) continue;
-    const auto cap =
-        scenario.fleet[static_cast<std::size_t>(deps[d].uav)].capacity;
+    if (!deps[d].uav.valid() || deps[d].uav.value() >= scenario.uav_count()) {
+      continue;
+    }
+    const auto cap = scenario.fleet[deps[d].uav].capacity;
     ++report.checks;
     if (load[d] > cap) {
       report.add(ViolationCode::kSolutionOverCapacity,
-                 "UAV " + std::to_string(deps[d].uav) + " carries " +
+                 "UAV " + std::to_string(deps[d].uav.value()) + " carries " +
                      std::to_string(load[d]) + " users, capacity " +
                      std::to_string(cap));
     }

@@ -125,12 +125,12 @@ bool audit_env_enabled();
 ///   * maximality — no augmenting path left in the residual graph
 ///     (certifies optimality of the Dinic result by max-flow/min-cut);
 ///   * if `expected_value >= 0`, source out-flow equals it.
-AuditReport audit_flow(const DinicFlow& flow, DinicFlow::FlowNode source,
+[[nodiscard]] AuditReport audit_flow(const DinicFlow& flow, DinicFlow::FlowNode source,
                        DinicFlow::FlowNode sink,
                        std::int64_t expected_value = -1);
 
 /// audit_flow on a live IncrementalAssignment, expecting its served count.
-AuditReport audit_assignment_flow(const IncrementalAssignment& ia);
+[[nodiscard]] AuditReport audit_assignment_flow(const IncrementalAssignment& ia);
 
 /// Matroid audit for one greedy state:
 ///   * M1 (partition): `deployments` uses each UAV of [0, uav_count) at
@@ -141,7 +141,7 @@ AuditReport audit_assignment_flow(const IncrementalAssignment& ia);
 ///     matroid's maintained counters;
 ///   * hereditary + exchange axioms spot-checked on `sample_rounds`
 ///     deterministically sampled subset pairs of `chosen`.
-AuditReport audit_matroids(const HopBudgetMatroid& m2,
+[[nodiscard]] AuditReport audit_matroids(const HopBudgetMatroid& m2,
                            std::span<const LocationId> chosen,
                            std::span<const Deployment> deployments,
                            std::int32_t uav_count,
@@ -153,7 +153,7 @@ AuditReport audit_matroids(const HopBudgetMatroid& m2,
 /// ≥ r_min) under its serving UAV, per-UAV load ≤ C_k, the UAV network
 /// connected under R_uav, and the served count consistent.  The
 /// report-collecting counterpart of validate_solution().
-AuditReport audit_solution(const Scenario& scenario,
+[[nodiscard]] AuditReport audit_solution(const Scenario& scenario,
                            const CoverageModel& coverage,
                            const Solution& solution);
 
@@ -162,6 +162,6 @@ AuditReport audit_solution(const Scenario& scenario,
 /// ≤ K (Lemma 2), h_max equal to the recomputed hop limit, and the quota
 /// vector equal to an Eq. 1 recomputation, monotone nonincreasing, with
 /// Q_0 = L_max.
-AuditReport audit_segment_plan(const SegmentPlan& plan);
+[[nodiscard]] AuditReport audit_segment_plan(const SegmentPlan& plan);
 
 }  // namespace uavcov::analysis

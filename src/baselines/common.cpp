@@ -26,7 +26,7 @@ Solution finalize(const Scenario& scenario, const CoverageModel& coverage,
   std::vector<Deployment> deployments;
   deployments.reserve(locations.size());
   for (std::size_t i = 0; i < locations.size(); ++i) {
-    deployments.push_back({static_cast<UavId>(i), locations[i]});
+    deployments.push_back({UavId{i}, locations[i]});
   }
   const AssignmentResult assignment =
       solve_assignment(scenario, coverage, deployments);
@@ -55,15 +55,15 @@ CoverageCounter::CoverageCounter(const Scenario& scenario,
 
 std::int64_t CoverageCounter::marginal(LocationId v, std::int32_t cls) const {
   std::int64_t add = 0;
-  for (UserId u : coverage_.eligible_users(v, cls)) {
-    if (!covered_[static_cast<std::size_t>(u)]) ++add;
+  for (const UserId u : coverage_.eligible_users(v, cls)) {
+    if (!covered_[u.index()]) ++add;
   }
   return add;
 }
 
 void CoverageCounter::add(LocationId v, std::int32_t cls) {
-  for (UserId u : coverage_.eligible_users(v, cls)) {
-    covered_[static_cast<std::size_t>(u)] = true;
+  for (const UserId u : coverage_.eligible_users(v, cls)) {
+    covered_[u.index()] = true;
   }
 }
 
@@ -79,12 +79,12 @@ std::int64_t greedy_served_estimate(const Scenario& scenario,
   std::int64_t served = 0;
   for (const Deployment& d : deployments) {
     std::int64_t cap =
-        scenario.fleet[static_cast<std::size_t>(d.uav)].capacity;
+        scenario.fleet[d.uav].capacity;
     const std::int32_t cls = coverage.radio_class_of(d.uav);
-    for (UserId u : coverage.eligible_users(d.loc, cls)) {
+    for (const UserId u : coverage.eligible_users(d.loc, cls)) {
       if (cap == 0) break;
-      if (!taken[static_cast<std::size_t>(u)]) {
-        taken[static_cast<std::size_t>(u)] = true;
+      if (!taken[u.index()]) {
+        taken[u.index()] = true;
         --cap;
         ++served;
       }

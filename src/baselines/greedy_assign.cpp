@@ -44,7 +44,7 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
     stats->iterations = static_cast<std::int64_t>(profit.size());
   }
   if (profit.empty()) {
-    const std::vector<LocationId> fallback{0};
+    const std::vector<LocationId> fallback{LocationId{0}};
     return finalize(scenario, coverage, fallback, "GreedyAssign",
                     watch.elapsed_s(), stats);
   }
@@ -58,17 +58,20 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
           ->first;
   std::vector<LocationId> network{root};
   std::vector<bool> in_net(static_cast<std::size_t>(g.node_count()), false);
-  in_net[static_cast<std::size_t>(root)] = true;
+  in_net[root.index()] = true;
 
   while (static_cast<std::int32_t>(network.size()) < K) {
     // Multi-source BFS from the current network gives, for every cell, the
     // number of new cells a shortest attachment path would add.
-    const BfsTree tree = bfs_tree(g, network);
+    std::vector<NodeId> net_nodes;
+    net_nodes.reserve(network.size());
+    for (const LocationId v : network) net_nodes.push_back(to_node(v));
+    const BfsTree tree = bfs_tree(g, net_nodes);
     double best_ratio = 0.0;
     LocationId best_target = kInvalidLocation;
     for (const auto& [cell, p] : profit) {
-      if (in_net[static_cast<std::size_t>(cell)] || p <= 0) continue;
-      const std::int32_t hops = tree.distance[static_cast<std::size_t>(cell)];
+      if (in_net[cell.index()] || p <= 0) continue;
+      const std::int32_t hops = tree.distance[cell.index()];
       if (hops == kUnreachable) continue;
       if (static_cast<std::int32_t>(network.size()) + hops > K) continue;
       const double ratio =
@@ -78,13 +81,13 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
         best_target = cell;
       }
     }
-    if (best_target == kInvalidLocation) break;
+    if (!best_target.valid()) break;
     // Attach the whole shortest path (relay cells spend budget too).
-    for (NodeId cur = best_target; cur != kInvalidLocation;
+    for (NodeId cur = to_node(best_target); cur != kNoParent;
          cur = tree.parent[static_cast<std::size_t>(cur)]) {
       if (!in_net[static_cast<std::size_t>(cur)]) {
         in_net[static_cast<std::size_t>(cur)] = true;
-        network.push_back(cur);
+        network.push_back(to_cell(cur));
       }
     }
   }
@@ -95,18 +98,18 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
   while (static_cast<std::int32_t>(network.size()) < K) {
     LocationId best = kInvalidLocation;
     std::int32_t best_cov = -1;
-    for (LocationId v : network) {
-      for (NodeId nb : g.neighbors(v)) {
+    for (const LocationId v : network) {
+      for (const NodeId nb : g.neighbors(to_node(v))) {
         if (in_net[static_cast<std::size_t>(nb)]) continue;
-        const std::int32_t c = coverage.max_coverage(nb);
+        const std::int32_t c = coverage.max_coverage(to_cell(nb));
         if (c > best_cov) {
           best_cov = c;
-          best = nb;
+          best = to_cell(nb);
         }
       }
     }
-    if (best == kInvalidLocation) break;
-    in_net[static_cast<std::size_t>(best)] = true;
+    if (!best.valid()) break;
+    in_net[best.index()] = true;
     network.push_back(best);
   }
   return finalize(scenario, coverage, network, "GreedyAssign",

@@ -13,27 +13,27 @@ namespace uavcov::baselines {
 namespace {
 
 /// k-means++ seeding followed by Lloyd iterations over the user points.
-std::vector<Vec2> lloyd_centroids(const std::vector<User>& users,
+std::vector<Vec2> lloyd_centroids(const IdVector<UserTag, User>& users,
                                   std::int32_t k, std::int32_t iterations,
                                   Rng& rng) {
   std::vector<Vec2> centroids;
   centroids.reserve(static_cast<std::size_t>(k));
   // k-means++: first uniform, then proportional to squared distance.
-  centroids.push_back(
-      users[static_cast<std::size_t>(rng.next_below(users.size()))].pos);
+  centroids.push_back(users[UserId{rng.next_below(users.size())}].pos);
   std::vector<double> d2(users.size());
+  const std::vector<User>& pts = users.raw();
   while (static_cast<std::int32_t>(centroids.size()) < k) {
     double total = 0.0;
     for (std::size_t i = 0; i < users.size(); ++i) {
       double best = std::numeric_limits<double>::infinity();
       for (const Vec2& c : centroids) {
-        best = std::min(best, distance2(users[i].pos, c));
+        best = std::min(best, distance2(pts[i].pos, c));
       }
       d2[i] = best;
       total += best;
     }
     if (total <= 0) {  // all users coincide with centroids
-      centroids.push_back(users[0].pos);
+      centroids.push_back(pts[0].pos);
       continue;
     }
     double pick = rng.uniform01() * total;
@@ -45,7 +45,7 @@ std::vector<Vec2> lloyd_centroids(const std::vector<User>& users,
         break;
       }
     }
-    centroids.push_back(users[chosen].pos);
+    centroids.push_back(pts[chosen].pos);
   }
   // Lloyd.
   std::vector<std::int32_t> owner(users.size(), 0);
@@ -55,7 +55,7 @@ std::vector<Vec2> lloyd_centroids(const std::vector<User>& users,
       double best = std::numeric_limits<double>::infinity();
       std::int32_t arg = 0;
       for (std::size_t c = 0; c < centroids.size(); ++c) {
-        const double d = distance2(users[i].pos, centroids[c]);
+        const double d = distance2(pts[i].pos, centroids[c]);
         if (d < best) {
           best = d;
           arg = static_cast<std::int32_t>(c);
@@ -70,7 +70,7 @@ std::vector<Vec2> lloyd_centroids(const std::vector<User>& users,
     std::vector<std::int32_t> count(centroids.size(), 0);
     for (std::size_t i = 0; i < users.size(); ++i) {
       sum[static_cast<std::size_t>(owner[i])] =
-          sum[static_cast<std::size_t>(owner[i])] + users[i].pos;
+          sum[static_cast<std::size_t>(owner[i])] + pts[i].pos;
       ++count[static_cast<std::size_t>(owner[i])];
     }
     for (std::size_t c = 0; c < centroids.size(); ++c) {
@@ -91,7 +91,7 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
   const std::int32_t K = scenario.uav_count();
   if (stats != nullptr) stats->iterations = params.iterations;
   if (scenario.users.empty()) {
-    const std::vector<LocationId> fallback{0};
+    const std::vector<LocationId> fallback{LocationId{0}};
     return finalize(scenario, coverage, fallback, "KMeansPlace",
                     watch.elapsed_s(), stats);
   }
@@ -108,16 +108,16 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
   for (const Vec2& c : centroids) {
     LocationId best = kInvalidLocation;
     double best_d = std::numeric_limits<double>::infinity();
-    for (LocationId v = 0; v < scenario.grid.size(); ++v) {
-      if (taken[static_cast<std::size_t>(v)]) continue;
+    for (const LocationId v : scenario.grid.cells()) {
+      if (taken[v.index()]) continue;
       const double d = distance2(scenario.grid.center(v), c);
       if (d < best_d) {
         best_d = d;
         best = v;
       }
     }
-    if (best == kInvalidLocation) break;  // grid exhausted
-    taken[static_cast<std::size_t>(best)] = true;
+    if (!best.valid()) break;  // grid exhausted
+    taken[best.index()] = true;
     snapped.push_back(best);
   }
 
@@ -129,7 +129,7 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
                    });
   const Graph g = build_location_graph(scenario.grid, scenario.uav_range_m);
   std::vector<LocationId> kept;
-  std::vector<NodeId> network;
+  std::vector<LocationId> network;
   for (LocationId cell : snapped) {
     std::vector<LocationId> attempt = kept;
     attempt.push_back(cell);
@@ -141,7 +141,7 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
     }
   }
   if (network.empty() && !snapped.empty()) network.push_back(snapped[0]);
-  if (network.empty()) network.push_back(0);
+  if (network.empty()) network.push_back(LocationId{0});
   return finalize(scenario, coverage, network, "KMeansPlace",
                   watch.elapsed_s(), stats);
 }

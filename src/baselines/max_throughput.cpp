@@ -43,7 +43,7 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
   const std::vector<LocationId> candidates =
       homo_cov.candidate_locations(params.candidate_cap);
   if (candidates.empty()) {
-    const std::vector<LocationId> fallback{0};
+    const std::vector<LocationId> fallback{LocationId{0}};
     return finalize(scenario, coverage, fallback, "maxThroughput",
                     watch.elapsed_s(), stats);
   }
@@ -61,7 +61,7 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
     const Vec2 center = homo.grid.center(candidates[i]);
     for (UserId u : eligible) {
       const double horizontal =
-          distance(homo.users[static_cast<std::size_t>(u)].pos, center);
+          distance(homo.users[u].pos, center);
       sum += a2g_rate_bps(homo.channel, homo.fleet.front().radio,
                           homo.receiver, horizontal, homo.altitude_m);
     }
@@ -75,7 +75,7 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
 
   std::vector<std::int32_t> hop;
   for (std::size_t seed_idx = 0; seed_idx < candidates.size(); ++seed_idx) {
-    const NodeId seed = candidates[seed_idx];
+    const NodeId seed = to_node(candidates[seed_idx]);
     hop = bfs_distances(g, seed);
     HopBudgetMatroid m2(hop, plan.quotas);
 
@@ -89,7 +89,7 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
       std::int64_t best_users = 0;
       for (std::size_t i = 0; i < candidates.size(); ++i) {
         if (taken[i] || !m2.can_add(candidates[i])) continue;
-        const std::int64_t users = ia.probe(/*uav=*/k, candidates[i]);
+        const std::int64_t users = ia.probe(UavId{k}, candidates[i]);
         const double gain = static_cast<double>(users) * mean_rate[i];
         if (gain > best_gain) {
           best_gain = gain;
@@ -100,7 +100,7 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
       if (best_i < 0) break;
       (void)best_users;
       const LocationId loc = candidates[static_cast<std::size_t>(best_i)];
-      ia.deploy(k, loc);
+      ia.deploy(UavId{k}, loc);
       m2.add(loc);
       taken[static_cast<std::size_t>(best_i)] = true;
       chosen.push_back(loc);
@@ -122,25 +122,25 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
   // cells adding the most *not yet covered* users (marginal throughput).
   std::vector<bool> in_net(static_cast<std::size_t>(g.node_count()), false);
   CoverageCounter counter(homo, homo_cov);
-  for (LocationId v : best_nodes) {
-    in_net[static_cast<std::size_t>(v)] = true;
+  for (const LocationId v : best_nodes) {
+    in_net[v.index()] = true;
     counter.add(v, 0);
   }
   while (static_cast<std::int32_t>(best_nodes.size()) < K) {
     LocationId best = kInvalidLocation;
     std::int64_t best_cov = -1;
-    for (LocationId v : best_nodes) {
-      for (NodeId nb : g.neighbors(v)) {
+    for (const LocationId v : best_nodes) {
+      for (const NodeId nb : g.neighbors(to_node(v))) {
         if (in_net[static_cast<std::size_t>(nb)]) continue;
-        const std::int64_t c = counter.marginal(nb, 0);
+        const std::int64_t c = counter.marginal(to_cell(nb), 0);
         if (c > best_cov) {
           best_cov = c;
-          best = nb;
+          best = to_cell(nb);
         }
       }
     }
-    if (best == kInvalidLocation) break;
-    in_net[static_cast<std::size_t>(best)] = true;
+    if (!best.valid()) break;
+    in_net[best.index()] = true;
     counter.add(best, 0);
     best_nodes.push_back(best);
   }

@@ -24,13 +24,13 @@ std::vector<LocationId> grow_from(const Scenario& scenario,
   std::vector<bool> on_frontier(static_cast<std::size_t>(g.node_count()),
                                 false);
   std::vector<LocationId> frontier;
-  in_set[static_cast<std::size_t>(seed)] = true;
-  auto extend_frontier = [&](LocationId v) {
-    for (NodeId nb : g.neighbors(v)) {
+  in_set[seed.index()] = true;
+  const auto extend_frontier = [&](LocationId v) {
+    for (const NodeId nb : g.neighbors(to_node(v))) {
       if (!in_set[static_cast<std::size_t>(nb)] &&
           !on_frontier[static_cast<std::size_t>(nb)]) {
         on_frontier[static_cast<std::size_t>(nb)] = true;
-        frontier.push_back(nb);
+        frontier.push_back(to_cell(nb));
       }
     }
   };
@@ -49,8 +49,8 @@ std::vector<LocationId> grow_from(const Scenario& scenario,
     const LocationId pick = frontier[best_idx];
     frontier[best_idx] = frontier.back();
     frontier.pop_back();
-    on_frontier[static_cast<std::size_t>(pick)] = false;
-    in_set[static_cast<std::size_t>(pick)] = true;
+    on_frontier[pick.index()] = false;
+    in_set[pick.index()] = true;
     counter.add(pick, kCls);
     chosen.push_back(pick);
     extend_frontier(pick);
@@ -81,7 +81,7 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
     std::vector<Deployment> deps;
     deps.reserve(set.size());
     for (std::size_t i = 0; i < set.size(); ++i) {
-      deps.push_back({static_cast<UavId>(i), set[i]});
+      deps.push_back({UavId{i}, set[i]});
     }
     const std::int64_t estimate =
         greedy_served_estimate(scenario, coverage, deps);
@@ -91,7 +91,7 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
     }
   }
   if (best_set.empty() && scenario.grid.size() > 0) {
-    best_set.push_back(0);  // degenerate: nobody coverable, park one UAV
+    best_set.push_back(LocationId{0});  // degenerate: nobody coverable, park one UAV
   }
   return finalize(scenario, coverage, best_set, "MCS", watch.elapsed_s(),
                   stats);

@@ -20,18 +20,17 @@ std::vector<LocationId> initial_block(const Scenario& scenario,
     centroid = sum / static_cast<double>(scenario.users.size());
   }
   LocationId start = scenario.grid.locate(centroid);
-  if (start == kInvalidLocation) start = 0;
+  if (!start.valid()) start = LocationId{0};
   // BFS from start; take the first k cells reached.
-  const NodeId src[] = {start};
+  const NodeId src[] = {to_node(start)};
   const auto dist = bfs_distances(g, src);
   std::vector<LocationId> order;
-  for (LocationId v = 0; v < scenario.grid.size(); ++v) {
-    if (dist[static_cast<std::size_t>(v)] != kUnreachable) order.push_back(v);
+  for (const LocationId v : scenario.grid.cells()) {
+    if (dist[v.index()] != kUnreachable) order.push_back(v);
   }
   std::stable_sort(order.begin(), order.end(),
                    [&dist](LocationId a, LocationId b) {
-                     return dist[static_cast<std::size_t>(a)] <
-                            dist[static_cast<std::size_t>(b)];
+                     return dist[a.index()] < dist[b.index()];
                    });
   if (static_cast<std::int32_t>(order.size()) > k) {
     order.resize(static_cast<std::size_t>(k));
@@ -44,7 +43,7 @@ bool network_connected(const Scenario& scenario,
   std::vector<Deployment> deps;
   deps.reserve(locs.size());
   for (std::size_t i = 0; i < locs.size(); ++i) {
-    deps.push_back({static_cast<UavId>(i), locs[i]});
+    deps.push_back({UavId{i}, locs[i]});
   }
   return deployments_connected(scenario, deps);
 }
@@ -66,15 +65,15 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
   // enter through the final optimal assignment in finalize().
   std::vector<bool> covered(static_cast<std::size_t>(scenario.user_count()),
                             false);
-  auto estimate = [&](const std::vector<LocationId>& current) {
+  const auto estimate = [&](const std::vector<LocationId>& current) {
     std::fill(covered.begin(), covered.end(), false);
     std::int64_t count = 0;
     for (std::size_t i = 0; i < current.size(); ++i) {
       const std::int32_t cls =
-          coverage.radio_class_of(static_cast<UavId>(i));
-      for (UserId u : coverage.eligible_users(current[i], cls)) {
-        if (!covered[static_cast<std::size_t>(u)]) {
-          covered[static_cast<std::size_t>(u)] = true;
+          coverage.radio_class_of(UavId{i});
+      for (const UserId u : coverage.eligible_users(current[i], cls)) {
+        if (!covered[u.index()]) {
+          covered[u.index()] = true;
           ++count;
         }
       }
@@ -85,7 +84,7 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
   std::int64_t current_score = estimate(locs);
   std::vector<bool> occupied(static_cast<std::size_t>(scenario.grid.size()),
                              false);
-  for (LocationId v : locs) occupied[static_cast<std::size_t>(v)] = true;
+  for (const LocationId v : locs) occupied[v.index()] = true;
 
   for (std::int32_t round = 0; round < params.max_rounds; ++round) {
     if (stats != nullptr) ++stats->iterations;
@@ -94,8 +93,9 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
       const LocationId from = locs[i];
       LocationId best_to = kInvalidLocation;
       std::int64_t best_score = current_score;
-      for (NodeId to : g.neighbors(from)) {
-        if (occupied[static_cast<std::size_t>(to)]) continue;
+      for (const NodeId nb : g.neighbors(to_node(from))) {
+        const LocationId to = to_cell(nb);
+        if (occupied[to.index()]) continue;
         locs[i] = to;
         if (network_connected(scenario, locs)) {
           const std::int64_t score = estimate(locs);
@@ -106,9 +106,9 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
         }
         locs[i] = from;
       }
-      if (best_to != kInvalidLocation) {
-        occupied[static_cast<std::size_t>(from)] = false;
-        occupied[static_cast<std::size_t>(best_to)] = true;
+      if (best_to.valid()) {
+        occupied[from.index()] = false;
+        occupied[best_to.index()] = true;
         locs[i] = best_to;
         current_score = best_score;
         improved = true;

@@ -15,7 +15,7 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
   Rng rng(params.seed);
 
   std::vector<LocationId> candidates = coverage.candidate_locations();
-  if (candidates.empty()) candidates.push_back(0);
+  if (candidates.empty()) candidates.push_back(LocationId{0});
 
   std::vector<LocationId> best_set;
   std::int64_t best_estimate = -1;
@@ -25,9 +25,11 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
         rng.next_below(candidates.size()))];
     std::vector<LocationId> set{seed};
     std::vector<bool> in_set(static_cast<std::size_t>(g.node_count()), false);
-    in_set[static_cast<std::size_t>(seed)] = true;
-    std::vector<LocationId> frontier(g.neighbors(seed).begin(),
-                                     g.neighbors(seed).end());
+    in_set[seed.index()] = true;
+    std::vector<LocationId> frontier;
+    for (const NodeId nb : g.neighbors(to_node(seed))) {
+      frontier.push_back(to_cell(nb));
+    }
     while (static_cast<std::int32_t>(set.size()) < scenario.uav_count() &&
            !frontier.empty()) {
       const std::size_t pick =
@@ -35,17 +37,19 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
       const LocationId v = frontier[pick];
       frontier[pick] = frontier.back();
       frontier.pop_back();
-      if (in_set[static_cast<std::size_t>(v)]) continue;
-      in_set[static_cast<std::size_t>(v)] = true;
+      if (in_set[v.index()]) continue;
+      in_set[v.index()] = true;
       set.push_back(v);
-      for (NodeId nb : g.neighbors(v)) {
-        if (!in_set[static_cast<std::size_t>(nb)]) frontier.push_back(nb);
+      for (const NodeId nb : g.neighbors(to_node(v))) {
+        if (!in_set[static_cast<std::size_t>(nb)]) {
+          frontier.push_back(to_cell(nb));
+        }
       }
     }
     std::vector<Deployment> deps;
     deps.reserve(set.size());
     for (std::size_t i = 0; i < set.size(); ++i) {
-      deps.push_back({static_cast<UavId>(i), set[i]});
+      deps.push_back({UavId{i}, set[i]});
     }
     const std::int64_t estimate =
         greedy_served_estimate(scenario, coverage, deps);

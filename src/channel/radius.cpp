@@ -13,7 +13,7 @@ double max_service_radius(const ChannelParams& channel, const Radio& radio,
   UAVCOV_CHECK_MSG(min_rate_bps > 0, "rate requirement must be positive");
   UAVCOV_CHECK_MSG(max_radius_m > 0 && tolerance_m > 0,
                    "search bounds must be positive");
-  auto meets = [&](double horizontal) {
+  const auto meets = [&](double horizontal) {
     return a2g_rate_bps(channel, radio, rx, horizontal, altitude_m) >=
            min_rate_bps;
   };
@@ -31,7 +31,7 @@ double optimal_altitude(const ChannelParams& channel, const Radio& radio,
                         const Receiver& rx, double min_rate_bps, double lo_m,
                         double hi_m, double tolerance_m) {
   UAVCOV_CHECK_MSG(0 < lo_m && lo_m < hi_m, "invalid altitude bracket");
-  auto radius_at = [&](double h) {
+  const auto radius_at = [&](double h) {
     return max_service_radius(channel, radio, rx, h, min_rate_bps);
   };
   constexpr double kInvPhi = 0.6180339887498949;  // 1/φ

@@ -294,7 +294,7 @@ void enumerate_subsets(const SearchContext& ctx, std::int32_t s,
   std::vector<std::int32_t> subset;
   subset.reserve(static_cast<std::size_t>(s));
   bool stop = false;
-  auto dfs = [&](auto&& self, std::int32_t start) -> void {
+  const auto dfs = [&](auto&& self, std::int32_t start) -> void {
     if (stop) return;
     if (static_cast<std::int32_t>(subset.size()) == s) {
       if (!sink(subset)) stop = true;
@@ -306,8 +306,9 @@ void enumerate_subsets(const SearchContext& ctx, std::int32_t s,
         bool compatible = true;
         for (std::int32_t j : subset) {
           const std::int32_t hops =
-              ctx.cand_dist[static_cast<std::size_t>(j)][static_cast<
-                  std::size_t>(ctx.candidates[static_cast<std::size_t>(i)])];
+              ctx.cand_dist[static_cast<std::size_t>(j)]
+                           [ctx.candidates[static_cast<std::size_t>(i)]
+                                .index()];
           if (hops == kUnreachable || hops > ctx.plan.L_max - 1) {
             compatible = false;
             break;
@@ -327,7 +328,7 @@ void enumerate_subsets(const SearchContext& ctx, std::int32_t s,
 }  // namespace
 
 void ApproAlgParams::validate() const {
-  auto fail = [](const std::string& what) {
+  const auto fail = [](const std::string& what) {
     throw std::invalid_argument("ApproAlgParams: " + what);
   };
   if (s < 1) fail("s must be >= 1 (got " + std::to_string(s) + ")");
@@ -363,7 +364,7 @@ Solution appro_alg(const Scenario& scenario, const CoverageModel& coverage,
   Stopwatch watch;
   appro_metrics().runs.inc();
   double last_mark = 0.0;
-  auto lap = [&watch, &last_mark](double& slot) {
+  const auto lap = [&watch, &last_mark](double& slot) {
     const double now = watch.elapsed_s();
     slot += now - last_mark;
     last_mark = now;
@@ -413,7 +414,9 @@ Solution appro_alg(const Scenario& scenario, const CoverageModel& coverage,
   // distances (min over the subset's rows).
   std::vector<std::vector<std::int32_t>> cand_dist;
   cand_dist.reserve(candidates.size());
-  for (LocationId c : candidates) cand_dist.push_back(bfs_distances(g, c));
+  for (const LocationId c : candidates) {
+    cand_dist.push_back(bfs_distances(g, to_node(c)));
+  }
   lap(st.phases.prepare_s);
 
   // The deadline shares `watch` with the phase laps, so the budget covers
@@ -544,12 +547,12 @@ Solution appro_alg(const Scenario& scenario, const CoverageModel& coverage,
                                false);
     for (const Deployment& d : best_deployments) {
       ia.deploy(d.uav, d.loc);
-      used_uav[static_cast<std::size_t>(d.uav)] = true;
-      occupied[static_cast<std::size_t>(d.loc)] = true;
+      used_uav[d.uav.index()] = true;
+      occupied[d.loc.index()] = true;
     }
     std::vector<UavId> leftovers;
     for (UavId k : uav_order) {
-      if (!used_uav[static_cast<std::size_t>(k)]) leftovers.push_back(k);
+      if (!used_uav[k.index()]) leftovers.push_back(k);
     }
     for (UavId k : leftovers) {
       // Frontier = unoccupied cells adjacent (<= R_uav) to the network
@@ -558,14 +561,14 @@ Solution appro_alg(const Scenario& scenario, const CoverageModel& coverage,
       std::vector<bool> seen(static_cast<std::size_t>(g.node_count()),
                              false);
       for (const Deployment& d : ia.deployments()) {
-        for (NodeId nb : g.neighbors(d.loc)) {
-          if (occupied[static_cast<std::size_t>(nb)] ||
-              seen[static_cast<std::size_t>(nb)] ||
-              coverage.max_coverage(nb) == 0) {
+        for (const NodeId nb : g.neighbors(to_node(d.loc))) {
+          const LocationId cell = to_cell(nb);
+          if (occupied[cell.index()] || seen[cell.index()] ||
+              coverage.max_coverage(cell) == 0) {
             continue;
           }
-          seen[static_cast<std::size_t>(nb)] = true;
-          frontier.push_back(nb);
+          seen[cell.index()] = true;
+          frontier.push_back(cell);
         }
       }
       std::int64_t best_gain = 0;
@@ -578,9 +581,9 @@ Solution appro_alg(const Scenario& scenario, const CoverageModel& coverage,
           best_cell = cell;
         }
       }
-      if (best_cell == kInvalidLocation) break;  // no positive gain left
+      if (!best_cell.valid()) break;  // no positive gain left
       ia.deploy(k, best_cell);
-      occupied[static_cast<std::size_t>(best_cell)] = true;
+      occupied[best_cell.index()] = true;
     }
     if (audit) {
       analysis::AuditReport report = analysis::audit_assignment_flow(ia);

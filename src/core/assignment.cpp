@@ -40,37 +40,34 @@ AssignmentResult solve_assignment(const Scenario& scenario,
                /*edges=*/n * 4);
   const auto source = flow.add_node();
   const auto sink = flow.add_node();
-  std::vector<DinicFlow::FlowNode> user_node(static_cast<std::size_t>(n));
-  for (UserId i = 0; i < n; ++i) {
-    user_node[static_cast<std::size_t>(i)] = flow.add_node();
-    flow.add_edge(source, user_node[static_cast<std::size_t>(i)], 1);
+  IdVector<UserTag, DinicFlow::FlowNode> user_node(
+      static_cast<std::size_t>(n));
+  for (const UserId i : scenario.user_ids()) {
+    user_node[i] = flow.add_node();
+    flow.add_edge(source, user_node[i], 1);
   }
   // Remember (edge id → deployment index) for each user→UAV edge so the
   // integral flow can be read back as an assignment.
-  std::vector<std::vector<std::pair<DinicFlow::EdgeId, std::int32_t>>>
+  IdVector<UserTag, std::vector<std::pair<DinicFlow::EdgeId, std::int32_t>>>
       edges_by_user(static_cast<std::size_t>(n));
   for (std::size_t d = 0; d < deployments.size(); ++d) {
     const Deployment& dep = deployments[d];
     const auto uav_node = flow.add_node();
     const std::int32_t cls = coverage.radio_class_of(dep.uav);
-    for (UserId u : coverage.eligible_users(dep.loc, cls)) {
-      const auto e =
-          flow.add_edge(user_node[static_cast<std::size_t>(u)], uav_node, 1);
-      edges_by_user[static_cast<std::size_t>(u)].emplace_back(
-          e, static_cast<std::int32_t>(d));
+    for (const UserId u : coverage.eligible_users(dep.loc, cls)) {
+      const auto e = flow.add_edge(user_node[u], uav_node, 1);
+      edges_by_user[u].emplace_back(e, static_cast<std::int32_t>(d));
     }
-    flow.add_edge(
-        uav_node, sink,
-        scenario.fleet[static_cast<std::size_t>(dep.uav)].capacity);
+    flow.add_edge(uav_node, sink, scenario.fleet[dep.uav].capacity);
   }
 
   AssignmentResult result;
   result.served = flow.augment(source, sink);
   result.user_to_deployment.assign(static_cast<std::size_t>(n), -1);
-  for (UserId u = 0; u < n; ++u) {
-    for (const auto& [e, d] : edges_by_user[static_cast<std::size_t>(u)]) {
+  for (const UserId u : scenario.user_ids()) {
+    for (const auto& [e, d] : edges_by_user[u]) {
       if (flow.edge_flow(e) == 1) {
-        result.user_to_deployment[static_cast<std::size_t>(u)] = d;
+        result.user_to_deployment[u] = d;
         break;
       }
     }
@@ -87,9 +84,9 @@ IncrementalAssignment::IncrementalAssignment(const Scenario& scenario,
   source_ = flow_.add_node();
   sink_ = flow_.add_node();
   user_node_.resize(static_cast<std::size_t>(n));
-  for (UserId i = 0; i < n; ++i) {
-    user_node_[static_cast<std::size_t>(i)] = flow_.add_node();
-    flow_.add_edge(source_, user_node_[static_cast<std::size_t>(i)], 1);
+  for (const UserId i : scenario.user_ids()) {
+    user_node_[i] = flow_.add_node();
+    flow_.add_edge(source_, user_node_[i], 1);
   }
 }
 
@@ -97,11 +94,10 @@ std::int64_t IncrementalAssignment::add_uav_and_augment(UavId k,
                                                         LocationId loc) {
   const auto uav_node = flow_.add_node();
   const std::int32_t cls = coverage_.radio_class_of(k);
-  for (UserId u : coverage_.eligible_users(loc, cls)) {
-    flow_.add_edge(user_node_[static_cast<std::size_t>(u)], uav_node, 1);
+  for (const UserId u : coverage_.eligible_users(loc, cls)) {
+    flow_.add_edge(user_node_[u], uav_node, 1);
   }
-  flow_.add_edge(uav_node, sink_,
-                 scenario_.fleet[static_cast<std::size_t>(k)].capacity);
+  flow_.add_edge(uav_node, sink_, scenario_.fleet[k].capacity);
   return flow_.augment(source_, sink_);
 }
 

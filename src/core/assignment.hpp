@@ -24,7 +24,7 @@ namespace uavcov {
 struct AssignmentResult {
   std::int64_t served = 0;
   /// Per user: index into the input deployments span, or -1 if unserved.
-  std::vector<std::int32_t> user_to_deployment;
+  IdVector<UserTag, std::int32_t> user_to_deployment;
 };
 
 /// Optimal assignment (Lemma 1).  O(K n^2) worst case; in practice far
@@ -58,9 +58,7 @@ class IncrementalAssignment {
   DinicFlow::FlowNode source() const { return source_; }
   DinicFlow::FlowNode sink() const { return sink_; }
   /// Flow node carrying user `u` (audit: per-user unit-flow integrality).
-  DinicFlow::FlowNode user_node(UserId u) const {
-    return user_node_[static_cast<std::size_t>(u)];
-  }
+  DinicFlow::FlowNode user_node(UserId u) const { return user_node_[u]; }
 
   /// Marginal gain of deploying UAV `k` at `loc`; the network is restored
   /// before returning.
@@ -87,7 +85,7 @@ class IncrementalAssignment {
   DinicFlow flow_;
   DinicFlow::FlowNode source_ = 0;
   DinicFlow::FlowNode sink_ = 0;
-  std::vector<DinicFlow::FlowNode> user_node_;  // per UserId
+  IdVector<UserTag, DinicFlow::FlowNode> user_node_;
   std::vector<Deployment> deployments_;
   std::int64_t served_ = 0;
 };

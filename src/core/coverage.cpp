@@ -40,7 +40,7 @@ CoverageModel::CoverageModel(const Scenario& scenario) : scenario_(scenario) {
   //    disc of radius min(R_user, radius where rate == r_min).
   const std::int32_t classes = radio_class_count();
   std::map<std::pair<std::int32_t, double>, double> radius_cache;
-  auto effective_radius = [&](std::int32_t c, double min_rate) {
+  const auto effective_radius = [&](std::int32_t c, double min_rate) {
     auto [it, inserted] = radius_cache.try_emplace({c, min_rate}, 0.0);
     if (inserted) {
       const ClassSpec& spec = class_specs_[static_cast<std::size_t>(c)];
@@ -58,13 +58,14 @@ CoverageModel::CoverageModel(const Scenario& scenario) : scenario_(scenario) {
       static_cast<std::size_t>(scenario.grid.size()) *
       static_cast<std::size_t>(classes);
   std::vector<std::vector<UserId>> buckets(slots);
-  for (UserId i = 0; i < scenario.user_count(); ++i) {
-    const User& user = scenario.users[static_cast<std::size_t>(i)];
+  for (const UserId i : scenario.user_ids()) {
+    const User& user = scenario.users[i];
     for (std::int32_t c = 0; c < classes; ++c) {
       const double radius = effective_radius(c, user.min_rate_bps);
       if (radius <= 0) continue;
-      for (LocationId v : scenario.grid.centers_within(user.pos, radius)) {
-        buckets[static_cast<std::size_t>(v) * static_cast<std::size_t>(classes) +
+      for (const LocationId v :
+           scenario.grid.centers_within(user.pos, radius)) {
+        buckets[v.index() * static_cast<std::size_t>(classes) +
                 static_cast<std::size_t>(c)]
             .push_back(i);
       }
@@ -85,22 +86,20 @@ CoverageModel::CoverageModel(const Scenario& scenario) : scenario_(scenario) {
   }
 
   max_coverage_.assign(static_cast<std::size_t>(scenario.grid.size()), 0);
-  for (LocationId v = 0; v < scenario.grid.size(); ++v) {
+  for (const LocationId v : scenario.grid.cells()) {
     for (std::int32_t c = 0; c < classes; ++c) {
-      max_coverage_[static_cast<std::size_t>(v)] = std::max(
-          max_coverage_[static_cast<std::size_t>(v)],
-          static_cast<std::int32_t>(eligible_users(v, c).size()));
+      max_coverage_[v] = std::max(
+          max_coverage_[v], static_cast<std::int32_t>(eligible_users(v, c).size()));
     }
   }
 }
 
 std::span<const UserId> CoverageModel::eligible_users(LocationId v,
                                                       std::int32_t c) const {
-  UAVCOV_DCHECK(v >= 0 && v < scenario_.grid.size());
+  UAVCOV_DCHECK(v.valid() && v.value() < scenario_.grid.size());
   UAVCOV_DCHECK(c >= 0 && c < radio_class_count());
   const auto [begin, end] =
-      eligible_[static_cast<std::size_t>(v) *
-                    static_cast<std::size_t>(radio_class_count()) +
+      eligible_[v.index() * static_cast<std::size_t>(radio_class_count()) +
                 static_cast<std::size_t>(c)];
   return {users_flat_.data() + begin, static_cast<std::size_t>(end - begin)};
 }
@@ -108,7 +107,7 @@ std::span<const UserId> CoverageModel::eligible_users(LocationId v,
 std::vector<LocationId> CoverageModel::candidate_locations(
     std::int32_t cap) const {
   std::vector<LocationId> out;
-  for (LocationId v = 0; v < scenario_.grid.size(); ++v) {
+  for (const LocationId v : scenario_.grid.cells()) {
     if (max_coverage(v) > 0) out.push_back(v);
   }
   std::stable_sort(out.begin(), out.end(), [this](LocationId a, LocationId b) {
@@ -123,8 +122,8 @@ std::vector<LocationId> CoverageModel::candidate_locations(
 
 bool CoverageModel::is_eligible(const Scenario& scenario, UserId u,
                                 LocationId v, UavId k) const {
-  const User& user = scenario.users[static_cast<std::size_t>(u)];
-  const UavSpec& uav = scenario.fleet[static_cast<std::size_t>(k)];
+  const User& user = scenario.users[u];
+  const UavSpec& uav = scenario.fleet[k];
   const double horizontal = distance(user.pos, scenario.grid.center(v));
   if (horizontal > uav.user_range_m) return false;
   const double rate =

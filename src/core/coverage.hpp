@@ -9,6 +9,7 @@
 #pragma once
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/scenario.hpp"
@@ -25,9 +26,7 @@ class CoverageModel {
   }
 
   /// Radio class of UAV k.
-  std::int32_t radio_class_of(UavId k) const {
-    return uav_class_[static_cast<std::size_t>(k)];
-  }
+  std::int32_t radio_class_of(UavId k) const { return uav_class_[k]; }
 
   /// Users eligible to be served by a class-`c` UAV at location `v`
   /// (sorted by UserId ascending).
@@ -35,9 +34,7 @@ class CoverageModel {
 
   /// max over classes of |eligible_users(v, c)| — used as the lazy-greedy
   /// initial upper bound and for candidate pruning.
-  std::int32_t max_coverage(LocationId v) const {
-    return max_coverage_[static_cast<std::size_t>(v)];
-  }
+  std::int32_t max_coverage(LocationId v) const { return max_coverage_[v]; }
 
   /// Locations with max_coverage > 0, sorted by coverage descending (ties
   /// by id).  If `cap > 0`, only the best `cap` are returned.
@@ -56,12 +53,12 @@ class CoverageModel {
 
   const Scenario& scenario_;
   std::vector<ClassSpec> class_specs_;
-  std::vector<std::int32_t> uav_class_;
+  IdVector<UavTag, std::int32_t> uav_class_;
 
   // eligible_[v * classes + c] → flat slice [begin, end) into users_flat_.
   std::vector<std::pair<std::int64_t, std::int64_t>> eligible_;
   std::vector<UserId> users_flat_;
-  std::vector<std::int32_t> max_coverage_;
+  IdVector<CellTag, std::int32_t> max_coverage_;
 };
 
 }  // namespace uavcov

@@ -24,12 +24,12 @@ Solution exhaustive_optimal(const Scenario& scenario,
   best.user_to_deployment.assign(scenario.users.size(), -1);
   best.served = 0;
 
-  std::vector<LocationId> locs;
+  std::vector<NodeId> locs;
   for (std::uint32_t mask = 1; mask < (1u << m); ++mask) {
     const std::int32_t t = __builtin_popcount(mask);
     if (t > K) continue;
     locs.clear();
-    for (LocationId v = 0; v < m; ++v) {
+    for (NodeId v = 0; v < m; ++v) {
       if (mask & (1u << v)) locs.push_back(v);
     }
     if (!is_induced_subgraph_connected(g, locs)) continue;
@@ -37,7 +37,7 @@ Solution exhaustive_optimal(const Scenario& scenario,
     // Try every injective UAV → location mapping: choose t UAVs out of K
     // and permute them over the t locations.
     std::vector<UavId> uav_subset(static_cast<std::size_t>(t));
-    auto choose = [&](auto&& self, std::int32_t start,
+    const auto choose = [&](auto&& self, std::int32_t start,
                       std::int32_t depth) -> void {
       if (depth == t) {
         std::vector<UavId> perm = uav_subset;
@@ -47,7 +47,7 @@ Solution exhaustive_optimal(const Scenario& scenario,
           for (std::int32_t i = 0; i < t; ++i) {
             deps[static_cast<std::size_t>(i)] = {
                 perm[static_cast<std::size_t>(i)],
-                locs[static_cast<std::size_t>(i)]};
+                to_cell(locs[static_cast<std::size_t>(i)])};
           }
           const AssignmentResult result =
               solve_assignment(scenario, coverage, deps);
@@ -60,7 +60,7 @@ Solution exhaustive_optimal(const Scenario& scenario,
         return;
       }
       for (std::int32_t u = start; u < K; ++u) {
-        uav_subset[static_cast<std::size_t>(depth)] = u;
+        uav_subset[static_cast<std::size_t>(depth)] = UavId{u};
         self(self, u + 1, depth + 1);
       }
     };

@@ -13,7 +13,7 @@ GatewayResult extend_to_gateway(const Scenario& scenario,
                                 const CoverageModel& coverage,
                                 Solution& solution, Vec2 vehicle_pos) {
   GatewayResult result;
-  auto within_vehicle_range = [&](LocationId cell) {
+  const auto within_vehicle_range = [&](LocationId cell) {
     return slant_range(vehicle_pos, scenario.grid.center(cell),
                        scenario.altitude_m) <= scenario.uav_range_m;
   };
@@ -29,14 +29,14 @@ GatewayResult extend_to_gateway(const Scenario& scenario,
   if (solution.deployments.empty()) return result;
 
   // Unused UAVs available for the backhaul chain.
-  std::vector<bool> used(static_cast<std::size_t>(scenario.uav_count()),
-                         false);
+  IdVector<UavTag, bool> used(static_cast<std::size_t>(scenario.uav_count()),
+                              false);
   for (const Deployment& d : solution.deployments) {
-    used[static_cast<std::size_t>(d.uav)] = true;
+    used[d.uav] = true;
   }
   std::vector<UavId> spare;
-  for (UavId k = 0; k < scenario.uav_count(); ++k) {
-    if (!used[static_cast<std::size_t>(k)]) spare.push_back(k);
+  for (const UavId k : scenario.uav_ids()) {
+    if (!used[k]) spare.push_back(k);
   }
   if (spare.empty()) return result;
 
@@ -44,8 +44,8 @@ GatewayResult extend_to_gateway(const Scenario& scenario,
   // network; the chain is the shortest path to any deployed cell.
   const Graph g = build_location_graph(scenario.grid, scenario.uav_range_m);
   std::vector<NodeId> sources;
-  for (LocationId v = 0; v < scenario.grid.size(); ++v) {
-    if (within_vehicle_range(v)) sources.push_back(v);
+  for (const LocationId v : scenario.grid.cells()) {
+    if (within_vehicle_range(v)) sources.push_back(to_node(v));
   }
   if (sources.empty()) return result;  // vehicle out of reach entirely
   const BfsTree tree = bfs_tree(g, sources);
@@ -55,22 +55,21 @@ GatewayResult extend_to_gateway(const Scenario& scenario,
   std::vector<bool> occupied(static_cast<std::size_t>(scenario.grid.size()),
                              false);
   for (const Deployment& d : solution.deployments) {
-    occupied[static_cast<std::size_t>(d.loc)] = true;
-    const std::int32_t dist =
-        tree.distance[static_cast<std::size_t>(d.loc)];
+    occupied[d.loc.index()] = true;
+    const std::int32_t dist = tree.distance[d.loc.index()];
     if (dist < best_dist) {
       best_dist = dist;
       attach = d.loc;
     }
   }
-  if (attach == kInvalidLocation || best_dist == kUnreachable) return result;
+  if (!attach.valid() || best_dist == kUnreachable) return result;
 
   // Walk from the attachment point back toward the vehicle-range source;
   // every unoccupied cell on the way needs one spare UAV.
   std::vector<LocationId> chain;
-  for (NodeId cur = attach; cur != kInvalidLocation;
+  for (NodeId cur = to_node(attach); cur != kNoParent;
        cur = tree.parent[static_cast<std::size_t>(cur)]) {
-    if (!occupied[static_cast<std::size_t>(cur)]) chain.push_back(cur);
+    if (!occupied[static_cast<std::size_t>(cur)]) chain.push_back(to_cell(cur));
   }
   if (chain.size() > spare.size()) return result;  // fleet exhausted
 

@@ -14,19 +14,19 @@ PartitionMatroid::PartitionMatroid(std::int32_t uav_count)
 }
 
 bool PartitionMatroid::can_add(UavId uav) const {
-  UAVCOV_DCHECK(uav >= 0 && uav < static_cast<UavId>(used_.size()));
-  return !used_[static_cast<std::size_t>(uav)];
+  UAVCOV_DCHECK(uav.valid() && uav.index() < used_.size());
+  return !used_[uav.index()];
 }
 
 void PartitionMatroid::add(UavId uav) {
   UAVCOV_CHECK_MSG(can_add(uav), "UAV already used");
-  used_[static_cast<std::size_t>(uav)] = true;
+  used_[uav.index()] = true;
   ++size_;
 }
 
 void PartitionMatroid::remove(UavId uav) {
   UAVCOV_CHECK_MSG(!can_add(uav), "UAV not in the set");
-  used_[static_cast<std::size_t>(uav)] = false;
+  used_[uav.index()] = false;
   --size_;
 }
 
@@ -47,8 +47,8 @@ HopBudgetMatroid::HopBudgetMatroid(std::vector<std::int32_t> hop_distance,
 }
 
 bool HopBudgetMatroid::can_add(LocationId v) const {
-  UAVCOV_DCHECK(v >= 0 && v < static_cast<LocationId>(hop_distance_.size()));
-  const std::int32_t d = hop_distance_[static_cast<std::size_t>(v)];
+  UAVCOV_DCHECK(v.valid() && v.index() < hop_distance_.size());
+  const std::int32_t d = hop_distance_[v.index()];
   if (d == kUnreachable || d > hmax()) return false;
   for (std::int32_t h = 0; h <= d; ++h) {
     if (count_at_least_[static_cast<std::size_t>(h)] + 1 >
@@ -61,7 +61,7 @@ bool HopBudgetMatroid::can_add(LocationId v) const {
 
 void HopBudgetMatroid::add(LocationId v) {
   UAVCOV_CHECK_MSG(can_add(v), "adding would violate a hop quota");
-  const std::int32_t d = hop_distance_[static_cast<std::size_t>(v)];
+  const std::int32_t d = hop_distance_[v.index()];
   for (std::int32_t h = 0; h <= d; ++h) {
     ++count_at_least_[static_cast<std::size_t>(h)];
   }
@@ -69,7 +69,7 @@ void HopBudgetMatroid::add(LocationId v) {
 }
 
 void HopBudgetMatroid::remove(LocationId v) {
-  const std::int32_t d = hop_distance_[static_cast<std::size_t>(v)];
+  const std::int32_t d = hop_distance_[v.index()];
   UAVCOV_CHECK_MSG(d != kUnreachable && d <= hmax() && size_ > 0,
                    "removing element that cannot be in the set");
   for (std::int32_t h = 0; h <= d; ++h) {
@@ -88,7 +88,7 @@ void HopBudgetMatroid::clear() {
 bool HopBudgetMatroid::is_independent(std::span<const LocationId> set) const {
   std::vector<std::int64_t> count(quotas_.size(), 0);
   for (LocationId v : set) {
-    const std::int32_t d = hop_distance_[static_cast<std::size_t>(v)];
+    const std::int32_t d = hop_distance_[v.index()];
     if (d == kUnreachable || d > hmax()) return false;
     for (std::int32_t h = 0; h <= d; ++h) {
       if (++count[static_cast<std::size_t>(h)] >
@@ -106,7 +106,7 @@ std::string check_matroid_axioms(
   UAVCOV_CHECK_MSG(ground_size >= 0 && ground_size <= 16,
                    "axiom check limited to 16 elements");
   const std::uint32_t subsets = 1u << ground_size;
-  auto members = [](std::uint32_t mask) {
+  const auto members = [](std::uint32_t mask) {
     std::vector<std::int32_t> out;
     for (std::int32_t e = 0; mask; ++e, mask >>= 1) {
       if (mask & 1u) out.push_back(e);
@@ -117,7 +117,7 @@ std::string check_matroid_axioms(
   for (std::uint32_t mask = 0; mask < subsets; ++mask) {
     indep[mask] = independent(members(mask));
   }
-  auto describe = [&members](const char* axiom, std::uint32_t a,
+  const auto describe = [&members](const char* axiom, std::uint32_t a,
                              std::uint32_t b) {
     std::ostringstream os;
     os << axiom << " violated; sets:";

@@ -61,7 +61,7 @@ class HopBudgetMatroid {
 
   /// Hop distance of location v to the seed set (kUnreachable if none).
   std::int32_t hop_distance(LocationId v) const {
-    return hop_distance_[static_cast<std::size_t>(v)];
+    return hop_distance_[v.index()];
   }
 
   /// Quota Q_h of Eq. (1), 0 <= h <= hmax (read by the invariant auditors).

@@ -27,12 +27,12 @@ RefineStats refine_solution(const Scenario& scenario,
   std::vector<bool> occupied(static_cast<std::size_t>(scenario.grid.size()),
                              false);
   for (const Deployment& d : deps) {
-    occupied[static_cast<std::size_t>(d.loc)] = true;
+    occupied[d.loc.index()] = true;
   }
-  auto evaluate = [&](const std::vector<Deployment>& candidate) {
+  const auto evaluate = [&](const std::vector<Deployment>& candidate) {
     return solve_assignment(scenario, coverage, candidate).served;
   };
-  auto connected = [&](const std::vector<Deployment>& candidate) {
+  const auto connected = [&](const std::vector<Deployment>& candidate) {
     return deployments_connected(scenario, candidate);
   };
 
@@ -44,8 +44,9 @@ RefineStats refine_solution(const Scenario& scenario,
         const LocationId from = deps[i].loc;
         LocationId best_to = kInvalidLocation;
         std::int64_t best_gain_served = best_served;
-        for (NodeId to : g.neighbors(from)) {
-          if (occupied[static_cast<std::size_t>(to)]) continue;
+        for (const NodeId nb : g.neighbors(to_node(from))) {
+          const LocationId to = to_cell(nb);
+          if (occupied[to.index()]) continue;
           // Cheap precheck: only consider cells that can cover someone,
           // unless the UAV currently serves nobody (pure relay moves are
           // allowed but cannot improve served count alone).
@@ -60,9 +61,9 @@ RefineStats refine_solution(const Scenario& scenario,
           }
           deps[i].loc = from;
         }
-        if (best_to != kInvalidLocation) {
-          occupied[static_cast<std::size_t>(from)] = false;
-          occupied[static_cast<std::size_t>(best_to)] = true;
+        if (best_to.valid()) {
+          occupied[from.index()] = false;
+          occupied[best_to.index()] = true;
           deps[i].loc = best_to;
           best_served = best_gain_served;
           ++stats.relocations;
@@ -76,9 +77,9 @@ RefineStats refine_solution(const Scenario& scenario,
         for (std::size_t j = i + 1; j < deps.size(); ++j) {
           // Swapping identical UAVs cannot change the assignment value.
           const UavSpec& a =
-              scenario.fleet[static_cast<std::size_t>(deps[i].uav)];
+              scenario.fleet[deps[i].uav];
           const UavSpec& b =
-              scenario.fleet[static_cast<std::size_t>(deps[j].uav)];
+              scenario.fleet[deps[j].uav];
           if (a.capacity == b.capacity &&
               a.user_range_m == b.user_range_m &&
               a.radio.tx_power_dbm == b.radio.tx_power_dbm) {

@@ -9,7 +9,7 @@
 namespace uavcov {
 
 std::optional<RelayPlan> stitch_connected(const Graph& g,
-                                          std::span<const NodeId> chosen) {
+                                          std::span<const CellId> chosen) {
   const auto k = static_cast<NodeId>(chosen.size());
   RelayPlan plan;
   plan.nodes.assign(chosen.begin(), chosen.end());
@@ -20,7 +20,7 @@ std::optional<RelayPlan> stitch_connected(const Graph& g,
   std::vector<BfsTree> trees;
   trees.reserve(static_cast<std::size_t>(k));
   for (NodeId i = 0; i < k; ++i) {
-    const NodeId src[] = {chosen[static_cast<std::size_t>(i)]};
+    const NodeId src[] = {to_node(chosen[static_cast<std::size_t>(i)])};
     trees.push_back(bfs_tree(g, src));
   }
   std::vector<double> w(static_cast<std::size_t>(k) *
@@ -29,7 +29,7 @@ std::optional<RelayPlan> stitch_connected(const Graph& g,
     for (NodeId j = 0; j < k; ++j) {
       const std::int32_t hops =
           trees[static_cast<std::size_t>(i)]
-              .distance[static_cast<std::size_t>(chosen[static_cast<std::size_t>(j)])];
+              .distance[chosen[static_cast<std::size_t>(j)].index()];
       w[static_cast<std::size_t>(i) * static_cast<std::size_t>(k) +
         static_cast<std::size_t>(j)] =
           (i == j) ? 0.0
@@ -51,18 +51,17 @@ std::optional<RelayPlan> stitch_connected(const Graph& g,
 
   // Union of the shortest paths realizing the MST edges.
   std::vector<bool> in_plan(static_cast<std::size_t>(g.node_count()), false);
-  for (NodeId v : chosen) in_plan[static_cast<std::size_t>(v)] = true;
+  for (const CellId v : chosen) in_plan[v.index()] = true;
   for (NodeId v = 1; v < k; ++v) {
     const NodeId p = (*parent)[static_cast<std::size_t>(v)];
     // Walk the BFS-tree parents from chosen[v] back to chosen[p] (the BFS
     // rooted at chosen[p] reaches chosen[v]; follow its parent pointers).
     const BfsTree& tree = trees[static_cast<std::size_t>(p)];
-    for (NodeId cur = chosen[static_cast<std::size_t>(v)];
-         cur != kInvalidLocation;
-         cur = tree.parent[static_cast<std::size_t>(cur)]) {
+    for (NodeId cur = to_node(chosen[static_cast<std::size_t>(v)]);
+         cur != kNoParent; cur = tree.parent[static_cast<std::size_t>(cur)]) {
       if (!in_plan[static_cast<std::size_t>(cur)]) {
         in_plan[static_cast<std::size_t>(cur)] = true;
-        plan.nodes.push_back(cur);
+        plan.nodes.push_back(to_cell(cur));
         ++plan.relay_count;
       }
     }

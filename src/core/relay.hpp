@@ -19,13 +19,14 @@
 namespace uavcov {
 
 struct RelayPlan {
-  /// All nodes of the connected subgraph G_j: the input `chosen` nodes (in
-  /// their original order) followed by the added relay nodes.
-  std::vector<NodeId> nodes;
+  /// All cells of the connected subgraph G_j: the input `chosen` cells (in
+  /// their original order) followed by the added relay cells.
+  std::vector<CellId> nodes;
   std::int32_t relay_count = 0;
 };
 
+/// `g` must be a hovering-location graph (node i == cell i).
 std::optional<RelayPlan> stitch_connected(const Graph& g,
-                                          std::span<const NodeId> chosen);
+                                          std::span<const CellId> chosen);
 
 }  // namespace uavcov

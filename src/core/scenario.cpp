@@ -58,10 +58,9 @@ std::uint64_t Scenario::fingerprint() const {
 
 std::vector<UavId> Scenario::uavs_by_capacity_desc() const {
   std::vector<UavId> order(fleet.size());
-  std::iota(order.begin(), order.end(), 0);
+  std::iota(order.begin(), order.end(), UavId{0});
   std::stable_sort(order.begin(), order.end(), [this](UavId a, UavId b) {
-    return fleet[static_cast<std::size_t>(a)].capacity >
-           fleet[static_cast<std::size_t>(b)].capacity;
+    return fleet[a].capacity > fleet[b].capacity;
   });
   return order;
 }

@@ -7,13 +7,14 @@
 #include <vector>
 
 #include "channel/link_budget.hpp"
+#include "common/typed.hpp"
 #include "geometry/grid.hpp"
 #include "geometry/vec.hpp"
 
 namespace uavcov {
 
-using UserId = std::int32_t;
-using UavId = std::int32_t;
+// UserId / UavId are the strongly-typed ids of common/typed.hpp; this
+// header owns the containers they index.
 
 /// A ground user: position on the z = 0 plane and minimum data-rate
 /// requirement r_min (paper example: 2 kbps).
@@ -40,15 +41,17 @@ struct Scenario {
   double uav_range_m = 600.0;    ///< UAV-to-UAV communication range R_uav.
   ChannelParams channel{};       ///< A2G channel model parameters.
   Receiver receiver{};           ///< user-side receiver constants.
-  std::vector<User> users;       ///< the n users U.
-  std::vector<UavSpec> fleet;    ///< the K UAVs, any order.
+  IdVector<UserTag, User> users;    ///< the n users U.
+  IdVector<UavTag, UavSpec> fleet;  ///< the K UAVs, any order.
 
-  std::int32_t user_count() const {
-    return static_cast<std::int32_t>(users.size());
-  }
-  std::int32_t uav_count() const {
-    return static_cast<std::int32_t>(fleet.size());
-  }
+  std::int32_t user_count() const { return users.ssize(); }
+  std::int32_t uav_count() const { return fleet.ssize(); }
+
+  /// All user ids [0, n), for typed iteration.
+  IdRange<UserId> user_ids() const { return users.ids(); }
+  /// All UAV ids [0, K), for typed iteration.
+  IdRange<UavId> uav_ids() const { return fleet.ids(); }
+
   /// Total fleet capacity (an upper bound on served users).
   std::int64_t total_capacity() const;
 

@@ -8,15 +8,14 @@
 
 namespace uavcov {
 
-std::int64_t relay_upper_bound(std::int32_t s,
-                               const std::vector<std::int64_t>& p) {
+std::int64_t relay_upper_bound(std::int32_t s, const SegmentBudgets& p) {
   UAVCOV_CHECK_MSG(s >= 1, "s must be >= 1");
   UAVCOV_CHECK_MSG(static_cast<std::int32_t>(p.size()) == s + 1,
                    "expected s + 1 segment budgets");
   for (std::int64_t pi : p) UAVCOV_CHECK_MSG(pi >= 0, "budgets must be >= 0");
   std::int64_t g = s;
   for (std::int32_t i = 2; i <= s; ++i) {
-    const std::int64_t pi = p[static_cast<std::size_t>(i - 1)];
+    const std::int64_t pi = p[SegmentId{i - 1}];
     g += pi;                                     // seed-to-seed connectors
     g += (pi * pi + 2 * pi + (pi % 2)) / 4;      // relay chains, middle segs
   }
@@ -27,18 +26,18 @@ std::int64_t relay_upper_bound(std::int32_t s,
   return g;
 }
 
-std::int32_t hop_limit(std::int32_t s, const std::vector<std::int64_t>& p) {
+std::int32_t hop_limit(std::int32_t s, const SegmentBudgets& p) {
   UAVCOV_CHECK_MSG(static_cast<std::int32_t>(p.size()) == s + 1,
                    "expected s + 1 segment budgets");
   std::int64_t h = std::max(p.front(), p.back());
   for (std::int32_t i = 2; i <= s; ++i) {
-    h = std::max(h, (p[static_cast<std::size_t>(i - 1)] + 1) / 2);  // ⌈p/2⌉
+    h = std::max(h, (p[SegmentId{i - 1}] + 1) / 2);  // ⌈p/2⌉
   }
   return static_cast<std::int32_t>(h);
 }
 
 std::vector<std::int64_t> hop_quotas(std::int32_t s, std::int64_t L,
-                                     const std::vector<std::int64_t>& p) {
+                                     const SegmentBudgets& p) {
   UAVCOV_CHECK_MSG(static_cast<std::int32_t>(p.size()) == s + 1,
                    "expected s + 1 segment budgets");
   std::int64_t budget_total = 0;
@@ -52,8 +51,7 @@ std::vector<std::int64_t> hop_quotas(std::int32_t s, std::int64_t L,
     std::int64_t qh = std::max<std::int64_t>(p.front() - (h - 1), 0) +
                       std::max<std::int64_t>(p.back() - (h - 1), 0);
     for (std::int32_t i = 2; i <= s; ++i) {
-      qh += std::max<std::int64_t>(
-          p[static_cast<std::size_t>(i - 1)] - 2 * (h - 1), 0);
+      qh += std::max<std::int64_t>(p[SegmentId{i - 1}] - 2 * (h - 1), 0);
     }
     q[static_cast<std::size_t>(h)] = qh;
   }
@@ -67,7 +65,7 @@ std::pair<std::int64_t, std::vector<std::int64_t>> min_relay_bound(
     std::int32_t s, std::int64_t L) {
   std::int64_t best = std::numeric_limits<std::int64_t>::max();
   std::vector<std::int64_t> best_p;
-  auto consider = [&](std::vector<std::int64_t> p) {
+  const auto consider = [&](std::vector<std::int64_t> p) {
     const std::int64_t g = relay_upper_bound(s, p);
     if (g < best) {
       best = g;
@@ -144,7 +142,7 @@ std::int64_t min_relay_bound_brute_force(std::int32_t s, std::int64_t L) {
   std::vector<std::int64_t> p(static_cast<std::size_t>(s) + 1, 0);
   std::int64_t best = std::numeric_limits<std::int64_t>::max();
   // Enumerate every composition of L - s into s + 1 nonnegative parts.
-  auto recurse = [&](auto&& self, std::size_t idx,
+  const auto recurse = [&](auto&& self, std::size_t idx,
                      std::int64_t remaining) -> void {
     if (idx + 1 == p.size()) {
       p[idx] = remaining;

@@ -19,29 +19,34 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/typed.hpp"
+
 namespace uavcov {
+
+/// The s + 1 inter-seed segment budgets, indexed by SegmentId: segment i
+/// (0-based) holds the paper's p_{i+1}.
+using SegmentBudgets = IdVector<SegmentTag, std::int64_t>;
 
 /// Output of Algorithm 1 plus derived quantities used by Algorithm 2.
 struct SegmentPlan {
   std::int32_t s = 0;                 ///< number of enumerated seeds.
   std::int32_t K = 0;                 ///< fleet size.
   std::int32_t L_max = 0;             ///< nodes the greedy may select.
-  std::vector<std::int64_t> p;        ///< s + 1 budgets p*_1..p*_{s+1}.
+  SegmentBudgets p;                   ///< s + 1 budgets p*_1..p*_{s+1}.
   std::int32_t h_max = 0;             ///< max allowed hop distance to seeds.
   std::vector<std::int64_t> quotas;   ///< Q_0..Q_hmax (Eq. 1), Q_0 = L_max.
   std::int64_t relay_bound = 0;       ///< g(L_max, p*) ≤ K.
 };
 
 /// Eq. (2): upper bound on deployed UAVs after relay stitching.
-std::int64_t relay_upper_bound(std::int32_t s,
-                               const std::vector<std::int64_t>& p);
+std::int64_t relay_upper_bound(std::int32_t s, const SegmentBudgets& p);
 
 /// Eq. (1): quota vector Q_0..Q_hmax for budgets `p` and total L.
 std::vector<std::int64_t> hop_quotas(std::int32_t s, std::int64_t L,
-                                     const std::vector<std::int64_t>& p);
+                                     const SegmentBudgets& p);
 
 /// h_max = max{p_1, p_{s+1}, max_{i=2..s} ⌈p_i/2⌉}.
-std::int32_t hop_limit(std::int32_t s, const std::vector<std::int64_t>& p);
+std::int32_t hop_limit(std::int32_t s, const SegmentBudgets& p);
 
 /// Algorithm 1.  Preconditions: 1 <= s <= K.
 SegmentPlan compute_segment_plan(std::int32_t K, std::int32_t s);

@@ -20,7 +20,7 @@ std::int64_t Solution::load_of(std::int32_t d) const {
 std::uint64_t Solution::fingerprint() const {
   Fnv1a h;
   h.mix(static_cast<std::int64_t>(deployments.size()));
-  for (const Deployment& d : deployments) h.mix(d.uav).mix(d.loc);
+  for (const Deployment& d : deployments) h.mix(d.uav.value()).mix(d.loc.value());
   h.mix(static_cast<std::int64_t>(user_to_deployment.size()));
   for (const std::int32_t d : user_to_deployment) h.mix(d);
   h.mix(served);
@@ -53,9 +53,9 @@ void validate_solution(const Scenario& scenario, const CoverageModel& coverage,
   std::set<UavId> uavs;
   std::set<LocationId> locs;
   for (const Deployment& d : deps) {
-    UAVCOV_CHECK_MSG(d.uav >= 0 && d.uav < scenario.uav_count(),
+    UAVCOV_CHECK_MSG(d.uav.valid() && d.uav.value() < scenario.uav_count(),
                      "deployment references unknown UAV");
-    UAVCOV_CHECK_MSG(d.loc >= 0 && d.loc < scenario.grid.size(),
+    UAVCOV_CHECK_MSG(d.loc.valid() && d.loc.value() < scenario.grid.size(),
                      "deployment references unknown location");
     UAVCOV_CHECK_MSG(uavs.insert(d.uav).second,
                      "UAV deployed at two locations");
@@ -70,22 +70,20 @@ void validate_solution(const Scenario& scenario, const CoverageModel& coverage,
                    "assignment vector size mismatch");
   std::vector<std::int64_t> load(deps.size(), 0);
   std::int64_t served = 0;
-  for (UserId u = 0; u < scenario.user_count(); ++u) {
-    const std::int32_t d =
-        solution.user_to_deployment[static_cast<std::size_t>(u)];
+  for (const UserId u : scenario.user_ids()) {
+    const std::int32_t d = solution.user_to_deployment[u];
     if (d == -1) continue;
     UAVCOV_CHECK_MSG(d >= 0 && d < static_cast<std::int32_t>(deps.size()),
                      "assignment references unknown deployment");
     const Deployment& dep = deps[static_cast<std::size_t>(d)];
     UAVCOV_CHECK_MSG(
         coverage.is_eligible(scenario, u, dep.loc, dep.uav),
-        "user " + std::to_string(u) + " not eligible under its UAV");
+        "user " + std::to_string(u.value()) + " not eligible under its UAV");
     ++load[static_cast<std::size_t>(d)];
     ++served;
   }
   for (std::size_t d = 0; d < deps.size(); ++d) {
-    const auto cap =
-        scenario.fleet[static_cast<std::size_t>(deps[d].uav)].capacity;
+    const auto cap = scenario.fleet[deps[d].uav].capacity;
     UAVCOV_CHECK_MSG(load[d] <= cap, "UAV load exceeds its capacity");
   }
   UAVCOV_CHECK_MSG(served == solution.served,

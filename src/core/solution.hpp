@@ -12,8 +12,8 @@ namespace uavcov {
 
 /// One deployed UAV: which UAV of the fleet hovers at which grid location.
 struct Deployment {
-  UavId uav = 0;
-  LocationId loc = 0;
+  UavId uav{0};
+  LocationId loc{0};
   bool operator==(const Deployment&) const = default;
 };
 
@@ -21,7 +21,7 @@ struct Solution {
   std::string algorithm;               ///< producer name, e.g. "approAlg".
   std::vector<Deployment> deployments; ///< at most K entries.
   /// Per user: index into `deployments` of the serving UAV, or -1.
-  std::vector<std::int32_t> user_to_deployment;
+  IdVector<UserTag, std::int32_t> user_to_deployment;
   std::int64_t served = 0;             ///< number of served users.
   double solve_seconds = 0.0;          ///< wall-clock of the solver.
 

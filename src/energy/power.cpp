@@ -44,10 +44,9 @@ EnduranceReport endurance_report(const Solution& solution,
   report.network_lifetime_s = std::numeric_limits<double>::infinity();
   for (std::size_t d = 0; d < solution.deployments.size(); ++d) {
     const UavId k = solution.deployments[d].uav;
-    UAVCOV_CHECK_MSG(
-        k >= 0 && static_cast<std::size_t>(k) < airframes.size(),
-        "no airframe description for a deployed UAV");
-    const double t = endurance_s(airframes[static_cast<std::size_t>(k)]);
+    UAVCOV_CHECK_MSG(k.valid() && k.index() < airframes.size(),
+                     "no airframe description for a deployed UAV");
+    const double t = endurance_s(airframes[k.index()]);
     report.per_uav_endurance_s.push_back(t);
     if (t < report.network_lifetime_s) {
       report.network_lifetime_s = t;

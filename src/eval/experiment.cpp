@@ -23,7 +23,7 @@ std::vector<AlgoResult> run_all_on(const Scenario& scenario,
                                    const RunConfig& config,
                                    ApproAlgStats* appro_stats) {
   std::vector<AlgoResult> results;
-  auto record = [&](const Solution& solution) {
+  const auto record = [&](const Solution& solution) {
     if (config.validate) validate_solution(scenario, coverage, solution);
     results.push_back({solution.algorithm, solution.served,
                        solution.solve_seconds, solution.fingerprint()});

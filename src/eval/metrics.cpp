@@ -41,10 +41,7 @@ SolutionMetrics compute_metrics(const Scenario& scenario,
   std::int64_t deployed_capacity = 0;
   std::vector<double> load_ratio;
   for (std::size_t d = 0; d < solution.deployments.size(); ++d) {
-    const auto cap = scenario
-                         .fleet[static_cast<std::size_t>(
-                             solution.deployments[d].uav)]
-                         .capacity;
+    const auto cap = scenario.fleet[solution.deployments[d].uav].capacity;
     deployed_capacity += cap;
     load_ratio.push_back(static_cast<double>(load[d]) /
                          static_cast<double>(cap));
@@ -61,17 +58,15 @@ SolutionMetrics compute_metrics(const Scenario& scenario,
   double rate_sum = 0.0;
   double rate_min = std::numeric_limits<double>::infinity();
   std::int64_t served_count = 0;
-  for (UserId u = 0; u < scenario.user_count(); ++u) {
-    const std::int32_t d =
-        solution.user_to_deployment[static_cast<std::size_t>(u)];
+  for (const UserId u : scenario.user_ids()) {
+    const std::int32_t d = solution.user_to_deployment[u];
     if (d < 0) continue;
     const Deployment& dep =
         solution.deployments[static_cast<std::size_t>(d)];
-    const UavSpec& spec = scenario.fleet[static_cast<std::size_t>(dep.uav)];
+    const UavSpec& spec = scenario.fleet[dep.uav];
     const double rate = a2g_rate_bps(
         scenario.channel, spec.radio, scenario.receiver,
-        distance(scenario.users[static_cast<std::size_t>(u)].pos,
-                 scenario.grid.center(dep.loc)),
+        distance(scenario.users[u].pos, scenario.grid.center(dep.loc)),
         scenario.altitude_m);
     rate_sum += rate;
     rate_min = std::min(rate_min, rate);

@@ -24,7 +24,7 @@ DinicFlow::EdgeId DinicFlow::add_edge(FlowNode u, FlowNode v,
   UAVCOV_CHECK_MSG(u >= 0 && u < node_count() && v >= 0 && v < node_count(),
                    "flow edge endpoint out of range");
   UAVCOV_CHECK_MSG(cap >= 0, "flow capacity must be nonnegative");
-  auto push_half = [this](FlowNode from, FlowNode to, std::int64_t c) {
+  const auto push_half = [this](FlowNode from, FlowNode to, std::int64_t c) {
     const EdgeId e = static_cast<EdgeId>(to_.size());
     to_.push_back(to);
     cap_.push_back(c);

@@ -45,7 +45,7 @@ std::vector<Deployment> decode_deployments(ByteReader& r,
     while (loc_used[static_cast<std::size_t>(loc)]) loc = (loc + 1) % m;
     uav_used[static_cast<std::size_t>(k)] = true;
     loc_used[static_cast<std::size_t>(loc)] = true;
-    deployments.push_back({k, loc});
+    deployments.push_back({UavId{k}, LocationId{loc}});
   }
   return deployments;
 }
@@ -70,8 +70,7 @@ void check_assignment_feasible(const Scenario& scenario,
     require(d >= 0 && static_cast<std::size_t>(d) < deployments.size(),
             label + ": assignment references unknown deployment");
     const Deployment& dep = deployments[static_cast<std::size_t>(d)];
-    require(coverage.is_eligible(scenario, static_cast<UserId>(u), dep.loc,
-                                 dep.uav),
+    require(coverage.is_eligible(scenario, UserId{u}, dep.loc, dep.uav),
             label + ": served user " + std::to_string(u) +
                 " ineligible under its UAV");
     ++load[static_cast<std::size_t>(d)];
@@ -79,7 +78,7 @@ void check_assignment_feasible(const Scenario& scenario,
   }
   for (std::size_t d = 0; d < deployments.size(); ++d) {
     const auto cap =
-        scenario.fleet[static_cast<std::size_t>(deployments[d].uav)].capacity;
+        scenario.fleet[deployments[d].uav].capacity;
     require(load[d] <= cap, label + ": deployment " + std::to_string(d) +
                                 " over capacity");
   }
@@ -130,7 +129,7 @@ void run_assignment_harness(const std::uint8_t* data, std::size_t size) {
           "max-flow served " + std::to_string(flow_result.served) +
               " != oracle optimum " + std::to_string(oracle.served));
   check_assignment_feasible(scenario, coverage, deployments,
-                            flow_result.user_to_deployment,
+                            flow_result.user_to_deployment.raw(),
                             flow_result.served, "max-flow");
   check_assignment_feasible(scenario, coverage, deployments,
                             oracle.user_to_deployment, oracle.served,
@@ -388,7 +387,7 @@ void run_repair_harness(const std::uint8_t* data, std::size_t size) {
       // UAVs and shrank ranges, so this must hold for every repair.
       validate_solution(scenario, coverage, current);
       for (const Deployment& d : current.deployments) {
-        require(d.uav >= 0 && d.uav < K,
+        require(d.uav.valid() && d.uav.value() < K,
                 "repaired deployment references an unknown UAV");
       }
     } else {

@@ -118,12 +118,10 @@ MatchingInstance make_matching_instance(
   instance.eligible.assign(static_cast<std::size_t>(instance.user_count), {});
   for (std::size_t d = 0; d < deployments.size(); ++d) {
     const Deployment& dep = deployments[d];
-    instance.capacity.push_back(
-        scenario.fleet[static_cast<std::size_t>(dep.uav)].capacity);
+    instance.capacity.push_back(scenario.fleet[dep.uav].capacity);
     const std::int32_t cls = coverage.radio_class_of(dep.uav);
     for (const UserId u : coverage.eligible_users(dep.loc, cls)) {
-      instance.eligible[static_cast<std::size_t>(u)].push_back(
-          static_cast<std::int32_t>(d));
+      instance.eligible[u.index()].push_back(static_cast<std::int32_t>(d));
     }
   }
   return instance;

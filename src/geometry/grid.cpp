@@ -50,7 +50,7 @@ LocationId Grid::locate(Vec2 p) const {
   if (p.x < 0 || p.y < 0 || p.x > width_ || p.y > height_) {
     return kInvalidLocation;
   }
-  auto clamp_index = [](double v, double side, std::int32_t count) {
+  const auto clamp_index = [](double v, double side, std::int32_t count) {
     const auto idx = static_cast<std::int32_t>(v / side);
     return std::min(idx, count - 1);  // points exactly on the far edge
   };
@@ -63,11 +63,11 @@ std::vector<LocationId> Grid::centers_within(Vec2 p, double radius) const {
   UAVCOV_CHECK_MSG(radius >= 0, "radius must be nonnegative");
   std::vector<LocationId> out;
   // Centers are at (col + 0.5) * side: solve for the column index range.
-  auto lo_index = [this](double v) {
+  const auto lo_index = [this](double v) {
     return std::max<std::int32_t>(
         0, static_cast<std::int32_t>(std::ceil(v / cell_side_ - 0.5)));
   };
-  auto hi_index = [this](double v, std::int32_t count) {
+  const auto hi_index = [this](double v, std::int32_t count) {
     return std::min<std::int32_t>(
         count - 1, static_cast<std::int32_t>(std::floor(v / cell_side_ - 0.5)));
   };
@@ -88,7 +88,7 @@ std::vector<LocationId> Grid::centers_within(Vec2 p, double radius) const {
 std::vector<Vec2> Grid::all_centers() const {
   std::vector<Vec2> centers;
   centers.reserve(static_cast<std::size_t>(size()));
-  for (LocationId id = 0; id < size(); ++id) centers.push_back(center(id));
+  for (const LocationId id : cells()) centers.push_back(center(id));
   return centers;
 }
 

@@ -8,13 +8,16 @@
 #include <vector>
 
 #include "common/check.hpp"
+#include "common/typed.hpp"
 #include "geometry/vec.hpp"
 
 namespace uavcov {
 
-/// Index of a candidate hovering location (grid cell).
-using LocationId = std::int32_t;
-inline constexpr LocationId kInvalidLocation = -1;
+/// Index of a candidate hovering location (grid cell).  CellId is the
+/// strongly-typed id (common/typed.hpp); LocationId remains as the
+/// paper-facing name used throughout the solver.
+using LocationId = CellId;
+inline constexpr LocationId kInvalidLocation = LocationId::invalid();
 
 class Grid {
  public:
@@ -34,20 +37,23 @@ class Grid {
   /// Number of candidate hovering locations m.
   std::int32_t size() const { return cols_ * rows_; }
 
+  /// All cell ids [0, size()), for typed iteration.
+  IdRange<CellId> cells() const { return IdRange<CellId>{size()}; }
+
   /// Center of cell `id` (column-major-free: id = row * cols + col).
   Vec2 center(LocationId id) const {
-    UAVCOV_DCHECK(id >= 0 && id < size());
-    const std::int32_t row = id / cols_;
-    const std::int32_t col = id % cols_;
+    UAVCOV_DCHECK(id.valid() && id.value() < size());
+    const std::int32_t row = id.value() / cols_;
+    const std::int32_t col = id.value() % cols_;
     return {(col + 0.5) * cell_side_, (row + 0.5) * cell_side_};
   }
 
-  std::int32_t row_of(LocationId id) const { return id / cols_; }
-  std::int32_t col_of(LocationId id) const { return id % cols_; }
+  std::int32_t row_of(LocationId id) const { return id.value() / cols_; }
+  std::int32_t col_of(LocationId id) const { return id.value() % cols_; }
 
   LocationId id_of(std::int32_t row, std::int32_t col) const {
     UAVCOV_DCHECK(row >= 0 && row < rows_ && col >= 0 && col < cols_);
-    return row * cols_ + col;
+    return LocationId{row * cols_ + col};
   }
 
   /// Cell containing point `p`, or kInvalidLocation if outside the area.

@@ -72,7 +72,7 @@ bool is_articulation_point_brute_force(const Graph& g, NodeId v) {
   const NodeId n = g.node_count();
   // Components among the surviving nodes after deleting `removed`
   // (pass -1 to delete nothing).
-  auto components_without = [&g, n](NodeId removed) {
+  const auto components_without = [&g, n](NodeId removed) {
     Dsu dsu(n);
     for (NodeId u = 0; u < n; ++u) {
       if (u == removed) continue;

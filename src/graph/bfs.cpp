@@ -10,7 +10,7 @@ BfsTree bfs_impl(const Graph& g, std::span<const NodeId> sources) {
   const auto n = static_cast<std::size_t>(g.node_count());
   BfsTree tree;
   tree.distance.assign(n, kUnreachable);
-  tree.parent.assign(n, kInvalidLocation);
+  tree.parent.assign(n, kNoParent);
   std::deque<NodeId> queue;
   for (NodeId s : sources) {
     UAVCOV_CHECK_MSG(s >= 0 && s < g.node_count(), "BFS source out of range");
@@ -54,7 +54,7 @@ std::vector<NodeId> shortest_hop_path(const Graph& g, NodeId from, NodeId to) {
   const BfsTree tree = bfs_impl(g, sources);
   if (tree.distance[static_cast<std::size_t>(to)] == kUnreachable) return {};
   std::vector<NodeId> path;
-  for (NodeId v = to; v != kInvalidLocation;
+  for (NodeId v = to; v != kNoParent;
        v = tree.parent[static_cast<std::size_t>(v)]) {
     path.push_back(v);
   }

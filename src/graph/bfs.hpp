@@ -18,6 +18,10 @@ namespace uavcov {
 inline constexpr std::int32_t kUnreachable =
     std::numeric_limits<std::int32_t>::max();
 
+/// Sentinel for "no parent" in BFS parent vectors (sources and
+/// unreachable nodes).
+inline constexpr NodeId kNoParent = -1;
+
 /// Hop distances from `source` to every node (kUnreachable if disconnected).
 std::vector<std::int32_t> bfs_distances(const Graph& g, NodeId source);
 
@@ -27,8 +31,8 @@ std::vector<std::int32_t> bfs_distances(const Graph& g,
                                         std::span<const NodeId> sources);
 
 /// Like multi-source bfs_distances, but also returns for each node its
-/// parent on a shortest path toward the nearest source (kInvalidLocation
-/// for sources/unreachable nodes).
+/// parent on a shortest path toward the nearest source (kNoParent for
+/// sources/unreachable nodes).
 struct BfsTree {
   std::vector<std::int32_t> distance;
   std::vector<NodeId> parent;

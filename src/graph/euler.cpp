@@ -65,7 +65,7 @@ std::vector<NodeId> tree_double_euler_path(
   // Duplicate every edge except the first: (K-1) + (K-2) = 2K-3 edges.
   std::vector<std::pair<NodeId, NodeId>> multi = tree_edges;
   multi.insert(multi.end(), tree_edges.begin() + 1, tree_edges.end());
-  auto path = euler_path(node_count, multi);
+  const auto path = euler_path(node_count, multi);
   UAVCOV_CHECK_MSG(path.has_value(),
                    "doubled tree must admit an Eulerian path");
   UAVCOV_CHECK_MSG(

@@ -37,7 +37,7 @@ Graph Graph::from_edges(NodeId node_count,
 }
 
 bool Graph::has_edge(NodeId u, NodeId v) const {
-  auto nb = neighbors(u);
+  const auto nb = neighbors(u);
   return std::binary_search(nb.begin(), nb.end(), v);
 }
 
@@ -49,10 +49,11 @@ Graph build_location_graph_impl(const Grid& grid, double range,
   const NodeId m = grid.size();
   for (NodeId u = 0; u < m; ++u) {
     if (active && !(*active)[static_cast<std::size_t>(u)]) continue;
-    for (LocationId v : grid.centers_within(grid.center(u), range)) {
-      if (v <= u) continue;  // emit each undirected edge once
-      if (active && !(*active)[static_cast<std::size_t>(v)]) continue;
-      edges.emplace_back(u, v);
+    for (const LocationId v :
+         grid.centers_within(grid.center(to_cell(u)), range)) {
+      if (to_node(v) <= u) continue;  // emit each undirected edge once
+      if (active && !(*active)[v.index()]) continue;
+      edges.emplace_back(u, to_node(v));
     }
   }
   return Graph::from_edges(m, edges);

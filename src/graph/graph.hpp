@@ -12,8 +12,16 @@
 
 namespace uavcov {
 
-/// Node index type shared across graph algorithms.
+/// Node index type shared across graph algorithms.  Deliberately an
+/// untyped int32: graph/ is generic infrastructure reused over several
+/// node universes (grid cells, deployment indices, test graphs), so the
+/// strong typing lives at the boundary — `to_node`/`to_cell` below convert
+/// explicitly for the hovering-location graph, where node i *is* cell i.
 using NodeId = std::int32_t;
+
+/// Location-graph boundary: CellId <-> NodeId (identity mapping).
+inline NodeId to_node(CellId cell) { return cell.value(); }
+inline CellId to_cell(NodeId node) { return CellId{node}; }
 
 /// Immutable undirected graph in CSR (compressed sparse row) layout.
 class Graph {

@@ -179,12 +179,12 @@ void save_solution(std::ostream& out, const Solution& solution) {
   out << "served " << solution.served << '\n';
   out << "solve_seconds " << solution.solve_seconds << '\n';
   for (const Deployment& d : solution.deployments) {
-    out << "deployment " << d.uav << ' ' << d.loc << '\n';
+    out << "deployment " << d.uav.value() << ' ' << d.loc.value() << '\n';
   }
-  for (std::size_t u = 0; u < solution.user_to_deployment.size(); ++u) {
+  for (const UserId u : solution.user_to_deployment.ids()) {
     if (solution.user_to_deployment[u] != -1) {
-      out << "assignment " << u << ' ' << solution.user_to_deployment[u]
-          << '\n';
+      out << "assignment " << u.value() << ' '
+          << solution.user_to_deployment[u] << '\n';
     }
   }
 }
@@ -207,10 +207,12 @@ Solution load_solution(std::istream& in, std::int32_t user_count) {
       solution.solve_seconds = read_arg<double>(r, "seconds");
     } else if (r.key == "deployment") {
       Deployment d;
-      d.uav = read_arg<UavId>(r, "uav");
-      d.loc = read_arg<LocationId>(r, "location");
-      UAVCOV_CHECK_MSG(d.uav >= 0, "deployment UAV id must be nonnegative");
-      UAVCOV_CHECK_MSG(d.loc >= 0, "deployment location must be nonnegative");
+      d.uav = UavId{read_arg<std::int32_t>(r, "uav")};
+      d.loc = LocationId{read_arg<std::int32_t>(r, "location")};
+      UAVCOV_CHECK_MSG(d.uav.valid(),
+                       "deployment UAV id must be nonnegative");
+      UAVCOV_CHECK_MSG(d.loc.valid(),
+                       "deployment location must be nonnegative");
       solution.deployments.push_back(d);
     } else if (r.key == "assignment") {
       const auto user = read_arg<std::int32_t>(r, "user");
@@ -218,10 +220,10 @@ Solution load_solution(std::istream& in, std::int32_t user_count) {
       UAVCOV_CHECK_MSG(user >= 0 && user < user_count,
                        "assignment user out of range");
       UAVCOV_CHECK_MSG(dep >= 0, "assignment deployment must be nonnegative");
-      UAVCOV_CHECK_MSG(
-          solution.user_to_deployment[static_cast<std::size_t>(user)] == -1,
-          "duplicate assignment for user " + std::to_string(user));
-      solution.user_to_deployment[static_cast<std::size_t>(user)] = dep;
+      UAVCOV_CHECK_MSG(solution.user_to_deployment[UserId{user}] == -1,
+                       "duplicate assignment for user " +
+                           std::to_string(user));
+      solution.user_to_deployment[UserId{user}] = dep;
     } else {
       UAVCOV_CHECK_MSG(false, "unknown solution record: " + r.key);
     }
@@ -233,10 +235,10 @@ Solution load_solution(std::istream& in, std::int32_t user_count) {
   // loaded "successfully" and blew up whoever consumed it).
   const auto deployment_count =
       static_cast<std::int32_t>(solution.deployments.size());
-  for (std::size_t u = 0; u < solution.user_to_deployment.size(); ++u) {
+  for (const UserId u : solution.user_to_deployment.ids()) {
     const std::int32_t dep = solution.user_to_deployment[u];
     UAVCOV_CHECK_MSG(dep == -1 || dep < deployment_count,
-                     "assignment for user " + std::to_string(u) +
+                     "assignment for user " + std::to_string(u.value()) +
                          " references nonexistent deployment " +
                          std::to_string(dep));
   }

@@ -34,7 +34,7 @@ struct Packet {
 };
 
 struct Flow {
-  UserId user = -1;
+  UserId user = UserId::invalid();
   std::int32_t deployment = -1;
   double link_rate_bps = 0.0;
   double arrival_credit = 0.0;   ///< fractional packets accumulated.
@@ -99,19 +99,17 @@ ServiceSimResult simulate_service(const Scenario& scenario,
   // Build flows (one per served user) and per-UAV state.
   std::vector<Flow> flows;
   std::vector<UavState> uavs(solution.deployments.size());
-  for (UserId u = 0; u < scenario.user_count(); ++u) {
-    const std::int32_t d =
-        solution.user_to_deployment[static_cast<std::size_t>(u)];
+  for (const UserId u : scenario.user_ids()) {
+    const std::int32_t d = solution.user_to_deployment[u];
     if (d < 0) continue;
     const Deployment& dep = solution.deployments[static_cast<std::size_t>(d)];
-    const UavSpec& spec = scenario.fleet[static_cast<std::size_t>(dep.uav)];
+    const UavSpec& spec = scenario.fleet[dep.uav];
     Flow flow;
     flow.user = u;
     flow.deployment = d;
     flow.link_rate_bps = a2g_rate_bps(
         scenario.channel, spec.radio, scenario.receiver,
-        distance(scenario.users[static_cast<std::size_t>(u)].pos,
-                 scenario.grid.center(dep.loc)),
+        distance(scenario.users[u].pos, scenario.grid.center(dep.loc)),
         scenario.altitude_m);
     UAVCOV_CHECK_MSG(flow.link_rate_bps > 0, "served user with zero rate");
     uavs[static_cast<std::size_t>(d)].flows.push_back(

@@ -41,7 +41,7 @@ struct ServiceSimConfig {
 };
 
 struct UserServiceStats {
-  UserId user = -1;
+  UserId user = UserId::invalid();
   double mean_throughput_bps = 0.0;
   double mean_delay_s = 0.0;       ///< queueing + service delay per packet.
   std::int64_t packets_delivered = 0;

@@ -186,7 +186,7 @@ std::string to_json(const Snapshot& snapshot) {
 
 std::string to_csv(const Snapshot& snapshot) {
   std::string out = "kind,name,value,high_water,count,sum,min,max\n";
-  auto row = [&out](std::string_view kind, const std::string& name,
+  const auto row = [&out](std::string_view kind, const std::string& name,
                     std::int64_t value, std::int64_t high_water,
                     std::int64_t count, std::int64_t sum, std::int64_t min,
                     std::int64_t max) {

@@ -85,7 +85,8 @@ struct Registry::Shard {
 
 Registry& Registry::instance() {
   static Registry* global = [] {
-    auto* r = new Registry();  // immortal: instrumentation handles outlive
+    // lint:allow naked-new -- immortal registry: instrumentation handles outlive static dtors
+    auto* r = new Registry();
     r->set_enabled(metrics_env_enabled());
     return r;
   }();

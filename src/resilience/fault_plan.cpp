@@ -48,9 +48,9 @@ void FaultPlan::validate(const Scenario& scenario) const {
     }
     prev_time = e.time_s;
     if (removes_uav(e.kind)) {
-      if (e.uav < 0 || e.uav >= scenario.uav_count()) {
+      if (!e.uav.valid() || e.uav.value() >= scenario.uav_count()) {
         fail(i, std::string(to_string(e.kind)) + " targets UAV " +
-                    std::to_string(e.uav) + " outside the fleet [0, " +
+                    std::to_string(e.uav.value()) + " outside the fleet [0, " +
                     std::to_string(scenario.uav_count()) + ")");
       }
       if (e.range_scale != 1.0) {
@@ -58,8 +58,8 @@ void FaultPlan::validate(const Scenario& scenario) const {
                     " must keep range_scale = 1.0");
       }
     } else {  // kLinkDegrade
-      if (e.uav != -1) {
-        fail(i, "link_degrade is fleet-wide; uav must be -1");
+      if (e.uav.valid()) {
+        fail(i, "link_degrade is fleet-wide; uav must be invalid()");
       }
       if (!std::isfinite(e.range_scale) || e.range_scale <= 0.0 ||
           e.range_scale > 1.0) {
@@ -76,7 +76,7 @@ std::uint64_t FaultPlan::fingerprint() const {
   for (const FaultEvent& e : events) {
     h.mix(e.time_s);
     h.mix(static_cast<std::int32_t>(e.kind));
-    h.mix(e.uav);
+    h.mix(e.uav.value());
     h.mix(e.range_scale);
   }
   return h.digest();
@@ -107,7 +107,7 @@ FaultPlan make_fault_plan(const Scenario& scenario,
   // free to exhaust it).
   std::vector<UavId> pool(static_cast<std::size_t>(scenario.uav_count()));
   for (std::size_t k = 0; k < pool.size(); ++k) {
-    pool[k] = static_cast<UavId>(k);
+    pool[k] = UavId{k};
   }
   rng.shuffle(pool);
   const std::size_t max_losses =

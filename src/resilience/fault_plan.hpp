@@ -38,8 +38,8 @@ struct FaultEvent {
   double time_s = 0.0;             ///< nondecreasing within a plan.
   FaultKind kind = FaultKind::kCrash;
   /// Target UAV (original fleet id) for kCrash / kBatteryDrain /
-  /// kGatewayLoss; must be -1 for kLinkDegrade (fleet-wide).
-  UavId uav = -1;
+  /// kGatewayLoss; must be UavId::invalid() for kLinkDegrade (fleet-wide).
+  UavId uav = UavId::invalid();
   /// kLinkDegrade only: multiplier in (0, 1] applied to the current
   /// UAV-to-UAV range.  Ignored (must be 1.0) for other kinds.
   double range_scale = 1.0;

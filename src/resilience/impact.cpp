@@ -72,11 +72,11 @@ ImpactReport analyze_impact(const Scenario& scenario,
     if (e.kind == FaultKind::kLinkDegrade) {
       range_scale *= e.range_scale;
     } else {
-      alive[static_cast<std::size_t>(e.uav)] = false;
+      alive[e.uav.index()] = false;
     }
     if (range_scale != built_scale) {
       degraded.uav_range_m = scenario.uav_range_m * range_scale;
-      for (std::size_t k = 0; k < degraded.fleet.size(); ++k) {
+      for (const UavId k : degraded.fleet.ids()) {
         degraded.fleet[k].user_range_m = std::min(
             scenario.fleet[k].user_range_m, degraded.uav_range_m);
       }
@@ -88,8 +88,7 @@ ImpactReport analyze_impact(const Scenario& scenario,
     impact.event = e;
     std::vector<std::int32_t> survivors;  // indices into deps
     for (std::int32_t i = 0; i < n; ++i) {
-      if (alive[static_cast<std::size_t>(
-              deps[static_cast<std::size_t>(i)].uav)]) {
+      if (alive[deps[static_cast<std::size_t>(i)].uav.index()]) {
         survivors.push_back(i);
       }
     }

@@ -42,7 +42,7 @@ struct ImpactReport {
 
 /// Pure analysis: `solution` is never modified and no repair is attempted.
 /// The plan must validate against `scenario`.
-ImpactReport analyze_impact(const Scenario& scenario,
+[[nodiscard]] ImpactReport analyze_impact(const Scenario& scenario,
                             const Solution& solution, const FaultPlan& plan);
 
 }  // namespace uavcov::resilience

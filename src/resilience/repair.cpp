@@ -97,14 +97,15 @@ void RepairController::rebuild_degraded() {
   degraded_.uav_range_m = scenario_.uav_range_m * range_scale_;
   degraded_.fleet.clear();
   to_original_.clear();
-  from_original_.assign(static_cast<std::size_t>(scenario_.uav_count()), -1);
-  for (std::size_t k = 0; k < alive_.size(); ++k) {
+  from_original_.assign(static_cast<std::size_t>(scenario_.uav_count()),
+                        UavId::invalid());
+  for (const UavId k : scenario_.uav_ids()) {
     if (!alive_[k]) continue;
     UavSpec spec = scenario_.fleet[k];
     // Keep R_user^k <= R_uav (§II-B) under the scaled mesh range.
     spec.user_range_m = std::min(spec.user_range_m, degraded_.uav_range_m);
-    from_original_[k] = static_cast<std::int32_t>(degraded_.fleet.size());
-    to_original_.push_back(static_cast<UavId>(k));
+    from_original_[k] = UavId{degraded_.fleet.size()};
+    to_original_.push_back(k);
     degraded_.fleet.push_back(spec);
   }
   if (degraded_.fleet.empty()) {
@@ -132,7 +133,7 @@ void RepairController::audit_emitted(const Solution& degraded_solution,
 
 void RepairController::store(Solution degraded_solution) {
   for (Deployment& d : degraded_solution.deployments) {
-    d.uav = to_original_[static_cast<std::size_t>(d.uav)];
+    d.uav = to_original_[d.uav];
   }
   solution_ = std::move(degraded_solution);
 }
@@ -167,10 +168,15 @@ bool RepairController::repair_locally(Solution& solution,
   // to the component-drop path below.
   bool connected = false;
   for (std::int32_t iter = 0; iter <= fleet; ++iter) {
-    std::vector<NodeId> locs;
+    std::vector<CellId> locs;
+    std::vector<NodeId> loc_nodes;
     locs.reserve(solution.deployments.size());
-    for (const Deployment& d : solution.deployments) locs.push_back(d.loc);
-    if (locs.size() <= 1 || is_induced_subgraph_connected(g, locs)) {
+    loc_nodes.reserve(solution.deployments.size());
+    for (const Deployment& d : solution.deployments) {
+      locs.push_back(d.loc);
+      loc_nodes.push_back(to_node(d.loc));
+    }
+    if (locs.size() <= 1 || is_induced_subgraph_connected(g, loc_nodes)) {
       connected = true;
       break;
     }
@@ -187,7 +193,7 @@ bool RepairController::repair_locally(Solution& solution,
     const AssignmentResult ar =
         solve_assignment(degraded_, *coverage_, solution.deployments);
     const std::vector<std::int64_t> loads =
-        loads_of(ar.user_to_deployment, solution.deployments.size());
+        loads_of(ar.user_to_deployment.raw(), solution.deployments.size());
     std::vector<std::int32_t> order(solution.deployments.size());
     for (std::size_t i = 0; i < order.size(); ++i) {
       order[i] = static_cast<std::int32_t>(i);
@@ -260,29 +266,29 @@ bool RepairController::repair_locally(Solution& solution,
       // capacity first (the solver's own deployment order).
       std::vector<bool> deployed(static_cast<std::size_t>(fleet), false);
       for (const Deployment& d : solution.deployments) {
-        deployed[static_cast<std::size_t>(d.uav)] = true;
+        deployed[d.uav.index()] = true;
       }
       IncrementalAssignment ia(degraded_, *coverage_);
       std::vector<bool> occupied(
           static_cast<std::size_t>(g.node_count()), false);
       for (const Deployment& d : solution.deployments) {
         ia.deploy(d.uav, d.loc);
-        occupied[static_cast<std::size_t>(d.loc)] = true;
+        occupied[d.loc.index()] = true;
       }
-      for (UavId k : degraded_.uavs_by_capacity_desc()) {
-        if (deployed[static_cast<std::size_t>(k)]) continue;
+      for (const UavId k : degraded_.uavs_by_capacity_desc()) {
+        if (deployed[k.index()]) continue;
         std::vector<LocationId> frontier;
         std::vector<bool> seen(
             static_cast<std::size_t>(g.node_count()), false);
         for (const Deployment& d : ia.deployments()) {
-          for (NodeId nb : g.neighbors(d.loc)) {
-            if (occupied[static_cast<std::size_t>(nb)] ||
-                seen[static_cast<std::size_t>(nb)] ||
-                coverage_->max_coverage(nb) == 0) {
+          for (const NodeId nb : g.neighbors(to_node(d.loc))) {
+            const LocationId cell = to_cell(nb);
+            if (occupied[cell.index()] || seen[cell.index()] ||
+                coverage_->max_coverage(cell) == 0) {
               continue;
             }
-            seen[static_cast<std::size_t>(nb)] = true;
-            frontier.push_back(nb);
+            seen[cell.index()] = true;
+            frontier.push_back(cell);
           }
         }
         std::int64_t best_gain = 0;
@@ -294,9 +300,9 @@ bool RepairController::repair_locally(Solution& solution,
             best_cell = cell;
           }
         }
-        if (best_cell == kInvalidLocation) break;  // nothing gains
+        if (!best_cell.valid()) break;  // nothing gains
         ia.deploy(k, best_cell);
-        occupied[static_cast<std::size_t>(best_cell)] = true;
+        occupied[best_cell.index()] = true;
         ++outcome.retasked;
       }
       solution.deployments = ia.deployments();
@@ -330,12 +336,12 @@ RepairOutcome RepairController::on_fault(const FaultEvent& event) {
           "on_fault: link_degrade range_scale must be in (0, 1]");
     }
   } else {
-    if (event.uav < 0 || event.uav >= scenario_.uav_count()) {
+    if (!event.uav.valid() || event.uav.value() >= scenario_.uav_count()) {
       throw std::invalid_argument("on_fault: UAV " +
-                                  std::to_string(event.uav) +
+                                  std::to_string(event.uav.value()) +
                                   " outside the fleet");
     }
-    if (!alive_[static_cast<std::size_t>(event.uav)]) {
+    if (!alive_[event.uav]) {
       outcome.action = RepairAction::kNone;  // already down: no-op
       outcome.served_after = outcome.served_before;
       outcome.seconds = watch.elapsed_s();
@@ -347,7 +353,7 @@ RepairOutcome RepairController::on_fault(const FaultEvent& event) {
   if (event.kind == FaultKind::kLinkDegrade) {
     range_scale_ *= event.range_scale;
   } else {
-    alive_[static_cast<std::size_t>(event.uav)] = false;
+    alive_[event.uav] = false;
   }
   rebuild_degraded();
 
@@ -370,9 +376,8 @@ RepairOutcome RepairController::on_fault(const FaultEvent& event) {
   Solution work;
   work.algorithm = "repair.local";
   for (const Deployment& d : solution_.deployments) {
-    if (!alive_[static_cast<std::size_t>(d.uav)]) continue;
-    work.deployments.push_back(
-        {from_original_[static_cast<std::size_t>(d.uav)], d.loc});
+    if (!alive_[d.uav]) continue;
+    work.deployments.push_back({from_original_[d.uav], d.loc});
   }
 
   repair_locally(work, outcome);

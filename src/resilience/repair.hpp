@@ -131,10 +131,13 @@ class RepairController {
   RepairPolicy policy_;
   Scenario degraded_;                      ///< fleet filtered, ranges scaled.
   std::optional<CoverageModel> coverage_;  ///< over degraded_.
-  std::vector<bool> alive_;                ///< by original UAV id.
+  IdVector<UavTag, bool> alive_;           ///< by original UAV id.
   double range_scale_ = 1.0;
-  std::vector<UavId> to_original_;    ///< degraded id -> original id.
-  std::vector<std::int32_t> from_original_;  ///< original id -> degraded/-1.
+  /// Degraded instances renumber the surviving fleet densely; these two
+  /// maps translate between the spaces.  Both sides are UavIds of
+  /// *different* scenarios, so the maps are the only sanctioned crossing.
+  IdVector<UavTag, UavId> to_original_;    ///< degraded id -> original id.
+  IdVector<UavTag, UavId> from_original_;  ///< original -> degraded/invalid.
   Solution solution_;                 ///< original-id terms (public view).
   std::int64_t served_at_last_solve_ = -1;
   std::int32_t local_repairs_ = 0;

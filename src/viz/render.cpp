@@ -35,7 +35,7 @@ std::string render_deployment(const Scenario& scenario,
     for (const Deployment& d : solution.deployments) {
       const Vec2 c = scenario.grid.center(d.loc);
       const double radius =
-          scenario.fleet[static_cast<std::size_t>(d.uav)].user_range_m;
+          scenario.fleet[d.uav].user_range_m;
       canvas.circle(c.x, c.y, radius, "#7ca5d8", 0.12);
     }
   }
@@ -54,12 +54,11 @@ std::string render_deployment(const Scenario& scenario,
   }
 
   // Users.
-  for (UserId u = 0; u < scenario.user_count(); ++u) {
-    const Vec2 p = scenario.users[static_cast<std::size_t>(u)].pos;
-    const std::int32_t dep =
-        solution.user_to_deployment.empty()
-            ? -1
-            : solution.user_to_deployment[static_cast<std::size_t>(u)];
+  for (const UserId u : scenario.user_ids()) {
+    const Vec2 p = scenario.users[u].pos;
+    const std::int32_t dep = solution.user_to_deployment.empty()
+                                 ? -1
+                                 : solution.user_to_deployment[u];
     canvas.circle(p.x, p.y, 8.0, dep >= 0 ? "#3f9b57" : "#c2504a", 0.85);
     if (options.draw_associations && dep >= 0) {
       const Vec2 c = scenario.grid.center(
@@ -75,13 +74,13 @@ std::string render_deployment(const Scenario& scenario,
   }
   for (const Deployment& d : solution.deployments) {
     const Vec2 c = scenario.grid.center(d.loc);
-    const double cap =
-        scenario.fleet[static_cast<std::size_t>(d.uav)].capacity;
+    const double cap = scenario.fleet[d.uav].capacity;
     const double radius =
         25.0 + 45.0 * std::sqrt(cap / static_cast<double>(cap_max));
     canvas.circle(c.x, c.y, radius, "#2b3a6b", 0.95, "#ffffff", 1.5);
     if (options.draw_labels) {
-      canvas.text(c.x, c.y, std::to_string(d.uav), 11.0, "#ffffff");
+      canvas.text(c.x, c.y, std::to_string(d.uav.value()), 11.0,
+                  "#ffffff");
     }
   }
   return canvas.str();

@@ -24,8 +24,8 @@ Vec2 MobilityModel::pick_waypoint(const Scenario& scenario) {
   Vec2 anchor{rng_.uniform(0, scenario.grid.width()),
               rng_.uniform(0, scenario.grid.height())};
   if (!scenario.users.empty() && rng_.chance(config_.waypoint_bias)) {
-    const auto idx = static_cast<std::size_t>(
-        rng_.next_below(scenario.users.size()));
+    const auto idx =
+        UserId{rng_.next_below(scenario.users.size())};
     anchor = scenario.users[idx].pos;
   }
   const Vec2 p{anchor.x + rng_.normal(0.0, config_.waypoint_sigma_m),
@@ -39,14 +39,14 @@ void MobilityModel::step(Scenario& scenario, double dt_s) {
   UAVCOV_CHECK_MSG(waypoint_.size() == scenario.users.size(),
                    "mobility model bound to a different scenario");
   const double stride = config_.speed_m_s * dt_s;
-  for (std::size_t i = 0; i < scenario.users.size(); ++i) {
-    Vec2& pos = scenario.users[i].pos;
-    const Vec2 to_target = waypoint_[i] - pos;
+  for (const UserId u : scenario.users.ids()) {
+    Vec2& pos = scenario.users[u].pos;
+    const Vec2 to_target = waypoint_[u.index()] - pos;
     const double remaining = to_target.norm();
     if (remaining <= stride) {
       total_displacement_m_ += remaining;
-      pos = waypoint_[i];
-      waypoint_[i] = pick_waypoint(scenario);
+      pos = waypoint_[u.index()];
+      waypoint_[u.index()] = pick_waypoint(scenario);
       continue;
     }
     pos = pos + to_target * (stride / remaining);

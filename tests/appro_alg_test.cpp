@@ -260,7 +260,7 @@ TEST(ApproAlg, CapacityAscendingIsFeasibleButUsuallyWorse) {
     // Strongly heterogeneous fleet: capacities 1 and 8.
     Scenario sc = random_scenario(rng, 5, 40, 6, /*cap_max=*/1);
     for (std::size_t k = 0; k < sc.fleet.size(); k += 2) {
-      sc.fleet[k].capacity = 8;
+      sc.fleet[UavId{k}].capacity = 8;
     }
     const CoverageModel cov(sc);
     ApproAlgParams desc;

@@ -46,7 +46,7 @@ TEST(Assignment, CapacityCapsServedUsers) {
   const Scenario sc = make_scenario(
       1, {{50, 50}, {60, 50}, {40, 50}, {50, 60}}, {2});
   const CoverageModel cov(sc);
-  const std::vector<Deployment> deps{{0, 0}};
+  const std::vector<Deployment> deps{{UavId{0}, LocationId{0}}};
   const auto result = solve_assignment(sc, cov, deps);
   EXPECT_EQ(result.served, 2);
   int assigned = 0;
@@ -61,7 +61,8 @@ TEST(Assignment, FlowBeatsGreedyOnOverlap) {
   const Scenario sc = make_scenario(
       2, {{50, 50}, {90, 50}, {110, 50}, {150, 50}}, {2, 2});
   const CoverageModel cov(sc);
-  const std::vector<Deployment> deps{{0, 0}, {1, 1}};
+  const std::vector<Deployment> deps{{UavId{0}, LocationId{0}},
+                                     {UavId{1}, LocationId{1}}};
   const auto result = solve_assignment(sc, cov, deps);
   EXPECT_EQ(result.served, 4);
 }
@@ -70,11 +71,12 @@ TEST(Assignment, RespectsEligibilityInMapping) {
   const Scenario sc =
       make_scenario(3, {{50, 50}, {250, 50}}, {3, 3});
   const CoverageModel cov(sc);
-  const std::vector<Deployment> deps{{0, 0}, {1, 2}};
+  const std::vector<Deployment> deps{{UavId{0}, LocationId{0}},
+                                     {UavId{1}, LocationId{2}}};
   const auto result = solve_assignment(sc, cov, deps);
   EXPECT_EQ(result.served, 2);
-  for (UserId u = 0; u < sc.user_count(); ++u) {
-    const auto d = result.user_to_deployment[static_cast<std::size_t>(u)];
+  for (const UserId u : sc.user_ids()) {
+    const auto d = result.user_to_deployment[u];
     ASSERT_NE(d, -1);
     EXPECT_TRUE(cov.is_eligible(sc, u, deps[static_cast<std::size_t>(d)].loc,
                                 deps[static_cast<std::size_t>(d)].uav));
@@ -100,8 +102,9 @@ TEST_P(AssignmentRandom, OptimalVsBruteForce) {
   const CoverageModel cov(sc);
 
   std::vector<Deployment> deps;
-  std::vector<LocationId> free_cells{0, 1, 2, 3};
-  for (UavId u = 0; u < k; ++u) {
+  std::vector<LocationId> free_cells{LocationId{0}, LocationId{1},
+                                     LocationId{2}, LocationId{3}};
+  for (const UavId u : IdRange<UavId>{k}) {
     const std::size_t pick =
         static_cast<std::size_t>(rng.next_below(free_cells.size()));
     deps.push_back({u, free_cells[pick]});
@@ -115,12 +118,12 @@ TEST_P(AssignmentRandom, OptimalVsBruteForce) {
       static_cast<std::size_t>(n));
   std::vector<std::int64_t> capacity;
   for (const Deployment& d : deps) {
-    capacity.push_back(sc.fleet[static_cast<std::size_t>(d.uav)].capacity);
+    capacity.push_back(sc.fleet[d.uav].capacity);
   }
-  for (UserId u = 0; u < n; ++u) {
+  for (const UserId u : IdRange<UserId>{n}) {
     for (std::size_t d = 0; d < deps.size(); ++d) {
       if (cov.is_eligible(sc, u, deps[d].loc, deps[d].uav)) {
-        eligible[static_cast<std::size_t>(u)].push_back(
+        eligible[u.index()].push_back(
             static_cast<std::int32_t>(d));
       }
     }
@@ -136,11 +139,11 @@ TEST(IncrementalAssignment, ProbeEqualsDeployGain) {
       3, {{50, 50}, {60, 40}, {150, 50}, {250, 50}, {240, 60}}, {2, 2, 2});
   const CoverageModel cov(sc);
   IncrementalAssignment ia(sc, cov);
-  for (UavId k = 0; k < 3; ++k) {
-    const LocationId loc = k;
+  for (const UavId k : IdRange<UavId>{3}) {
+    const LocationId loc{k.value()};
     const auto probed = ia.probe(k, loc);
     const auto deployed = ia.deploy(k, loc);
-    EXPECT_EQ(probed, deployed) << "UAV " << k;
+    EXPECT_EQ(probed, deployed) << "UAV " << k.value();
   }
   EXPECT_EQ(ia.served(), 5);
 }
@@ -150,14 +153,15 @@ TEST(IncrementalAssignment, ProbeLeavesStateUntouched) {
       make_scenario(2, {{50, 50}, {150, 50}}, {1, 1});
   const CoverageModel cov(sc);
   IncrementalAssignment ia(sc, cov);
-  ia.deploy(0, 0);
+  ia.deploy(UavId{0}, LocationId{0});
   const auto served_before = ia.served();
-  for (int i = 0; i < 5; ++i) ia.probe(1, 1);
+  for (int i = 0; i < 5; ++i) ia.probe(UavId{1}, LocationId{1});
   EXPECT_EQ(ia.served(), served_before);
   EXPECT_EQ(ia.deployments().size(), 1u);
   // Deploy after many probes must still work and match a fresh solve.
-  ia.deploy(1, 1);
-  const std::vector<Deployment> deps{{0, 0}, {1, 1}};
+  ia.deploy(UavId{1}, LocationId{1});
+  const std::vector<Deployment> deps{{UavId{0}, LocationId{0}},
+                                     {UavId{1}, LocationId{1}}};
   EXPECT_EQ(ia.served(), solve_assignment(sc, cov, deps).served);
 }
 
@@ -173,12 +177,13 @@ TEST(IncrementalAssignment, MatchesOneShotSolveOnRandomSequences) {
     const CoverageModel cov(sc);
     IncrementalAssignment ia(sc, cov);
     std::vector<Deployment> deps;
-    std::vector<LocationId> cells{0, 1, 2, 3, 4};
+    std::vector<LocationId> cells{LocationId{0}, LocationId{1}, LocationId{2},
+                                  LocationId{3}, LocationId{4}};
     rng.shuffle(cells);
-    for (UavId k = 0; k < 4; ++k) {
-      ia.probe(k, cells[static_cast<std::size_t>(k)]);  // interleaved noise
-      ia.deploy(k, cells[static_cast<std::size_t>(k)]);
-      deps.push_back({k, cells[static_cast<std::size_t>(k)]});
+    for (const UavId k : IdRange<UavId>{4}) {
+      ia.probe(k, cells[k.index()]);  // interleaved noise
+      ia.deploy(k, cells[k.index()]);
+      deps.push_back({k, cells[k.index()]});
       EXPECT_EQ(ia.served(), solve_assignment(sc, cov, deps).served);
     }
   }
@@ -190,15 +195,15 @@ TEST(IncrementalAssignment, ScopesResetEverything) {
   const CoverageModel cov(sc);
   IncrementalAssignment ia(sc, cov);
   const auto scope = ia.begin_scope();
-  ia.deploy(0, 0);
-  ia.deploy(1, 1);
+  ia.deploy(UavId{0}, LocationId{0});
+  ia.deploy(UavId{1}, LocationId{1});
   EXPECT_EQ(ia.served(), 2);
   ia.end_scope(scope);
   EXPECT_EQ(ia.served(), 0);
   EXPECT_TRUE(ia.deployments().empty());
   // Reusable after reset.
   const auto scope2 = ia.begin_scope();
-  EXPECT_EQ(ia.deploy(1, 0), 1);
+  EXPECT_EQ(ia.deploy(UavId{1}, LocationId{0}), 1);
   ia.end_scope(scope2);
   EXPECT_EQ(ia.served(), 0);
 }
@@ -209,9 +214,9 @@ TEST(IncrementalAssignment, NestedScopes) {
   const CoverageModel cov(sc);
   IncrementalAssignment ia(sc, cov);
   const auto outer = ia.begin_scope();
-  ia.deploy(0, 0);
+  ia.deploy(UavId{0}, LocationId{0});
   const auto inner = ia.begin_scope();
-  ia.deploy(1, 1);
+  ia.deploy(UavId{1}, LocationId{1});
   EXPECT_EQ(ia.served(), 2);
   ia.end_scope(inner);
   EXPECT_EQ(ia.served(), 1);

@@ -80,7 +80,9 @@ TEST(Audit, FeasiblePipelinePassesAllFourAuditors) {
   std::vector<LocationId> chosen;
   for (const Deployment& d : sol.deployments) chosen.push_back(d.loc);
   if (!chosen.empty()) seeds.push_back(chosen.front());
-  HopBudgetMatroid m2(bfs_distances(g, seeds), plan.quotas);
+  std::vector<NodeId> seed_nodes;
+  for (const LocationId v : seeds) seed_nodes.push_back(to_node(v));
+  HopBudgetMatroid m2(bfs_distances(g, seed_nodes), plan.quotas);
   // The deployed set may legitimately exceed M2 (relays are added outside
   // the matroid), so audit only the M1 side plus sampled axioms on an
   // independent set: the seed itself.
@@ -110,7 +112,7 @@ Scenario two_cell_scenario() {
 Solution feasible_two_cell_solution() {
   Solution sol;
   sol.algorithm = "handmade";
-  sol.deployments = {{0, 0}, {1, 1}};
+  sol.deployments = {{UavId{0}, LocationId{0}}, {UavId{1}, LocationId{1}}};
   sol.user_to_deployment = {0, 0, 1};
   sol.served = 3;
   return sol;
@@ -126,7 +128,7 @@ TEST(AuditSolution, FeasibleHandmadePasses) {
 
 TEST(AuditSolution, OverCapacityUavIsReported) {
   Scenario sc = two_cell_scenario();
-  sc.fleet[0].capacity = 1;  // deployment 0 now carries 2 > 1 users
+  sc.fleet[UavId{0}].capacity = 1;  // deployment 0 now carries 2 > 1 users
   const CoverageModel cov(sc);
   const AuditReport report =
       analysis::audit_solution(sc, cov, feasible_two_cell_solution());
@@ -149,7 +151,7 @@ TEST(AuditSolution, DisconnectedRelayIsReported) {
   const CoverageModel cov(sc);
   Solution sol;
   sol.algorithm = "handmade";
-  sol.deployments = {{0, 0}, {1, 5}};
+  sol.deployments = {{UavId{0}, LocationId{0}}, {UavId{1}, LocationId{5}}};
   sol.user_to_deployment = {0, 1};
   sol.served = 2;
   const AuditReport report = analysis::audit_solution(sc, cov, sol);
@@ -162,7 +164,7 @@ TEST(AuditSolution, DuplicateUavAssignmentIsReported) {
   const Scenario sc = two_cell_scenario();
   const CoverageModel cov(sc);
   Solution sol = feasible_two_cell_solution();
-  sol.deployments[1].uav = 0;  // UAV 0 now deployed on both cells
+  sol.deployments[1].uav = UavId{0};  // UAV 0 now deployed on both cells
   const AuditReport report = analysis::audit_solution(sc, cov, sol);
   EXPECT_FALSE(report.ok());
   EXPECT_TRUE(report.has(ViolationCode::kSolutionUavReused))
@@ -186,7 +188,7 @@ TEST(AuditSolution, SharedCellIsReported) {
   const Scenario sc = two_cell_scenario();
   const CoverageModel cov(sc);
   Solution sol = feasible_two_cell_solution();
-  sol.deployments[1].loc = 0;  // both UAVs on cell 0
+  sol.deployments[1].loc = LocationId{0};  // both UAVs on cell 0
   sol.user_to_deployment = {0, 0, -1};
   sol.served = 2;
   const AuditReport report = analysis::audit_solution(sc, cov, sol);
@@ -257,7 +259,7 @@ TEST(AuditMatroids, QuotaViolatingChosenSetIsReported) {
   const std::vector<std::int32_t> hops = {0, 1, 1, 2};
   const std::vector<std::int64_t> quotas = {4, 1, 1};
   HopBudgetMatroid m2(hops, quotas);
-  const std::vector<LocationId> chosen = {0, 1, 2};
+  const std::vector<LocationId> chosen = {LocationId{0}, LocationId{1}, LocationId{2}};
   const AuditReport report =
       analysis::audit_matroids(m2, chosen, {}, /*uav_count=*/4);
   EXPECT_FALSE(report.ok());
@@ -269,10 +271,10 @@ TEST(AuditMatroids, HopOverflowIsReported) {
   const std::vector<std::int32_t> hops = {0, 1, 5, kUnreachable};
   const std::vector<std::int64_t> quotas = {4, 2};
   HopBudgetMatroid m2(hops, quotas);
-  const std::vector<LocationId> far = {0, 2};
+  const std::vector<LocationId> far = {LocationId{0}, LocationId{2}};
   EXPECT_TRUE(analysis::audit_matroids(m2, far, {}, 4)
                   .has(ViolationCode::kMatroidHopOverflow));
-  const std::vector<LocationId> unreachable = {0, 3};
+  const std::vector<LocationId> unreachable = {LocationId{0}, LocationId{3}};
   EXPECT_TRUE(analysis::audit_matroids(m2, unreachable, {}, 4)
                   .has(ViolationCode::kMatroidHopOverflow));
 }
@@ -281,7 +283,7 @@ TEST(AuditMatroids, DuplicateUavDeploymentIsReported) {
   const std::vector<std::int32_t> hops = {0, 1};
   const std::vector<std::int64_t> quotas = {2, 1};
   HopBudgetMatroid m2(hops, quotas);
-  const std::vector<Deployment> deployments = {{1, 0}, {1, 1}};
+  const std::vector<Deployment> deployments = {{UavId{1}, LocationId{0}}, {UavId{1}, LocationId{1}}};
   const AuditReport report =
       analysis::audit_matroids(m2, {}, deployments, /*uav_count=*/3);
   EXPECT_FALSE(report.ok());
@@ -294,9 +296,12 @@ TEST(AuditMatroids, CleanGreedyStatePassesSampledAxioms) {
   const std::vector<std::int32_t> hops = {0, 1, 2, 1, 0};
   const std::vector<std::int64_t> quotas = {5, 3, 1};
   HopBudgetMatroid m2(hops, quotas);
-  const std::vector<LocationId> chosen = {0, 1, 2, 4};
+  const std::vector<LocationId> chosen = {LocationId{0}, LocationId{1}, LocationId{2}, LocationId{4}};
   ASSERT_TRUE(m2.is_independent(chosen));
-  const std::vector<Deployment> deployments = {{0, 0}, {1, 1}, {2, 2}, {3, 4}};
+  const std::vector<Deployment> deployments = {{UavId{0}, LocationId{0}},
+                                             {UavId{1}, LocationId{1}},
+                                             {UavId{2}, LocationId{2}},
+                                             {UavId{3}, LocationId{4}}};
   const AuditReport report = analysis::audit_matroids(
       m2, chosen, deployments, /*uav_count=*/4, /*sample_rounds=*/64);
   EXPECT_TRUE(report.ok()) << report.to_string();
@@ -351,7 +356,7 @@ TEST(AuditFlow, LiveIncrementalAssignmentAuditsCleanAcrossScopes) {
   const auto scope = ia.begin_scope();
   const auto candidates = cov.candidate_locations();
   ASSERT_FALSE(candidates.empty());
-  ia.deploy(0, candidates.front());
+  ia.deploy(UavId{0}, candidates.front());
   EXPECT_TRUE(analysis::audit_assignment_flow(ia).ok());
   ia.end_scope(scope);
   // Rolled back to the empty network: still a clean (zero) maximum flow.

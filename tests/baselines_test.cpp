@@ -147,10 +147,10 @@ TEST(Baselines, GreedyServedEstimateNeverExceedsOptimal) {
     const CoverageModel cov(sc);
     std::vector<Deployment> deps;
     std::vector<LocationId> cells;
-    for (LocationId v = 0; v < sc.grid.size(); ++v) cells.push_back(v);
+    for (const LocationId v : sc.grid.cells()) cells.push_back(v);
     rng.shuffle(cells);
-    for (UavId k = 0; k < sc.uav_count(); ++k) {
-      deps.push_back({k, cells[static_cast<std::size_t>(k)]});
+    for (const UavId k : sc.uav_ids()) {
+      deps.push_back({k, cells[k.index()]});
     }
     const auto estimate = baselines::greedy_served_estimate(sc, cov, deps);
     const auto optimal = solve_assignment(sc, cov, deps).served;
@@ -164,7 +164,7 @@ TEST(Baselines, CoverageCounterTracksMarginals) {
   const Scenario sc = random_scenario(rng, 4, 20, 2);
   const CoverageModel cov(sc);
   baselines::CoverageCounter counter(sc, cov);
-  const LocationId v = 5;
+  const LocationId v{5};
   const auto first = counter.marginal(v, 0);
   EXPECT_EQ(first,
             static_cast<std::int64_t>(cov.eligible_users(v, 0).size()));

@@ -29,7 +29,7 @@ TEST(CoverageModel, GroupsIdenticalRadiosIntoOneClass) {
               {120, Radio{}, 250.0}};
   const CoverageModel cov(sc);
   EXPECT_EQ(cov.radio_class_count(), 1);
-  for (UavId k = 0; k < 3; ++k) EXPECT_EQ(cov.radio_class_of(k), 0);
+  for (const UavId k : IdRange<UavId>{3}) EXPECT_EQ(cov.radio_class_of(k), 0);
 }
 
 TEST(CoverageModel, DistinctRangesMakeDistinctClasses) {
@@ -39,8 +39,8 @@ TEST(CoverageModel, DistinctRangesMakeDistinctClasses) {
               {60, Radio{}, 250.0}};
   const CoverageModel cov(sc);
   EXPECT_EQ(cov.radio_class_count(), 2);
-  EXPECT_EQ(cov.radio_class_of(0), cov.radio_class_of(2));
-  EXPECT_NE(cov.radio_class_of(0), cov.radio_class_of(1));
+  EXPECT_EQ(cov.radio_class_of(UavId{0}), cov.radio_class_of(UavId{2}));
+  EXPECT_NE(cov.radio_class_of(UavId{0}), cov.radio_class_of(UavId{1}));
 }
 
 TEST(CoverageModel, EligibleUsersMatchDirectComputation) {
@@ -54,17 +54,17 @@ TEST(CoverageModel, EligibleUsersMatchDirectComputation) {
               {80, Radio{.tx_power_dbm = 33.0, .antenna_gain_dbi = 5.0},
                150.0}};
   const CoverageModel cov(sc);
-  for (LocationId v = 0; v < sc.grid.size(); ++v) {
-    for (UavId k = 0; k < sc.uav_count(); ++k) {
+  for (const LocationId v : sc.grid.cells()) {
+    for (const UavId k : sc.uav_ids()) {
       const std::int32_t cls = cov.radio_class_of(k);
       const auto eligible = cov.eligible_users(v, cls);
       std::vector<UserId> expected;
-      for (UserId u = 0; u < sc.user_count(); ++u) {
+      for (const UserId u : sc.user_ids()) {
         if (cov.is_eligible(sc, u, v, k)) expected.push_back(u);
       }
       EXPECT_EQ(std::vector<UserId>(eligible.begin(), eligible.end()),
                 expected)
-          << "v=" << v << " k=" << k;
+          << "v=" << v.value() << " k=" << k.value();
     }
   }
 }
@@ -89,14 +89,14 @@ TEST(CoverageModel, RateRequirementShrinksTheDisc) {
   sc.users.push_back({{300, 300}, min_rate});
   sc.fleet = {{10, radio, 250.0}};
   const CoverageModel cov(sc);
-  for (LocationId v = 0; v < sc.grid.size(); ++v) {
+  for (const LocationId v : sc.grid.cells()) {
     const bool eligible = !cov.eligible_users(v, 0).empty();
     const double d = distance(sc.grid.center(v), {300, 300});
     if (d <= rate_radius - 1.0) {
-      EXPECT_TRUE(eligible) << "v=" << v;
+      EXPECT_TRUE(eligible) << "v=" << v.value();
     }
     if (d > rate_radius + 1.0) {
-      EXPECT_FALSE(eligible) << "v=" << v;
+      EXPECT_FALSE(eligible) << "v=" << v.value();
     }
   }
 }
@@ -161,7 +161,8 @@ TEST(Scenario, CapacityOrderAndTotals) {
               {200, Radio{}, 250.0}, {300, Radio{}, 250.0}};
   EXPECT_EQ(sc.total_capacity(), 900);
   const auto order = sc.uavs_by_capacity_desc();
-  EXPECT_EQ(order, (std::vector<UavId>{1, 3, 2, 0}));  // stable on ties
+  EXPECT_EQ(order, (std::vector<UavId>{UavId{1}, UavId{3}, UavId{2},
+                                       UavId{0}}));  // stable on ties
 }
 
 }  // namespace

@@ -65,7 +65,9 @@ TEST(Endurance, UnloadedFliesLonger) {
 
 TEST(EnduranceReport, FindsTheLimitingUav) {
   Solution sol;
-  sol.deployments = {{0, 0}, {1, 1}, {2, 2}};
+  sol.deployments = {{UavId{0}, LocationId{0}},
+                     {UavId{1}, LocationId{1}},
+                     {UavId{2}, LocationId{2}}};
   std::vector<Airframe> airframes(3);
   airframes[1].battery_wh = 200.0;  // the weak battery
   const auto report = endurance_report(sol, airframes, /*mission_s=*/60.0);
@@ -78,7 +80,7 @@ TEST(EnduranceReport, FindsTheLimitingUav) {
 
 TEST(EnduranceReport, FlagsInfeasibleMissions) {
   Solution sol;
-  sol.deployments = {{0, 0}};
+  sol.deployments = {{UavId{0}, LocationId{0}}};
   const std::vector<Airframe> airframes(1);
   const double endurance = endurance_s(airframes[0]);
   const auto ok = endurance_report(sol, airframes, endurance * 0.9);
@@ -96,7 +98,7 @@ TEST(EnduranceReport, EmptyDeploymentHasZeroLifetime) {
 
 TEST(EnduranceReport, MissingAirframeRejected) {
   Solution sol;
-  sol.deployments = {{2, 0}};
+  sol.deployments = {{UavId{2}, LocationId{0}}};
   const std::vector<Airframe> airframes(2);  // UAV 2 undescribed
   EXPECT_THROW(endurance_report(sol, airframes, 60.0), ContractError);
 }
@@ -110,7 +112,7 @@ TEST(AirframesForFleet, SplitsByCapacityThreshold) {
   const auto airframes = airframes_for_fleet(sc, 200);
   ASSERT_EQ(airframes.size(), 30u);
   for (std::size_t k = 0; k < airframes.size(); ++k) {
-    if (sc.fleet[k].capacity >= 200) {
+    if (sc.fleet[UavId{k}].capacity >= 200) {
       EXPECT_GT(airframes[k].payload_kg, 4.0) << "heavy airframe expected";
     } else {
       EXPECT_LT(airframes[k].payload_kg, 4.0) << "light airframe expected";

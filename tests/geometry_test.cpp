@@ -63,13 +63,13 @@ TEST(Grid, RejectsNonPositiveInputs) {
 
 TEST(Grid, CenterOfCornerCells) {
   const Grid g(300, 300, 100);
-  EXPECT_EQ(g.center(0), Vec2(50, 50));
-  EXPECT_EQ(g.center(g.size() - 1), Vec2(250, 250));
+  EXPECT_EQ(g.center(LocationId{0}), Vec2(50, 50));
+  EXPECT_EQ(g.center(LocationId{g.size() - 1}), Vec2(250, 250));
 }
 
 TEST(Grid, RowColIdRoundTrip) {
   const Grid g(500, 300, 100);
-  for (LocationId id = 0; id < g.size(); ++id) {
+  for (const LocationId id : g.cells()) {
     EXPECT_EQ(g.id_of(g.row_of(id), g.col_of(id)), id);
   }
 }
@@ -99,7 +99,7 @@ TEST(Grid, CentersWithinMatchesBruteForce) {
     const double radius = rng.uniform(0, 400);
     auto fast = g.centers_within(p, radius);
     std::vector<LocationId> slow;
-    for (LocationId id = 0; id < g.size(); ++id) {
+    for (const LocationId id : g.cells()) {
       if (distance(g.center(id), p) <= radius) slow.push_back(id);
     }
     std::sort(fast.begin(), fast.end());
@@ -118,9 +118,9 @@ TEST(Grid, CentersWithinZeroRadius) {
 TEST(Grid, AllCentersIndexedById) {
   const Grid g(400, 300, 100);
   const auto centers = g.all_centers();
-  ASSERT_EQ(static_cast<LocationId>(centers.size()), g.size());
-  for (LocationId id = 0; id < g.size(); ++id) {
-    EXPECT_EQ(centers[static_cast<std::size_t>(id)], g.center(id));
+  ASSERT_EQ(static_cast<std::int32_t>(centers.size()), g.size());
+  for (const LocationId id : g.cells()) {
+    EXPECT_EQ(centers[id.index()], g.center(id));
   }
 }
 

@@ -63,18 +63,18 @@ TEST(LocationGraph, EdgesExactlyWithinRange) {
   const Graph g = build_location_graph(grid, 150.0);
   // 150 m connects 4-neighbors (100 m) and rejects diagonals (141.4 < 150!)
   // — actually sqrt(2)*100 = 141.4 <= 150, so diagonals connect too.
-  EXPECT_TRUE(g.has_edge(grid.id_of(0, 0), grid.id_of(0, 1)));
-  EXPECT_TRUE(g.has_edge(grid.id_of(0, 0), grid.id_of(1, 1)));
-  EXPECT_FALSE(g.has_edge(grid.id_of(0, 0), grid.id_of(0, 2)));
+  EXPECT_TRUE(g.has_edge(to_node(grid.id_of(0, 0)), to_node(grid.id_of(0, 1))));
+  EXPECT_TRUE(g.has_edge(to_node(grid.id_of(0, 0)), to_node(grid.id_of(1, 1))));
+  EXPECT_FALSE(g.has_edge(to_node(grid.id_of(0, 0)), to_node(grid.id_of(0, 2))));
 }
 
 TEST(LocationGraph, ActiveMaskDropsEdges) {
   const Grid grid(300, 300, 100);
   std::vector<bool> active(static_cast<std::size_t>(grid.size()), true);
-  active[static_cast<std::size_t>(grid.id_of(0, 1))] = false;
+  active[grid.id_of(0, 1).index()] = false;
   const Graph g = build_location_graph(grid, 110.0, active);
-  EXPECT_FALSE(g.has_edge(grid.id_of(0, 0), grid.id_of(0, 1)));
-  EXPECT_TRUE(g.has_edge(grid.id_of(0, 0), grid.id_of(1, 0)));
+  EXPECT_FALSE(g.has_edge(to_node(grid.id_of(0, 0)), to_node(grid.id_of(0, 1))));
+  EXPECT_TRUE(g.has_edge(to_node(grid.id_of(0, 0)), to_node(grid.id_of(1, 0))));
 }
 
 TEST(Bfs, LineGraphDistances) {

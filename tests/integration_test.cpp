@@ -58,8 +58,7 @@ TEST(Integration, BigUavsLandOnThePockets) {
   std::int64_t min_big = 1'000'000, max_small = -1;
   for (std::size_t d = 0; d < sol.deployments.size(); ++d) {
     const auto load = sol.load_of(static_cast<std::int32_t>(d));
-    if (sc.fleet[static_cast<std::size_t>(sol.deployments[d].uav)].capacity ==
-        20) {
+    if (sc.fleet[sol.deployments[d].uav].capacity == 20) {
       min_big = std::min(min_big, load);
     } else {
       max_small = std::max(max_small, load);

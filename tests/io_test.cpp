@@ -35,12 +35,12 @@ TEST(ScenarioIo, RoundTripIsExact) {
   EXPECT_EQ(loaded.channel.carrier_hz, original.channel.carrier_hz);
   EXPECT_EQ(loaded.receiver.noise_dbm, original.receiver.noise_dbm);
   ASSERT_EQ(loaded.users.size(), original.users.size());
-  for (std::size_t i = 0; i < loaded.users.size(); ++i) {
+  for (const UserId i : loaded.users.ids()) {
     EXPECT_EQ(loaded.users[i].pos, original.users[i].pos);
     EXPECT_EQ(loaded.users[i].min_rate_bps, original.users[i].min_rate_bps);
   }
   ASSERT_EQ(loaded.fleet.size(), original.fleet.size());
-  for (std::size_t k = 0; k < loaded.fleet.size(); ++k) {
+  for (const UavId k : loaded.fleet.ids()) {
     EXPECT_EQ(loaded.fleet[k].capacity, original.fleet[k].capacity);
     EXPECT_EQ(loaded.fleet[k].radio.tx_power_dbm,
               original.fleet[k].radio.tx_power_dbm);

@@ -15,34 +15,34 @@ namespace {
 
 TEST(PartitionMatroid, BasicAddRemove) {
   PartitionMatroid m1(3);
-  EXPECT_TRUE(m1.can_add(0));
-  m1.add(0);
-  EXPECT_FALSE(m1.can_add(0));
-  EXPECT_TRUE(m1.can_add(1));
+  EXPECT_TRUE(m1.can_add(UavId{0}));
+  m1.add(UavId{0});
+  EXPECT_FALSE(m1.can_add(UavId{0}));
+  EXPECT_TRUE(m1.can_add(UavId{1}));
   EXPECT_EQ(m1.size(), 1);
-  m1.remove(0);
-  EXPECT_TRUE(m1.can_add(0));
+  m1.remove(UavId{0});
+  EXPECT_TRUE(m1.can_add(UavId{0}));
   EXPECT_EQ(m1.size(), 0);
 }
 
 TEST(PartitionMatroid, DoubleAddThrows) {
   PartitionMatroid m1(2);
-  m1.add(1);
-  EXPECT_THROW(m1.add(1), ContractError);
+  m1.add(UavId{1});
+  EXPECT_THROW(m1.add(UavId{1}), ContractError);
 }
 
 TEST(PartitionMatroid, RemoveAbsentThrows) {
   PartitionMatroid m1(2);
-  EXPECT_THROW(m1.remove(0), ContractError);
+  EXPECT_THROW(m1.remove(UavId{0}), ContractError);
 }
 
 TEST(PartitionMatroid, ClearResets) {
   PartitionMatroid m1(2);
-  m1.add(0);
-  m1.add(1);
+  m1.add(UavId{0});
+  m1.add(UavId{1});
   m1.clear();
-  EXPECT_TRUE(m1.can_add(0));
-  EXPECT_TRUE(m1.can_add(1));
+  EXPECT_TRUE(m1.can_add(UavId{0}));
+  EXPECT_TRUE(m1.can_add(UavId{1}));
   EXPECT_EQ(m1.size(), 0);
 }
 
@@ -71,35 +71,35 @@ TEST(HopBudgetMatroid, PaperFigure2dQuotas) {
 TEST(HopBudgetMatroid, RespectsQuotas) {
   // 5 locations with hop distances (0, 0, 1, 1, 2); quotas Q = (4, 2, 1).
   HopBudgetMatroid m2({0, 0, 1, 1, 2}, {4, 2, 1});
-  EXPECT_TRUE(m2.can_add(0));
-  m2.add(0);
-  m2.add(1);
-  EXPECT_TRUE(m2.can_add(2));
-  m2.add(2);
+  EXPECT_TRUE(m2.can_add(LocationId{0}));
+  m2.add(LocationId{0});
+  m2.add(LocationId{1});
+  EXPECT_TRUE(m2.can_add(LocationId{2}));
+  m2.add(LocationId{2});
   // Q_1 = 2 but adding location 4 (d=2) would make nodes-at->=1 equal 2,
   // fine; then location 3 would breach Q_1.
-  EXPECT_TRUE(m2.can_add(4));
-  m2.add(4);
-  EXPECT_FALSE(m2.can_add(3));  // would be third node at >= 1 hop
+  EXPECT_TRUE(m2.can_add(LocationId{4}));
+  m2.add(LocationId{4});
+  EXPECT_FALSE(m2.can_add(LocationId{3}));  // would be third node at >= 1 hop
   EXPECT_EQ(m2.size(), 4);
 }
 
 TEST(HopBudgetMatroid, HmaxExcludesFarNodes) {
   HopBudgetMatroid m2({0, 3}, {5, 1, 1});
-  EXPECT_FALSE(m2.can_add(1));  // d = 3 > hmax = 2
+  EXPECT_FALSE(m2.can_add(LocationId{1}));  // d = 3 > hmax = 2
 }
 
 TEST(HopBudgetMatroid, UnreachableExcluded) {
   HopBudgetMatroid m2({0, kUnreachable}, {5, 1});
-  EXPECT_FALSE(m2.can_add(1));
+  EXPECT_FALSE(m2.can_add(LocationId{1}));
 }
 
 TEST(HopBudgetMatroid, RemoveRestoresCapacity) {
   HopBudgetMatroid m2({0, 1, 1}, {3, 1});
-  m2.add(1);
-  EXPECT_FALSE(m2.can_add(2));
-  m2.remove(1);
-  EXPECT_TRUE(m2.can_add(2));
+  m2.add(LocationId{1});
+  EXPECT_FALSE(m2.can_add(LocationId{2}));
+  m2.remove(LocationId{1});
+  EXPECT_TRUE(m2.can_add(LocationId{2}));
 }
 
 TEST(HopBudgetMatroid, StatelessOracleAgreesWithCounters) {
@@ -119,7 +119,7 @@ TEST(HopBudgetMatroid, StatelessOracleAgreesWithCounters) {
     // Build a random set incrementally with can_add/add; at each step the
     // stateless oracle must agree.
     std::vector<LocationId> set;
-    for (LocationId v = 0; v < n; ++v) {
+    for (const LocationId v : IdRange<LocationId>{n}) {
       std::vector<LocationId> tentative = set;
       tentative.push_back(v);
       const bool oracle_ok = m2.is_independent(tentative);

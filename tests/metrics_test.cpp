@@ -101,9 +101,9 @@ TEST(Metrics, EndToEndOnSolvedScenario) {
             static_cast<std::int32_t>(sol.deployments.size()));
   EXPECT_GE(metrics.relay_only_uavs, 0);
   // Critical UAVs must be actual fleet members.
-  for (UavId k : metrics.critical_uavs) {
-    EXPECT_GE(k, 0);
-    EXPECT_LT(k, sc.uav_count());
+  for (const UavId k : metrics.critical_uavs) {
+    EXPECT_TRUE(k.valid());
+    EXPECT_LT(k.value(), sc.uav_count());
   }
 }
 
@@ -125,7 +125,11 @@ TEST(Metrics, ChainDeploymentIsFragile) {
   const CoverageModel cov(sc);
   Solution sol;
   sol.algorithm = "chain";
-  sol.deployments = {{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 4}};
+  sol.deployments = {{UavId{0}, LocationId{0}},
+                     {UavId{1}, LocationId{1}},
+                     {UavId{2}, LocationId{2}},
+                     {UavId{3}, LocationId{3}},
+                     {UavId{4}, LocationId{4}}};
   sol.user_to_deployment = {0, 4};
   sol.served = 2;
   const auto metrics = eval::compute_metrics(sc, cov, sol);

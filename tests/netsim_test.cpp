@@ -30,7 +30,7 @@ std::pair<Scenario, Solution> single_uav_instance(std::int32_t n) {
   }
   Solution sol;
   sol.algorithm = "static";
-  sol.deployments = {{0, 0}};
+  sol.deployments = {{UavId{0}, LocationId{0}}};
   sol.user_to_deployment.assign(static_cast<std::size_t>(n), 0);
   sol.served = n;
   return {std::move(sc), std::move(sol)};
@@ -143,7 +143,7 @@ TEST(ServiceSim, Deterministic) {
 
 TEST(ServiceSim, UnservedUsersIgnored) {
   auto [sc, sol] = single_uav_instance(10);
-  sol.user_to_deployment[0] = -1;
+  sol.user_to_deployment[UserId{0}] = -1;
   sol.served = 9;
   const auto result = netsim::simulate_service(sc, sol, {});
   EXPECT_EQ(result.users.size(), 9u);
@@ -207,7 +207,7 @@ TEST(ServiceSim, UavWithZeroAttachedUsersHasFiniteStats) {
   sc.grid = Grid(2000, 1000, 1000);
   sc.uav_range_m = 1200.0;
   sc.fleet.push_back({4, Radio{}, 500.0});
-  sol.deployments.push_back({1, 1});
+  sol.deployments.push_back({UavId{1}, LocationId{1}});
   const netsim::ServiceSimResult r = netsim::simulate_service(sc, sol, {});
   ASSERT_EQ(r.uavs.size(), 2u);
   EXPECT_EQ(r.uavs[1].attached_users, 0);
@@ -226,7 +226,7 @@ TEST(ServiceSim, UavRemovedMidSimulationKeepsStatsFinite) {
   sc.grid = Grid(2000, 1000, 1000);
   sc.uav_range_m = 1200.0;
   sc.fleet.push_back({4, Radio{}, 500.0});
-  sol.deployments.push_back({1, 1});
+  sol.deployments.push_back({UavId{1}, LocationId{1}});
   netsim::ServiceSimConfig config;
   config.duration_s = 1.0;
   const netsim::ServiceSimResult before =
@@ -266,7 +266,7 @@ TEST(ServiceSim, MultiUavLoadsAreIndependent) {
   // 10 users on UAV 0, 2×knee on UAV 1.
   Solution sol;
   sol.algorithm = "static";
-  sol.deployments = {{0, 0}, {1, 1}};
+  sol.deployments = {{UavId{0}, LocationId{0}}, {UavId{1}, LocationId{1}}};
   for (int i = 0; i < 10; ++i) {
     sc.users.push_back({{500.0, 400.0 + 10.0 * i}, 2e3});
     sol.user_to_deployment.push_back(0);

@@ -59,14 +59,14 @@ TEST_P(CoverageFunctionProperties, MonotoneAndSubmodular) {
   const CoverageModel cov(sc);
 
   // Random chain A ⊆ B and an extra element e ∉ B over distinct cells.
-  std::vector<LocationId> cells(static_cast<std::size_t>(sc.grid.size()));
-  std::iota(cells.begin(), cells.end(), 0);
+  std::vector<LocationId> cells;
+  for (const LocationId v : sc.grid.cells()) cells.push_back(v);
   rng.shuffle(cells);
   std::vector<Deployment> b;
-  for (UavId k = 0; k < 4; ++k) {
-    b.push_back({k, cells[static_cast<std::size_t>(k)]});
+  for (const UavId k : IdRange<UavId>{4}) {
+    b.push_back({k, cells[k.index()]});
   }
-  const Deployment e{4, cells[4]};
+  const Deployment e{UavId{4}, cells[4]};
   std::vector<Deployment> a(b.begin(), b.begin() + 2);
 
   const auto f = [&](std::vector<Deployment> set) {
@@ -93,7 +93,9 @@ TEST(CoverageFunctionProperties, ValueBounds) {
   Rng rng(12);
   const Scenario sc = random_scenario(rng, 4, 3, 25, {2, 3, 4});
   const CoverageModel cov(sc);
-  std::vector<Deployment> deps{{0, 0}, {1, 5}, {2, 9}};
+  std::vector<Deployment> deps{{UavId{0}, LocationId{0}},
+                               {UavId{1}, LocationId{5}},
+                               {UavId{2}, LocationId{9}}};
   const auto served = coverage_value(sc, cov, deps);
   EXPECT_LE(served, sc.total_capacity());
   EXPECT_LE(served, sc.user_count());
@@ -119,12 +121,12 @@ TEST_P(Lemma2Empirical, StitchedSizeWithinBound) {
 
   // Seeds along one grid row, consecutive seeds separated by at most
   // (p*_i + 1) hops (the Lemma's precondition: ≤ p_i intermediates).
-  std::vector<NodeId> seeds;
+  std::vector<LocationId> seeds;
   std::int32_t col = 0;
   const std::int32_t row = 10;
   seeds.push_back(grid.id_of(row, col));
   for (std::int32_t i = 2; i <= s; ++i) {
-    const auto budget = plan.p[static_cast<std::size_t>(i - 1)];
+    const auto budget = plan.p[SegmentId{i - 1}];
     col += 1 + static_cast<std::int32_t>(
                    rng.next_below(static_cast<std::uint64_t>(budget) + 1));
     ASSERT_LT(col, grid.cols());
@@ -132,14 +134,16 @@ TEST_P(Lemma2Empirical, StitchedSizeWithinBound) {
   }
 
   // Random M2-independent superset of the seeds.
-  const auto dist = bfs_distances(g, seeds);
+  std::vector<NodeId> seed_nodes;
+  for (const LocationId v : seeds) seed_nodes.push_back(to_node(v));
+  const auto dist = bfs_distances(g, seed_nodes);
   HopBudgetMatroid m2(dist, plan.quotas);
-  std::vector<NodeId> chosen = seeds;
-  for (NodeId v : seeds) m2.add(v);
-  std::vector<NodeId> shuffled(static_cast<std::size_t>(g.node_count()));
-  std::iota(shuffled.begin(), shuffled.end(), 0);
+  std::vector<LocationId> chosen = seeds;
+  for (const LocationId v : seeds) m2.add(v);
+  std::vector<LocationId> shuffled;
+  for (NodeId v = 0; v < g.node_count(); ++v) shuffled.push_back(to_cell(v));
   rng.shuffle(shuffled);
-  for (NodeId v : shuffled) {
+  for (const LocationId v : shuffled) {
     if (static_cast<std::int32_t>(chosen.size()) >= plan.L_max) break;
     if (std::find(chosen.begin(), chosen.end(), v) != chosen.end()) continue;
     if (m2.can_add(v)) {
@@ -154,7 +158,9 @@ TEST_P(Lemma2Empirical, StitchedSizeWithinBound) {
             plan.relay_bound)
       << "K=" << K << " s=" << s << " |V'|=" << chosen.size();
   EXPECT_LE(plan.relay_bound, K);
-  EXPECT_TRUE(is_induced_subgraph_connected(g, relay->nodes));
+  std::vector<NodeId> relay_nodes;
+  for (const CellId c : relay->nodes) relay_nodes.push_back(to_node(c));
+  EXPECT_TRUE(is_induced_subgraph_connected(g, relay_nodes));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, Lemma2Empirical, testing::Range(0, 20));

@@ -39,7 +39,7 @@ TEST(Mobility, DisplacementBoundedBySpeed) {
   config.speed_m_s = 2.0;
   workload::MobilityModel model(sc, config, 1);
   model.step(sc, 30.0);  // at most 60 m per user
-  for (std::size_t i = 0; i < sc.users.size(); ++i) {
+  for (const UserId i : sc.users.ids()) {
     EXPECT_LE(distance(before[i].pos, sc.users[i].pos), 60.0 + 1e-9);
   }
   EXPECT_LE(model.total_displacement_m(),
@@ -56,7 +56,7 @@ TEST(Mobility, DeterministicForSeed) {
     ma.step(a, 60.0);
     mb.step(b, 60.0);
   }
-  for (std::size_t i = 0; i < a.users.size(); ++i) {
+  for (const UserId i : a.users.ids()) {
     EXPECT_EQ(a.users[i].pos, b.users[i].pos);
   }
 }

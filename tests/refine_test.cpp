@@ -41,7 +41,7 @@ TEST(Refine, RelocateFixesAnObviouslyBadPlacement) {
   const CoverageModel cov(sc);
   Solution sol;
   sol.algorithm = "bad";
-  sol.deployments = {{0, sc.grid.locate({350, 50})}};
+  sol.deployments = {{UavId{0}, sc.grid.locate({350, 50})}};
   sol.user_to_deployment.assign(5, -1);
   sol.served = 0;
   const auto stats = refine_solution(sc, cov, sol);
@@ -70,7 +70,8 @@ TEST(Refine, SwapExchangesMismatchedCapacities) {
   const CoverageModel cov(sc);
   Solution sol;
   sol.algorithm = "mismatched";
-  sol.deployments = {{0, 0}, {1, 1}};  // small UAV on the crowd
+  sol.deployments = {{UavId{0}, LocationId{0}},
+                     {UavId{1}, LocationId{1}}};  // small UAV on the crowd
   const AssignmentResult initial = solve_assignment(sc, cov, sol.deployments);
   sol.user_to_deployment = initial.user_to_deployment;
   sol.served = initial.served;
@@ -137,7 +138,8 @@ TEST(Refine, RejectsInfeasibleInput) {
   const Scenario sc = random_scenario(6);
   const CoverageModel cov(sc);
   Solution bogus;
-  bogus.deployments = {{0, 0}, {0, 1}};  // duplicate UAV
+  bogus.deployments = {{UavId{0}, LocationId{0}},
+                       {UavId{0}, LocationId{1}}};  // duplicate UAV
   bogus.user_to_deployment.assign(sc.users.size(), -1);
   EXPECT_THROW(refine_solution(sc, cov, bogus), ContractError);
 }

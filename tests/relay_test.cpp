@@ -21,16 +21,16 @@ TEST(RelayStitch, TrivialSets) {
   const auto empty = stitch_connected(g, {});
   ASSERT_TRUE(empty.has_value());
   EXPECT_TRUE(empty->nodes.empty());
-  const NodeId one[] = {3};
+  const CellId one[] = {CellId{3}};
   const auto single = stitch_connected(g, one);
   ASSERT_TRUE(single.has_value());
-  EXPECT_EQ(single->nodes, (std::vector<NodeId>{3}));
+  EXPECT_EQ(single->nodes, (std::vector<CellId>{CellId{3}}));
   EXPECT_EQ(single->relay_count, 0);
 }
 
 TEST(RelayStitch, AdjacentNodesNeedNoRelays) {
   const Graph g = line_graph(5);
-  const NodeId chosen[] = {1, 2, 3};
+  const CellId chosen[] = {CellId{1}, CellId{2}, CellId{3}};
   const auto plan = stitch_connected(g, chosen);
   ASSERT_TRUE(plan.has_value());
   EXPECT_EQ(plan->relay_count, 0);
@@ -39,20 +39,22 @@ TEST(RelayStitch, AdjacentNodesNeedNoRelays) {
 
 TEST(RelayStitch, FillsGapsOnALine) {
   const Graph g = line_graph(7);
-  const NodeId chosen[] = {0, 6};
+  const CellId chosen[] = {CellId{0}, CellId{6}};
   const auto plan = stitch_connected(g, chosen);
   ASSERT_TRUE(plan.has_value());
   EXPECT_EQ(plan->relay_count, 5);
-  std::set<NodeId> nodes(plan->nodes.begin(), plan->nodes.end());
-  EXPECT_EQ(nodes, (std::set<NodeId>{0, 1, 2, 3, 4, 5, 6}));
+  const std::set<CellId> nodes(plan->nodes.begin(), plan->nodes.end());
+  EXPECT_EQ(nodes, (std::set<CellId>{CellId{0}, CellId{1}, CellId{2},
+                                     CellId{3}, CellId{4}, CellId{5},
+                                     CellId{6}}));
   // Chosen nodes come first and keep their order.
-  EXPECT_EQ(plan->nodes[0], 0);
-  EXPECT_EQ(plan->nodes[1], 6);
+  EXPECT_EQ(plan->nodes[0], CellId{0});
+  EXPECT_EQ(plan->nodes[1], CellId{6});
 }
 
 TEST(RelayStitch, UnreachablePairIsRejected) {
   const Graph g = Graph::from_edges(4, {{0, 1}, {2, 3}});
-  const NodeId chosen[] = {0, 3};
+  const CellId chosen[] = {CellId{0}, CellId{3}};
   EXPECT_FALSE(stitch_connected(g, chosen).has_value());
 }
 
@@ -78,18 +80,20 @@ TEST(RelayStitch, ResultInducesConnectedSubgraph) {
       }
     }
     const Graph g = Graph::from_edges(n, edges);
-    std::vector<NodeId> chosen;
+    std::vector<CellId> chosen;
     for (NodeId v = 0; v < n; ++v) {
-      if (rng.chance(0.3)) chosen.push_back(v);
+      if (rng.chance(0.3)) chosen.push_back(to_cell(v));
     }
-    if (chosen.empty()) chosen.push_back(0);
+    if (chosen.empty()) chosen.push_back(CellId{0});
     const auto plan = stitch_connected(g, chosen);
     ASSERT_TRUE(plan.has_value());
-    EXPECT_TRUE(is_induced_subgraph_connected(g, plan->nodes));
+    std::vector<NodeId> plan_nodes;
+    for (const CellId c : plan->nodes) plan_nodes.push_back(to_node(c));
+    EXPECT_TRUE(is_induced_subgraph_connected(g, plan_nodes));
     // Every chosen node is present, no duplicates.
-    std::set<NodeId> unique(plan->nodes.begin(), plan->nodes.end());
+    const std::set<CellId> unique(plan->nodes.begin(), plan->nodes.end());
     EXPECT_EQ(unique.size(), plan->nodes.size());
-    for (NodeId c : chosen) EXPECT_TRUE(unique.count(c));
+    for (const CellId c : chosen) EXPECT_TRUE(unique.count(c));
     EXPECT_EQ(plan->relay_count,
               static_cast<std::int32_t>(plan->nodes.size() - chosen.size()));
   }
@@ -104,7 +108,7 @@ TEST(RelayStitch, RelayCountIsReasonablyTight) {
       {0, 4}, {4, 5}, {5, 6},    // arm B: tip 6
       {0, 7}, {7, 8}, {8, 9}};   // arm C: tip 9
   const Graph g = Graph::from_edges(10, edges);
-  const NodeId chosen[] = {3, 6, 9};
+  const CellId chosen[] = {CellId{3}, CellId{6}, CellId{9}};
   const auto plan = stitch_connected(g, chosen);
   ASSERT_TRUE(plan.has_value());
   EXPECT_EQ(plan->nodes.size(), 10u);

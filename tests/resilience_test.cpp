@@ -67,7 +67,7 @@ Scenario line_scenario(std::int32_t fleet_size = 5,
       .fleet = {},
   };
   for (std::int32_t c = 0; c < 5; ++c) {
-    const Vec2 center = sc.grid.center(c);
+    const Vec2 center = sc.grid.center(LocationId{c});
     for (std::int32_t i = 0; i < per_cell; ++i) {
       sc.users.push_back({{center.x - 20.0 + 10.0 * i, center.y}, 2e3});
     }
@@ -84,11 +84,12 @@ Scenario line_scenario(std::int32_t fleet_size = 5,
 Solution line_solution(const Scenario& sc, std::int32_t per_cell = 4) {
   Solution sol;
   sol.algorithm = "line";
-  for (std::int32_t c = 0; c < 5; ++c) sol.deployments.push_back({c, c});
+  for (std::int32_t c = 0; c < 5; ++c) {
+    sol.deployments.push_back({UavId{c}, LocationId{c}});
+  }
   sol.user_to_deployment.assign(sc.users.size(), -1);
-  for (std::size_t u = 0; u < sc.users.size(); ++u) {
-    sol.user_to_deployment[u] =
-        static_cast<std::int32_t>(u) / per_cell;
+  for (const UserId u : sc.users.ids()) {
+    sol.user_to_deployment[u] = u.value() / per_cell;
   }
   sol.served = sc.user_count();
   return sol;
@@ -121,21 +122,21 @@ TEST(FaultPlan, GeneratorIsDeterministicAndValid) {
 TEST(FaultPlan, ValidateRejectsMalformedEvents) {
   const Scenario sc = drill_scenario(12);
   FaultPlan plan;
-  plan.events = {{10.0, FaultKind::kCrash, 0, 1.0},
-                 {5.0, FaultKind::kCrash, 1, 1.0}};  // out of order
+  plan.events = {{10.0, FaultKind::kCrash, UavId{0}, 1.0},
+                 {5.0, FaultKind::kCrash, UavId{1}, 1.0}};  // out of order
   EXPECT_THROW(plan.validate(sc), std::invalid_argument);
-  plan.events = {{1.0, FaultKind::kCrash, sc.uav_count(), 1.0}};
+  plan.events = {{1.0, FaultKind::kCrash, UavId{sc.uav_count()}, 1.0}};
   EXPECT_THROW(plan.validate(sc), std::invalid_argument);
-  plan.events = {{1.0, FaultKind::kLinkDegrade, 0, 0.5}};  // uav must be -1
+  plan.events = {{1.0, FaultKind::kLinkDegrade, UavId{0}, 0.5}};  // uav must be -1
   EXPECT_THROW(plan.validate(sc), std::invalid_argument);
-  plan.events = {{1.0, FaultKind::kLinkDegrade, -1, 1.5}};  // scale > 1
+  plan.events = {{1.0, FaultKind::kLinkDegrade, UavId::invalid(), 1.5}};  // scale > 1
   EXPECT_THROW(plan.validate(sc), std::invalid_argument);
-  plan.events = {{1.0, FaultKind::kCrash, 0, 0.5}};  // crash scales nothing
+  plan.events = {{1.0, FaultKind::kCrash, UavId{0}, 0.5}};  // crash scales nothing
   EXPECT_THROW(plan.validate(sc), std::invalid_argument);
-  plan.events = {{-1.0, FaultKind::kCrash, 0, 1.0}};
+  plan.events = {{-1.0, FaultKind::kCrash, UavId{0}, 1.0}};
   EXPECT_THROW(plan.validate(sc), std::invalid_argument);
-  plan.events = {{0.0, FaultKind::kLinkDegrade, -1, 0.9},
-                 {3.0, FaultKind::kGatewayLoss, 0, 1.0}};
+  plan.events = {{0.0, FaultKind::kLinkDegrade, UavId::invalid(), 0.9},
+                 {3.0, FaultKind::kGatewayLoss, UavId{0}, 1.0}};
   EXPECT_NO_THROW(plan.validate(sc));
 }
 
@@ -146,10 +147,11 @@ TEST(Impact, LineNetworkSpofAndStranding) {
   const Solution sol = line_solution(sc);
   // Interior UAVs 1, 2, 3 are the articulation points of a 5-node line.
   FaultPlan plan;
-  plan.events = {{10.0, FaultKind::kCrash, 2, 1.0}};
+  plan.events = {{10.0, FaultKind::kCrash, UavId{2}, 1.0}};
   const resilience::ImpactReport report =
       resilience::analyze_impact(sc, sol, plan);
-  EXPECT_EQ(report.single_points_of_failure, (std::vector<UavId>{1, 2, 3}));
+  EXPECT_EQ(report.single_points_of_failure,
+            (std::vector<UavId>{UavId{1}, UavId{2}, UavId{3}}));
   ASSERT_EQ(report.events.size(), 1u);
   const resilience::EventImpact& e = report.events[0];
   EXPECT_EQ(e.deployments_alive, 4);
@@ -163,7 +165,7 @@ TEST(Impact, LeafLossStrandsOnlyItsOwnUsers) {
   const Scenario sc = line_scenario();
   const Solution sol = line_solution(sc);
   FaultPlan plan;
-  plan.events = {{10.0, FaultKind::kCrash, 4, 1.0}};  // leaf, not a SPOF
+  plan.events = {{10.0, FaultKind::kCrash, UavId{4}, 1.0}};  // leaf, not a SPOF
   const resilience::ImpactReport report =
       resilience::analyze_impact(sc, sol, plan);
   ASSERT_EQ(report.events.size(), 1u);
@@ -177,7 +179,7 @@ TEST(Impact, LinkDegradeCanShatterTheLine) {
   const Solution sol = line_solution(sc);
   FaultPlan plan;
   // 320 m range * 0.5 < 300 m spacing: every link dies at once.
-  plan.events = {{10.0, FaultKind::kLinkDegrade, -1, 0.5}};
+  plan.events = {{10.0, FaultKind::kLinkDegrade, UavId::invalid(), 0.5}};
   const resilience::ImpactReport report =
       resilience::analyze_impact(sc, sol, plan);
   ASSERT_EQ(report.events.size(), 1u);
@@ -196,7 +198,7 @@ TEST(Repair, RestitchesLineAfterInteriorLoss) {
   controller.adopt(line_solution(sc));
 
   const RepairOutcome out =
-      controller.on_fault({10.0, FaultKind::kCrash, 2, 1.0});
+      controller.on_fault({10.0, FaultKind::kCrash, UavId{2}, 1.0});
   EXPECT_EQ(out.action, RepairAction::kLocal);
   EXPECT_EQ(out.served_before, 20);
   // A survivor was re-tasked onto the cut cell: the mesh is whole again
@@ -214,9 +216,9 @@ TEST(Repair, SecondFaultOnDeadUavIsNoOp) {
   policy.local_repair_floor = 0.05;
   RepairController controller(sc, policy);
   controller.adopt(line_solution(sc));
-  controller.on_fault({10.0, FaultKind::kCrash, 4, 1.0});
+  controller.on_fault({10.0, FaultKind::kCrash, UavId{4}, 1.0});
   const RepairOutcome again =
-      controller.on_fault({20.0, FaultKind::kCrash, 4, 1.0});
+      controller.on_fault({20.0, FaultKind::kCrash, UavId{4}, 1.0});
   EXPECT_EQ(again.action, RepairAction::kNone);
   EXPECT_EQ(again.served_after, again.served_before);
 }
@@ -229,7 +231,7 @@ TEST(Repair, SurvivesFleetExhaustion) {
   controller.adopt(line_solution(sc));
   for (std::int32_t k = 0; k < 5; ++k) {
     EXPECT_NO_THROW(controller.on_fault(
-        {10.0 * (k + 1), FaultKind::kCrash, k, 1.0}));
+        {10.0 * (k + 1), FaultKind::kCrash, UavId{k}, 1.0}));
   }
   EXPECT_EQ(controller.alive_count(), 0);
   EXPECT_TRUE(controller.current().deployments.empty());
@@ -299,10 +301,10 @@ TEST(Repair, LocalRepairRetains70PercentOnNonArticulationDrills) {
     controller.adopt(initial);
     const RepairOutcome out =
         controller.on_fault({10.0, FaultKind::kCrash, d.uav, 1.0});
-    EXPECT_EQ(out.action, RepairAction::kLocal) << "uav " << d.uav;
+    EXPECT_EQ(out.action, RepairAction::kLocal) << "uav " << d.uav.value();
     EXPECT_GE(static_cast<double>(out.served_after),
               0.7 * static_cast<double>(out.served_before))
-        << "uav " << d.uav;
+        << "uav " << d.uav.value();
     ++drills;
   }
   EXPECT_GE(drills, 1);
@@ -424,11 +426,11 @@ TEST(Timeline, DrillProducesPhasesAndFiniteServiceStats) {
 
   FaultPlan plan;
   const UavId victim = initial.deployments.empty()
-                           ? 0
+                           ? UavId{0}
                            : initial.deployments[0].uav;
   const UavId second =
       initial.deployments.size() > 1 ? initial.deployments[1].uav : victim;
-  plan.events = {{60.0, FaultKind::kLinkDegrade, -1, 0.9},
+  plan.events = {{60.0, FaultKind::kLinkDegrade, UavId::invalid(), 0.9},
                  {120.0, FaultKind::kCrash, victim, 1.0},
                  {120.0, FaultKind::kBatteryDrain, second, 1.0}};
   // Events 2 and 3 coincide: the middle phase has zero length.
@@ -468,7 +470,8 @@ TEST(Metrics, RepairAndRedeployCountersRecorded) {
   ASSERT_FALSE(initial.deployments.empty());
   controller.on_fault({10.0, FaultKind::kCrash, initial.deployments[0].uav,
                        1.0});
-  controller.on_fault({20.0, FaultKind::kLinkDegrade, -1, 0.95});
+  controller.on_fault({20.0, FaultKind::kLinkDegrade, UavId::invalid(),
+                       0.95});
 
   RedeployPolicy redeploy_policy;
   redeploy_policy.appro.s = 2;

@@ -25,7 +25,7 @@ Scenario make_scenario() {
 Solution valid_solution() {
   Solution sol;
   sol.algorithm = "test";
-  sol.deployments = {{0, 0}, {1, 1}};
+  sol.deployments = {{UavId{0}, LocationId{0}}, {UavId{1}, LocationId{1}}};
   sol.user_to_deployment = {0, -1};
   sol.served = 1;
   return sol;
@@ -49,7 +49,9 @@ TEST(ValidateSolution, RejectsTooManyDeployments) {
   const Scenario sc = make_scenario();
   const CoverageModel cov(sc);
   Solution sol = valid_solution();
-  sol.deployments = {{0, 0}, {1, 1}, {0, 2}};
+  sol.deployments = {{UavId{0}, LocationId{0}},
+                     {UavId{1}, LocationId{1}},
+                     {UavId{0}, LocationId{2}}};
   EXPECT_THROW(validate_solution(sc, cov, sol), ContractError);
 }
 
@@ -57,7 +59,7 @@ TEST(ValidateSolution, RejectsDuplicateUav) {
   const Scenario sc = make_scenario();
   const CoverageModel cov(sc);
   Solution sol = valid_solution();
-  sol.deployments = {{0, 0}, {0, 1}};
+  sol.deployments = {{UavId{0}, LocationId{0}}, {UavId{0}, LocationId{1}}};
   EXPECT_THROW(validate_solution(sc, cov, sol), ContractError);
 }
 
@@ -65,7 +67,7 @@ TEST(ValidateSolution, RejectsSharedCell) {
   const Scenario sc = make_scenario();
   const CoverageModel cov(sc);
   Solution sol = valid_solution();
-  sol.deployments = {{0, 0}, {1, 0}};
+  sol.deployments = {{UavId{0}, LocationId{0}}, {UavId{1}, LocationId{0}}};
   EXPECT_THROW(validate_solution(sc, cov, sol), ContractError);
 }
 
@@ -73,7 +75,7 @@ TEST(ValidateSolution, RejectsDisconnectedNetwork) {
   const Scenario sc = make_scenario();  // R_uav = 150, cells 100 apart
   const CoverageModel cov(sc);
   Solution sol = valid_solution();
-  sol.deployments = {{0, 0}, {1, 2}};  // 200 m apart → disconnected
+  sol.deployments = {{UavId{0}, LocationId{0}}, {UavId{1}, LocationId{2}}};  // 200 m apart → disconnected
   sol.user_to_deployment = {0, 1};
   sol.served = 2;
   EXPECT_THROW(validate_solution(sc, cov, sol), ContractError);
@@ -112,12 +114,12 @@ TEST(ValidateSolution, RejectsBadIndices) {
   const CoverageModel cov(sc);
   {
     Solution sol = valid_solution();
-    sol.deployments[0].uav = 7;
+    sol.deployments[0].uav = UavId{7};
     EXPECT_THROW(validate_solution(sc, cov, sol), ContractError);
   }
   {
     Solution sol = valid_solution();
-    sol.deployments[0].loc = 99;
+    sol.deployments[0].loc = LocationId{99};
     EXPECT_THROW(validate_solution(sc, cov, sol), ContractError);
   }
   {
@@ -135,9 +137,11 @@ TEST(ValidateSolution, RejectsBadIndices) {
 TEST(DeploymentsConnected, PairwiseRangeGraph) {
   const Scenario sc = make_scenario();
   EXPECT_TRUE(deployments_connected(sc, {}));
-  EXPECT_TRUE(deployments_connected(sc, {{0, 2}}));
-  EXPECT_TRUE(deployments_connected(sc, {{0, 0}, {1, 1}}));
-  EXPECT_FALSE(deployments_connected(sc, {{0, 0}, {1, 2}}));
+  EXPECT_TRUE(deployments_connected(sc, {{UavId{0}, LocationId{2}}}));
+  EXPECT_TRUE(deployments_connected(
+      sc, {{UavId{0}, LocationId{0}}, {UavId{1}, LocationId{1}}}));
+  EXPECT_FALSE(deployments_connected(
+      sc, {{UavId{0}, LocationId{0}}, {UavId{1}, LocationId{2}}}));
 }
 
 TEST(Solution, LoadOfCountsAssignedUsers) {

@@ -175,13 +175,11 @@ TEST(ScenarioGen, DeterministicGivenSeed) {
   Rng a(21), b(21);
   const Scenario s1 = make_disaster_scenario(config, a);
   const Scenario s2 = make_disaster_scenario(config, b);
-  for (std::int32_t i = 0; i < 50; ++i) {
-    EXPECT_EQ(s1.users[static_cast<std::size_t>(i)].pos,
-              s2.users[static_cast<std::size_t>(i)].pos);
+  for (const UserId i : IdRange<UserId>{50}) {
+    EXPECT_EQ(s1.users[i].pos, s2.users[i].pos);
   }
-  for (std::int32_t k = 0; k < 4; ++k) {
-    EXPECT_EQ(s1.fleet[static_cast<std::size_t>(k)].capacity,
-              s2.fleet[static_cast<std::size_t>(k)].capacity);
+  for (const UavId k : IdRange<UavId>{4}) {
+    EXPECT_EQ(s1.fleet[k].capacity, s2.fleet[k].capacity);
   }
 }
 

@@ -11,7 +11,10 @@
 //
 // Everything except wall times is bit-reproducible across machines.  Times
 // are normalized by the calibration workload below before comparison.
+#include <sys/resource.h>
+
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -21,11 +24,14 @@
 #include "common/cli.hpp"
 #include "common/fingerprint.hpp"
 #include "common/stopwatch.hpp"
+#include "core/assignment.hpp"
 #include "eval/experiment.hpp"
+#include "io/serialize.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
 #include "resilience/fault_plan.hpp"
 #include "resilience/repair.hpp"
+#include "workload/builder.hpp"
 
 namespace {
 
@@ -82,6 +88,13 @@ double calibration_seconds() {
     best = std::min(best, watch.elapsed_s());
   }
   return best;
+}
+
+/// Process peak RSS in bytes (Linux ru_maxrss is KiB).
+std::int64_t peak_rss_bytes() {
+  rusage usage{};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<std::int64_t>(usage.ru_maxrss) * 1024;
 }
 
 }  // namespace
@@ -249,6 +262,127 @@ int main(int argc, char** argv) {
     w.key("metrics");
     uavcov::obs::write_snapshot(w, snapshot);
     w.end_object();
+  }
+
+  // Million-user hot-path cases (docs/FORMATS.md): generate → binary save →
+  // binary load (fingerprint-checked) → CoverageModel (FlatScenario CSR
+  // build) → deterministic greedy placement + max-flow assignment.  The
+  // placement pairs capacity-descending UAVs with the top max-coverage
+  // cells and skips the relay stitching — this benchmarks the IO and
+  // flat-index layers, not the paper algorithm.  load/save/coverage times
+  // and peak RSS ride along as extra keys (bench_compare.py ignores keys
+  // it does not know; served counts and fingerprints are identity-checked
+  // like every other case).
+  {
+    struct FlatCase {
+      std::string name;
+      std::uint64_t seed;
+      std::int32_t users;
+      std::int32_t uavs;
+      double side_m;
+      bool quick;
+    };
+    const std::vector<FlatCase> flat_cases = {
+        {"flat_100k_users", 108, 100'000, 12, 6000.0, true},
+        {"flat_1m_users", 107, 1'000'000, 20, 12000.0, false},
+    };
+    const std::string out_path = cli.get_string("out");
+    for (const FlatCase& c : flat_cases) {
+      if (quick && !c.quick) continue;
+      std::cerr << "[bench_runner] " << c.name << " (n=" << c.users
+                << ", K=" << c.uavs << ")\n";
+      const uavcov::Scenario scenario =
+          uavcov::workload::ScenarioBuilder()
+              .area(c.side_m, c.side_m)
+              .cell_side(600.0)
+              .users(c.users)
+              .uavs(c.uavs)
+              .seed(c.seed)
+              .build();
+      const std::string bin_path = out_path + "." + c.name + ".bin";
+
+      double save_seconds = 1e300;
+      double load_seconds = 1e300;
+      double coverage_seconds = 1e300;
+      double solve_seconds = 1e300;
+      std::int64_t served = 0;
+      std::uint64_t solution_fp = 0;
+      for (std::int32_t rep = 0; rep < repeats; ++rep) {
+        if (rep == repeats - 1) registry.reset();
+        const uavcov::Stopwatch save_watch;
+        uavcov::io::save_scenario_file(bin_path, scenario,
+                                       uavcov::io::Format::kBinary);
+        save_seconds = std::min(save_seconds, save_watch.elapsed_s());
+
+        const uavcov::Stopwatch load_watch;
+        const uavcov::Scenario loaded =
+            uavcov::io::load_scenario_file(bin_path);
+        load_seconds = std::min(load_seconds, load_watch.elapsed_s());
+        UAVCOV_CHECK_MSG(loaded.fingerprint() == scenario.fingerprint(),
+                         "binary round trip changed the scenario in " +
+                             c.name);
+
+        const uavcov::Stopwatch coverage_watch;
+        const uavcov::CoverageModel coverage(loaded);
+        coverage_seconds =
+            std::min(coverage_seconds, coverage_watch.elapsed_s());
+
+        const uavcov::Stopwatch solve_watch;
+        const std::vector<uavcov::LocationId> candidates =
+            coverage.candidate_locations(loaded.uav_count());
+        const std::vector<uavcov::UavId> order =
+            loaded.uavs_by_capacity_desc();
+        std::vector<uavcov::Deployment> deployments;
+        for (std::size_t i = 0;
+             i < candidates.size() &&
+             i < static_cast<std::size_t>(loaded.uav_count());
+             ++i) {
+          deployments.push_back({order[i], candidates[i]});
+        }
+        const uavcov::AssignmentResult assignment =
+            uavcov::solve_assignment(loaded, coverage, deployments);
+        solve_seconds = std::min(solve_seconds, solve_watch.elapsed_s());
+
+        uavcov::Solution solution;
+        solution.algorithm = "greedy_place_flow";
+        solution.deployments = deployments;
+        solution.user_to_deployment = assignment.user_to_deployment;
+        solution.served = assignment.served;
+        if (rep == 0) {
+          served = solution.served;
+          solution_fp = solution.fingerprint();
+        } else {
+          UAVCOV_CHECK_MSG(solution.fingerprint() == solution_fp,
+                           "non-deterministic flat-case solve in " + c.name);
+        }
+      }
+      const uavcov::obs::Snapshot snapshot = registry.snapshot();
+      std::remove(bin_path.c_str());
+
+      w.begin_object();
+      w.kv("name", c.name);
+      w.kv("seed", static_cast<std::int64_t>(c.seed));
+      w.kv("users", c.users);
+      w.kv("uavs", c.uavs);
+      w.kv("s", 1);
+      w.kv("scenario_fingerprint",
+           uavcov::fingerprint_hex(scenario.fingerprint()));
+      w.kv("save_seconds", save_seconds);
+      w.kv("load_seconds", load_seconds);
+      w.kv("coverage_seconds", coverage_seconds);
+      w.kv("peak_rss_bytes", peak_rss_bytes());
+      w.key("algorithms").begin_array();
+      w.begin_object();
+      w.kv("name", "greedy_place_flow");
+      w.kv("served", served);
+      w.kv("fingerprint", uavcov::fingerprint_hex(solution_fp));
+      w.kv("seconds", solve_seconds);
+      w.end_object();
+      w.end_array();
+      w.key("metrics");
+      uavcov::obs::write_snapshot(w, snapshot);
+      w.end_object();
+    }
   }
 
   w.end_array();

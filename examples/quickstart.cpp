@@ -5,18 +5,18 @@
 #include <iostream>
 
 #include "core/appro_alg.hpp"
-#include "workload/scenario_gen.hpp"
+#include "workload/builder.hpp"
 
 int main() {
   using namespace uavcov;
 
   // 1. A disaster area: 3 × 3 km, fat-tailed user density (paper §IV-A),
   //    a heterogeneous fleet of 10 UAVs with capacities in [50, 300].
-  Rng rng(/*seed=*/2024);
-  workload::ScenarioConfig config;
-  config.user_count = 800;
-  config.fleet.uav_count = 10;
-  const Scenario scenario = workload::make_disaster_scenario(config, rng);
+  const Scenario scenario = workload::ScenarioBuilder()
+                                .users(800)
+                                .uavs(10)
+                                .seed(2024)
+                                .build();
   std::cout << "Scenario: " << scenario.user_count() << " users, "
             << scenario.uav_count() << " UAVs (total capacity "
             << scenario.total_capacity() << "), "

@@ -116,9 +116,4 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
                   watch.elapsed_s(), stats);
 }
 
-Solution greedy_assign(const Scenario& scenario,
-                       const CoverageModel& coverage) {
-  return solve(scenario, coverage, GreedyAssignParams{}, nullptr);
-}
-
 }  // namespace uavcov::baselines

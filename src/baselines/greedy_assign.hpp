@@ -32,10 +32,4 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
                const GreedyAssignParams& params,
                BaselineStats* stats = nullptr);
 
-/// Deprecated pre-unification name; thin shim over solve().
-[[deprecated(
-    "use baselines::solve(scenario, coverage, GreedyAssignParams{})")]]
-Solution greedy_assign(const Scenario& scenario,
-                       const CoverageModel& coverage);
-
 }  // namespace uavcov::baselines

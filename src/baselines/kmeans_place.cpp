@@ -146,9 +146,4 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
                   watch.elapsed_s(), stats);
 }
 
-Solution kmeans_place(const Scenario& scenario, const CoverageModel& coverage,
-                      const KMeansParams& params) {
-  return solve(scenario, coverage, params, nullptr);
-}
-
 }  // namespace uavcov::baselines

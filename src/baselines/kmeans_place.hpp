@@ -24,9 +24,4 @@ struct KMeansParams {
 Solution solve(const Scenario& scenario, const CoverageModel& coverage,
                const KMeansParams& params, BaselineStats* stats = nullptr);
 
-/// Deprecated pre-unification name; thin shim over solve().
-[[deprecated("use baselines::solve(scenario, coverage, KMeansParams{...})")]]
-Solution kmeans_place(const Scenario& scenario, const CoverageModel& coverage,
-                      const KMeansParams& params = {});
-
 }  // namespace uavcov::baselines

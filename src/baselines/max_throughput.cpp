@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "channel/batch.hpp"
 #include "common/check.hpp"
 #include "common/stopwatch.hpp"
 #include "core/matroid.hpp"
@@ -52,19 +53,28 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
   }
   const SegmentPlan plan = compute_segment_plan(K, /*s=*/1);
 
-  // Mean achievable rate per candidate cell (throughput weight).
+  // Mean achievable rate per candidate cell (throughput weight), batched
+  // over each cell's eligible span.  The evaluator reproduces the scalar
+  // a2g_rate_bps chain bit for bit and the sum runs in the same ascending
+  // user order, so the weights — and the pinned solution fingerprints —
+  // are unchanged.
+  const BatchLinkEvaluator evaluator(homo.channel, homo.fleet.front().radio,
+                                     homo.receiver, homo.altitude_m);
   std::vector<double> mean_rate(candidates.size(), 0.0);
+  std::vector<double> span_dist;
+  std::vector<double> span_rate;
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     const auto eligible = homo_cov.eligible_users(candidates[i], 0);
     if (eligible.empty()) continue;
-    double sum = 0.0;
     const Vec2 center = homo.grid.center(candidates[i]);
-    for (UserId u : eligible) {
-      const double horizontal =
-          distance(homo.users[u].pos, center);
-      sum += a2g_rate_bps(homo.channel, homo.fleet.front().radio,
-                          homo.receiver, horizontal, homo.altitude_m);
+    span_dist.resize(eligible.size());
+    for (std::size_t j = 0; j < eligible.size(); ++j) {
+      span_dist[j] = distance(homo.users[eligible[j]].pos, center);
     }
+    span_rate.resize(eligible.size());
+    evaluator.rates_bps(span_dist, span_rate);
+    double sum = 0.0;
+    for (const double rate : span_rate) sum += rate;
     sum /= static_cast<double>(eligible.size());
     mean_rate[i] = sum;
   }
@@ -146,12 +156,6 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
   }
   return finalize(scenario, coverage, best_nodes, "maxThroughput",
                   watch.elapsed_s(), stats);
-}
-
-Solution max_throughput(const Scenario& scenario,
-                        const CoverageModel& coverage,
-                        const MaxThroughputParams& params) {
-  return solve(scenario, coverage, params, nullptr);
 }
 
 }  // namespace uavcov::baselines

@@ -30,11 +30,4 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
                const MaxThroughputParams& params,
                BaselineStats* stats = nullptr);
 
-/// Deprecated pre-unification name; thin shim over solve().
-[[deprecated(
-    "use baselines::solve(scenario, coverage, MaxThroughputParams{...})")]]
-Solution max_throughput(const Scenario& scenario,
-                        const CoverageModel& coverage,
-                        const MaxThroughputParams& params = {});
-
 }  // namespace uavcov::baselines

@@ -97,9 +97,4 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
                   stats);
 }
 
-Solution mcs(const Scenario& scenario, const CoverageModel& coverage,
-             const McsParams& params) {
-  return solve(scenario, coverage, params, nullptr);
-}
-
 }  // namespace uavcov::baselines

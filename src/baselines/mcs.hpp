@@ -27,9 +27,4 @@ struct McsParams {
 Solution solve(const Scenario& scenario, const CoverageModel& coverage,
                const McsParams& params, BaselineStats* stats = nullptr);
 
-/// Deprecated pre-unification name; thin shim over solve().
-[[deprecated("use baselines::solve(scenario, coverage, McsParams{...})")]]
-Solution mcs(const Scenario& scenario, const CoverageModel& coverage,
-             const McsParams& params = {});
-
 }  // namespace uavcov::baselines

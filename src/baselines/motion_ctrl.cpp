@@ -120,9 +120,4 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
                   stats);
 }
 
-Solution motion_ctrl(const Scenario& scenario, const CoverageModel& coverage,
-                     const MotionCtrlParams& params) {
-  return solve(scenario, coverage, params, nullptr);
-}
-
 }  // namespace uavcov::baselines

@@ -30,10 +30,4 @@ struct MotionCtrlParams {
 Solution solve(const Scenario& scenario, const CoverageModel& coverage,
                const MotionCtrlParams& params, BaselineStats* stats = nullptr);
 
-/// Deprecated pre-unification name; thin shim over solve().
-[[deprecated(
-    "use baselines::solve(scenario, coverage, MotionCtrlParams{...})")]]
-Solution motion_ctrl(const Scenario& scenario, const CoverageModel& coverage,
-                     const MotionCtrlParams& params = {});
-
 }  // namespace uavcov::baselines

@@ -62,10 +62,4 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
                   watch.elapsed_s(), stats);
 }
 
-Solution random_connected(const Scenario& scenario,
-                          const CoverageModel& coverage,
-                          const RandomConnectedParams& params) {
-  return solve(scenario, coverage, params, nullptr);
-}
-
 }  // namespace uavcov::baselines

@@ -20,11 +20,4 @@ Solution solve(const Scenario& scenario, const CoverageModel& coverage,
                const RandomConnectedParams& params,
                BaselineStats* stats = nullptr);
 
-/// Deprecated pre-unification name; thin shim over solve().
-[[deprecated(
-    "use baselines::solve(scenario, coverage, RandomConnectedParams{...})")]]
-Solution random_connected(const Scenario& scenario,
-                          const CoverageModel& coverage,
-                          const RandomConnectedParams& params = {});
-
 }  // namespace uavcov::baselines

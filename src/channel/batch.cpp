@@ -1,0 +1,68 @@
+#include "channel/batch.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/units.hpp"
+
+namespace uavcov {
+
+BatchLinkEvaluator::BatchLinkEvaluator(const ChannelParams& channel,
+                                       const Radio& radio, const Receiver& rx,
+                                       double altitude_m)
+    : a_(channel.environment.a),
+      b_(channel.environment.b),
+      eta_los_db_(channel.environment.eta_los_db),
+      eta_nlos_db_(channel.environment.eta_nlos_db),
+      // Left-to-right like the scalar chain's `4.0 * π * f · d / c`: the
+      // first two products are per-pair invariant, so hoisting them keeps
+      // the remaining `(four_pi_f · d) / c` association identical.
+      four_pi_f_(4.0 * 3.14159265358979323846 * channel.carrier_hz),
+      altitude_m_(altitude_m),
+      altitude2_m2_(altitude_m * altitude_m),
+      gain_db_(radio.tx_power_dbm + radio.antenna_gain_dbi),
+      noise_dbm_(rx.noise_dbm),
+      bandwidth_hz_(rx.bandwidth_hz) {
+  UAVCOV_CHECK_MSG(altitude_m > 0, "altitude must be positive");
+  UAVCOV_CHECK_MSG(channel.carrier_hz > 0,
+                   "carrier frequency must be positive");
+  UAVCOV_CHECK_MSG(rx.bandwidth_hz > 0, "bandwidth must be positive");
+}
+
+double BatchLinkEvaluator::rate_bps(double horizontal_m) const {
+  UAVCOV_DCHECK(horizontal_m >= 0);
+  // Every line below mirrors one step of the scalar chain
+  // a2g_rate_bps → a2g_snr → a2g_pathloss_db with the invariant factors
+  // substituted; the association order of what remains is unchanged, so
+  // the result is bit-identical (channel_test::BatchMatchesScalarExactly).
+  const double d =
+      std::sqrt(horizontal_m * horizontal_m + altitude2_m2_);
+  const double fspl = 20.0 * std::log10(four_pi_f_ * d / kSpeedOfLight);
+  const double theta = rad_to_deg(std::atan2(altitude_m_, horizontal_m));
+  const double p_los = 1.0 / (1.0 + a_ * std::exp(-b_ * (theta - a_)));
+  const double l_los = fspl + eta_los_db_;
+  const double l_nlos = fspl + eta_nlos_db_;
+  const double pl = p_los * l_los + (1.0 - p_los) * l_nlos;
+  const double snr_db = gain_db_ - pl - noise_dbm_;
+  return bandwidth_hz_ * std::log2(1.0 + db_to_linear(snr_db));
+}
+
+void BatchLinkEvaluator::rates_bps(std::span<const double> horizontal_m,
+                                   std::span<double> out) const {
+  UAVCOV_CHECK_MSG(horizontal_m.size() == out.size(),
+                   "batch rate output span size mismatch");
+  for (std::size_t i = 0; i < horizontal_m.size(); ++i) {
+    out[i] = rate_bps(horizontal_m[i]);
+  }
+}
+
+void BatchLinkEvaluator::rates_from_dist2(
+    std::span<const double> horizontal2_m2, std::span<double> out) const {
+  UAVCOV_CHECK_MSG(horizontal2_m2.size() == out.size(),
+                   "batch rate output span size mismatch");
+  for (std::size_t i = 0; i < horizontal2_m2.size(); ++i) {
+    out[i] = rate_bps(std::sqrt(horizontal2_m2[i]));
+  }
+}
+
+}  // namespace uavcov

@@ -1,0 +1,59 @@
+// Batched Al-Hourani link evaluation for the million-user hot path.
+//
+// The scalar entry points (a2g_pathloss_db / a2g_rate_bps) re-derive every
+// scenario-constant subexpression per call: (4·π·f), the squared altitude,
+// and the tx-power + antenna-gain sum.  BatchLinkEvaluator hoists those
+// once per (channel, radio, receiver, altitude) tuple and evaluates whole
+// user×cell candidate spans in one pass — the access pattern FlatScenario
+// produces — while preserving the *exact* floating-point association order
+// of the scalar chain, so a batched rate is bit-identical to
+// a2g_rate_bps() for the same horizontal distance (channel_test pins this
+// with EXPECT_EQ on doubles).
+#pragma once
+
+#include <span>
+
+#include "channel/link_budget.hpp"
+
+namespace uavcov {
+
+class BatchLinkEvaluator {
+ public:
+  /// Hoists the per-pair-invariant subexpressions.  Throws ContractError on
+  /// non-positive altitude, carrier frequency, or bandwidth (the same
+  /// contracts the scalar chain checks per call).
+  BatchLinkEvaluator(const ChannelParams& channel, const Radio& radio,
+                     const Receiver& rx, double altitude_m);
+
+  /// Achievable rate for one horizontal distance — bit-identical to
+  /// a2g_rate_bps(channel, radio, rx, horizontal_m, altitude_m).
+  double rate_bps(double horizontal_m) const;
+
+  /// Batched rates over a span of horizontal distances; `out` must have
+  /// the same extent as `horizontal_m`.
+  void rates_bps(std::span<const double> horizontal_m,
+                 std::span<double> out) const;
+
+  /// Batched rates over *squared* horizontal distances — the form the CSR
+  /// candidate index stores.  Each element is evaluated as
+  /// rate_bps(sqrt(d2)), matching callers that derive the horizontal
+  /// distance with geometry's distance() (itself sqrt of the squared norm).
+  void rates_from_dist2(std::span<const double> horizontal2_m2,
+                        std::span<double> out) const;
+
+ private:
+  // Al-Hourani environment constants (copied, not referenced: evaluators
+  // outlive no scenario but are cheap enough to keep by value).
+  double a_;
+  double b_;
+  double eta_los_db_;
+  double eta_nlos_db_;
+  double four_pi_f_;    ///< (4·π)·f_c, the FSPL numerator constant.
+  double altitude_m_;
+  double altitude2_m2_; ///< altitude², hoisted out of the 3-D distance.
+  double gain_db_;      ///< P_t + g_t, hoisted out of the SNR sum.
+  double noise_dbm_;
+  double bandwidth_hz_;
+};
+
+}  // namespace uavcov

@@ -1,88 +1,54 @@
 #include "core/coverage.hpp"
 
 #include <algorithm>
-#include <map>
-#include <tuple>
 
-#include "channel/radius.hpp"
 #include "common/check.hpp"
 
 namespace uavcov {
 
-namespace {
-/// Key for grouping UAVs with identical radios (exact bit comparison is
-/// fine — specs come from configuration, not arithmetic).
-struct RadioKey {
-  double tx, gain, range;
-  bool operator<(const RadioKey& o) const {
-    return std::tie(tx, gain, range) < std::tie(o.tx, o.gain, o.range);
-  }
-};
-}  // namespace
-
-CoverageModel::CoverageModel(const Scenario& scenario) : scenario_(scenario) {
-  scenario.validate();
-
-  // 1. Group the fleet into radio classes.
-  std::map<RadioKey, std::int32_t> class_of;
-  uav_class_.reserve(scenario.fleet.size());
-  for (const UavSpec& u : scenario.fleet) {
-    const RadioKey key{u.radio.tx_power_dbm, u.radio.antenna_gain_dbi,
-                       u.user_range_m};
-    auto [it, inserted] = class_of.try_emplace(
-        key, static_cast<std::int32_t>(class_specs_.size()));
-    if (inserted) class_specs_.push_back({u.radio, u.user_range_m});
-    uav_class_.push_back(it->second);
-  }
-
-  // 2. Effective service radius per (class, distinct r_min): the rate is
-  //    monotone decreasing in horizontal distance, so eligibility is a
-  //    disc of radius min(R_user, radius where rate == r_min).
-  const std::int32_t classes = radio_class_count();
-  std::map<std::pair<std::int32_t, double>, double> radius_cache;
-  const auto effective_radius = [&](std::int32_t c, double min_rate) {
-    auto [it, inserted] = radius_cache.try_emplace({c, min_rate}, 0.0);
-    if (inserted) {
-      const ClassSpec& spec = class_specs_[static_cast<std::size_t>(c)];
-      const double rate_radius = max_service_radius(
-          scenario_.channel, spec.radio, scenario_.receiver,
-          scenario_.altitude_m, min_rate, /*max_radius_m=*/
-          std::max(spec.user_range_m * 4.0, 1000.0));
-      it->second = std::min(spec.user_range_m, rate_radius);
-    }
-    return it->second;
-  };
-
-  // 3. Scatter users into per-(location, class) buckets.
+CoverageModel::CoverageModel(const Scenario& scenario)
+    : scenario_(scenario), flat_(scenario) {
+  // The FlatScenario constructor validated the instance and built the CSR
+  // candidate index: per-cell user lists restricted to each user's
+  // *largest* per-class effective radius, with squared center distances
+  // stored alongside.  Per-(location, class) eligibility is the subset
+  // with dist² ≤ r_c(u)² — a filter over the flat spans, no geometry and
+  // no per-bucket allocation.  Candidate users are ascending by UserId
+  // within each cell and the per-class radius is never larger than the
+  // candidate radius, so the filtered lists reproduce the old
+  // per-(user, class) centers_within memberships and ordering bit for bit.
+  const std::int32_t classes = flat_.radio_class_count();
   const std::size_t slots =
       static_cast<std::size_t>(scenario.grid.size()) *
       static_cast<std::size_t>(classes);
-  std::vector<std::vector<UserId>> buckets(slots);
-  for (const UserId i : scenario.user_ids()) {
-    const User& user = scenario.users[i];
+
+  eligible_.resize(slots);
+  std::int64_t total = 0;
+  for (const LocationId v : scenario.grid.cells()) {
+    const std::span<const UserId> users = flat_.users_near(v);
+    const std::span<const double> dist2 = flat_.dist2_near(v);
     for (std::int32_t c = 0; c < classes; ++c) {
-      const double radius = effective_radius(c, user.min_rate_bps);
-      if (radius <= 0) continue;
-      for (const LocationId v :
-           scenario.grid.centers_within(user.pos, radius)) {
-        buckets[v.index() * static_cast<std::size_t>(classes) +
-                static_cast<std::size_t>(c)]
-            .push_back(i);
+      for (std::size_t i = 0; i < users.size(); ++i) {
+        if (dist2[i] <= flat_.effective_radius2(users[i], c)) ++total;
       }
     }
   }
-
-  // 4. Flatten into CSR slices (user ids are appended in ascending order
-  //    already because the outer loop runs over i ascending).
-  eligible_.resize(slots);
-  std::int64_t total = 0;
-  for (const auto& b : buckets) total += static_cast<std::int64_t>(b.size());
   users_flat_.reserve(static_cast<std::size_t>(total));
-  for (std::size_t slot = 0; slot < slots; ++slot) {
-    const std::int64_t begin = static_cast<std::int64_t>(users_flat_.size());
-    users_flat_.insert(users_flat_.end(), buckets[slot].begin(),
-                       buckets[slot].end());
-    eligible_[slot] = {begin, static_cast<std::int64_t>(users_flat_.size())};
+  for (const LocationId v : scenario.grid.cells()) {
+    const std::span<const UserId> users = flat_.users_near(v);
+    const std::span<const double> dist2 = flat_.dist2_near(v);
+    for (std::int32_t c = 0; c < classes; ++c) {
+      const std::int64_t begin =
+          static_cast<std::int64_t>(users_flat_.size());
+      for (std::size_t i = 0; i < users.size(); ++i) {
+        if (dist2[i] <= flat_.effective_radius2(users[i], c)) {
+          users_flat_.push_back(users[i]);
+        }
+      }
+      eligible_[v.index() * static_cast<std::size_t>(classes) +
+                static_cast<std::size_t>(c)] = {
+          begin, static_cast<std::int64_t>(users_flat_.size())};
+    }
   }
 
   max_coverage_.assign(static_cast<std::size_t>(scenario.grid.size()), 0);

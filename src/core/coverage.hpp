@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/flat.hpp"
 #include "core/scenario.hpp"
 
 namespace uavcov {
@@ -20,13 +21,20 @@ class CoverageModel {
  public:
   explicit CoverageModel(const Scenario& scenario);
 
+  /// The flat SoA/CSR view the eligibility lists are derived from —
+  /// shared with assignment and the baselines so the geometric pass runs
+  /// once per scenario.
+  const FlatScenario& flat() const { return flat_; }
+
   /// Number of distinct radio classes in the fleet (often 1 or 2).
   std::int32_t radio_class_count() const {
-    return static_cast<std::int32_t>(class_specs_.size());
+    return flat_.radio_class_count();
   }
 
   /// Radio class of UAV k.
-  std::int32_t radio_class_of(UavId k) const { return uav_class_[k]; }
+  std::int32_t radio_class_of(UavId k) const {
+    return flat_.radio_class_of(k);
+  }
 
   /// Users eligible to be served by a class-`c` UAV at location `v`
   /// (sorted by UserId ascending).
@@ -46,14 +54,8 @@ class CoverageModel {
                    UavId k) const;
 
  private:
-  struct ClassSpec {
-    Radio radio;
-    double user_range_m;
-  };
-
   const Scenario& scenario_;
-  std::vector<ClassSpec> class_specs_;
-  IdVector<UavTag, std::int32_t> uav_class_;
+  FlatScenario flat_;
 
   // eligible_[v * classes + c] → flat slice [begin, end) into users_flat_.
   std::vector<std::pair<std::int64_t, std::int64_t>> eligible_;

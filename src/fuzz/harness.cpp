@@ -2,6 +2,8 @@
 
 #include <array>
 #include <sstream>
+#include <string_view>
+#include <type_traits>
 #include <vector>
 
 #include "analysis/audit.hpp"
@@ -98,10 +100,24 @@ void check_solutions_identical(const Solution& a, const Solution& b) {
 }
 
 template <typename T>
-std::string to_text(const T& value, void (*save)(std::ostream&, const T&)) {
+std::string serialized(const T& value, io::Format format) {
   std::ostringstream out;
-  save(out, value);
+  if constexpr (std::is_same_v<T, Scenario>) {
+    io::save_scenario(out, value, format);
+  } else {
+    io::save_solution(out, value, format);
+  }
   return out.str();
+}
+
+template <typename T>
+std::string to_text(const T& value) {
+  return serialized(value, io::Format::kText);
+}
+
+template <typename T>
+std::string to_binary(const T& value) {
+  return serialized(value, io::Format::kBinary);
 }
 
 }  // namespace
@@ -249,15 +265,19 @@ void run_serialize_roundtrip_harness(const std::uint8_t* data,
     // exception types are what the sanitizers + this catch list reject.
     const std::string text = r.take_rest_as_string();
     try {
-      std::istringstream in(text);
-      const Scenario scenario = io::load_scenario(in);
-      // Anything that parsed must re-serialize to a fixed point.
-      const std::string saved =
-          to_text<Scenario>(scenario, io::save_scenario);
-      std::istringstream again(saved);
-      require(to_text<Scenario>(io::load_scenario(again),
-                                io::save_scenario) == saved,
+      // load_scenario sniffs the magic, so raw bytes starting with
+      // "UAVCBIN1" drive the binary parser (header/table/checksum
+      // validation) and everything else drives the text parser.
+      const Scenario scenario = io::load_scenario(std::string_view(text));
+      // Anything that parsed must re-serialize to a fixed point, in both
+      // formats.
+      const std::string saved = to_text(scenario);
+      require(to_text(io::load_scenario(std::string_view(saved))) == saved,
               "re-serialized scenario is not a fixed point");
+      const std::string binary = to_binary(scenario);
+      require(to_binary(io::load_scenario(std::string_view(binary))) ==
+                  binary,
+              "re-serialized binary scenario is not a fixed point");
     } catch (const ContractError&) {
     } catch (const std::invalid_argument&) {
     }
@@ -278,17 +298,31 @@ void run_serialize_roundtrip_harness(const std::uint8_t* data,
   // exact same bytes (the format writes max_digits10 floats).
   ScenarioLimits limits;
   const Scenario scenario = decode_scenario(r, limits);
-  const std::string text = to_text<Scenario>(scenario, io::save_scenario);
-  std::istringstream in(text);
+  const std::string text = to_text(scenario);
   Scenario loaded = scenario;
   try {
-    loaded = io::load_scenario(in);
+    loaded = io::load_scenario(std::string_view(text));
   } catch (const ContractError& e) {
     throw FuzzFailure(std::string("saved scenario failed to load: ") +
                       e.what());
   }
-  require(to_text<Scenario>(loaded, io::save_scenario) == text,
-          "scenario round trip is not bit-exact");
+  require(to_text(loaded) == text, "scenario round trip is not bit-exact");
+
+  // Binary round trip: save→load→save must reproduce the exact bytes, and
+  // a scenario that crossed text↔binary must keep its fingerprint (the
+  // identity the regression suite pins).
+  const std::string binary = to_binary(scenario);
+  Scenario bin_loaded = scenario;
+  try {
+    bin_loaded = io::load_scenario(std::string_view(binary));
+  } catch (const ContractError& e) {
+    throw FuzzFailure(std::string("saved binary scenario failed to load: ") +
+                      e.what());
+  }
+  require(to_binary(bin_loaded) == binary,
+          "binary scenario round trip is not byte-exact");
+  require(bin_loaded.fingerprint() == loaded.fingerprint(),
+          "text/binary scenario fingerprints diverge");
 
   const CoverageModel coverage(scenario);
   const std::vector<Deployment> deployments =
@@ -301,16 +335,22 @@ void run_serialize_roundtrip_harness(const std::uint8_t* data,
   solution.user_to_deployment = assignment.user_to_deployment;
   solution.served = assignment.served;
   solution.solve_seconds = r.take_double(0.0, 100.0);
-  const std::string sol_text = to_text<Solution>(solution, io::save_solution);
-  std::istringstream sol_in(sol_text);
+  const std::string sol_text = to_text(solution);
   const Solution sol_loaded =
-      io::load_solution(sol_in, scenario.user_count());
-  require(to_text<Solution>(sol_loaded, io::save_solution) == sol_text,
+      io::load_solution(std::string_view(sol_text), scenario.user_count());
+  require(to_text(sol_loaded) == sol_text,
           "solution round trip is not bit-exact");
   require(sol_loaded.served == solution.served &&
               sol_loaded.deployments == solution.deployments &&
               sol_loaded.user_to_deployment == solution.user_to_deployment,
           "loaded solution differs from the saved one");
+  const std::string sol_binary = to_binary(solution);
+  const Solution sol_bin_loaded =
+      io::load_solution(std::string_view(sol_binary), scenario.user_count());
+  require(to_binary(sol_bin_loaded) == sol_binary,
+          "binary solution round trip is not byte-exact");
+  require(sol_bin_loaded.fingerprint() == sol_loaded.fingerprint(),
+          "text/binary solution fingerprints diverge");
 
   // CSV quoting must invert through the parser for arbitrary cell bytes.
   const char palette[] = {'a', 'B', '7', ',', '"', '\n', '\r', ' '};

@@ -8,19 +8,33 @@
 #include <sstream>
 
 #include "common/check.hpp"
+#include "io/binary.hpp"
 
 namespace uavcov::io {
 
 namespace {
 
+// Files open in binary mode for both formats: the loaders sniff bytes, and
+// on POSIX text output is byte-identical either way (golden fixtures are
+// unchanged).
 void open_checked(std::ifstream& in, const std::string& path) {
-  in.open(path);
+  in.open(path, std::ios::in | std::ios::binary);
   UAVCOV_CHECK_MSG(in.good(), "cannot open for reading: " + path);
 }
 
 void open_checked(std::ofstream& out, const std::string& path) {
-  out.open(path);
+  out.open(path, std::ios::out | std::ios::binary);
   UAVCOV_CHECK_MSG(out.good(), "cannot open for writing: " + path);
+}
+
+/// The single read the format-agnostic loaders work from.
+std::string slurp(std::istream& in) {
+  std::string data;
+  char buffer[1 << 16];
+  while (in.read(buffer, sizeof(buffer)) || in.gcount() > 0) {
+    data.append(buffer, static_cast<std::size_t>(in.gcount()));
+  }
+  return data;
 }
 
 /// Reads the next non-comment, non-empty line; returns false at EOF.
@@ -66,9 +80,30 @@ void expect_end(Record& r) {
                                       "' in record '" + r.key + "'");
 }
 
+/// Names the binary format when its magic reaches the text parser, instead
+/// of quoting a line of raw sections as a "bad header".  The dispatching
+/// loaders normally catch this earlier; this guards direct text parses.
+void reject_binary_input(const std::string& line, const std::string& magic) {
+  UAVCOV_CHECK_MSG(
+      !has_binary_scenario_magic(line),
+      "expected text '" + magic +
+          "' input but detected a binary uavcov scenario (magic " +
+          std::string(kBinaryScenarioMagic) +
+          "); the text parser cannot read it — load through io::load_* to "
+          "auto-detect the format");
+  UAVCOV_CHECK_MSG(
+      !has_binary_solution_magic(line),
+      "expected text '" + magic +
+          "' input but detected a binary uavcov solution (magic " +
+          std::string(kBinarySolutionMagic) +
+          "); the text parser cannot read it — load through io::load_* to "
+          "auto-detect the format");
+}
+
 void expect_magic(std::istream& in, const std::string& magic) {
   std::string line;
   UAVCOV_CHECK_MSG(next_record(in, line), "empty input, expected " + magic);
+  reject_binary_input(line, magic);
   Record r = parse_record(line);
   const auto version = read_arg<std::string>(r, "version");
   UAVCOV_CHECK_MSG(r.key == magic && version == "v1",
@@ -82,9 +117,7 @@ std::ostream& full_precision(std::ostream& out) {
   return out;
 }
 
-}  // namespace
-
-void save_scenario(std::ostream& out, const Scenario& scenario) {
+void save_scenario_text(std::ostream& out, const Scenario& scenario) {
   full_precision(out);
   out << "uavcov-scenario v1\n";
   out << "# disaster area: width height cell_side (meters)\n";
@@ -109,7 +142,7 @@ void save_scenario(std::ostream& out, const Scenario& scenario) {
   }
 }
 
-Scenario load_scenario(std::istream& in) {
+Scenario load_scenario_text(std::istream& in) {
   expect_magic(in, "uavcov-scenario");
   double width = 0, height = 0, cell = 0;
   Scenario* scenario = nullptr;
@@ -172,7 +205,7 @@ Scenario load_scenario(std::istream& in) {
   return result;
 }
 
-void save_solution(std::ostream& out, const Solution& solution) {
+void save_solution_text(std::ostream& out, const Solution& solution) {
   full_precision(out);
   out << "uavcov-solution v1\n";
   out << "algorithm " << solution.algorithm << '\n';
@@ -189,8 +222,7 @@ void save_solution(std::ostream& out, const Solution& solution) {
   }
 }
 
-Solution load_solution(std::istream& in, std::int32_t user_count) {
-  UAVCOV_CHECK_MSG(user_count >= 0, "user count must be nonnegative");
+Solution load_solution_text(std::istream& in, std::int32_t user_count) {
   expect_magic(in, "uavcov-solution");
   Solution solution;
   solution.user_to_deployment.assign(static_cast<std::size_t>(user_count),
@@ -245,10 +277,62 @@ Solution load_solution(std::istream& in, std::int32_t user_count) {
   return solution;
 }
 
-void save_scenario_file(const std::string& path, const Scenario& scenario) {
+}  // namespace
+
+void save_scenario(std::ostream& out, const Scenario& scenario,
+                   Format format) {
+  if (format == Format::kBinary) {
+    save_scenario_binary(out, scenario);
+    return;
+  }
+  save_scenario_text(out, scenario);
+}
+
+Scenario load_scenario(std::string_view bytes) {
+  if (has_binary_scenario_magic(bytes)) return load_scenario_binary(bytes);
+  UAVCOV_CHECK_MSG(
+      !has_binary_solution_magic(bytes),
+      "load_scenario: input is a binary uavcov solution (magic " +
+          std::string(kBinarySolutionMagic) + "), not a scenario");
+  std::istringstream in{std::string(bytes)};
+  return load_scenario_text(in);
+}
+
+Scenario load_scenario(std::istream& in) {
+  return load_scenario(std::string_view(slurp(in)));
+}
+
+void save_solution(std::ostream& out, const Solution& solution,
+                   Format format) {
+  if (format == Format::kBinary) {
+    save_solution_binary(out, solution);
+    return;
+  }
+  save_solution_text(out, solution);
+}
+
+Solution load_solution(std::string_view bytes, std::int32_t user_count) {
+  UAVCOV_CHECK_MSG(user_count >= 0, "user count must be nonnegative");
+  if (has_binary_solution_magic(bytes)) {
+    return load_solution_binary(bytes, user_count);
+  }
+  UAVCOV_CHECK_MSG(
+      !has_binary_scenario_magic(bytes),
+      "load_solution: input is a binary uavcov scenario (magic " +
+          std::string(kBinaryScenarioMagic) + "), not a solution");
+  std::istringstream in{std::string(bytes)};
+  return load_solution_text(in, user_count);
+}
+
+Solution load_solution(std::istream& in, std::int32_t user_count) {
+  return load_solution(std::string_view(slurp(in)), user_count);
+}
+
+void save_scenario_file(const std::string& path, const Scenario& scenario,
+                        Format format) {
   std::ofstream out;
   open_checked(out, path);
-  save_scenario(out, scenario);
+  save_scenario(out, scenario, format);
 }
 
 Scenario load_scenario_file(const std::string& path) {
@@ -257,10 +341,11 @@ Scenario load_scenario_file(const std::string& path) {
   return load_scenario(in);
 }
 
-void save_solution_file(const std::string& path, const Solution& solution) {
+void save_solution_file(const std::string& path, const Solution& solution,
+                        Format format) {
   std::ofstream out;
   open_checked(out, path);
-  save_solution(out, solution);
+  save_solution(out, solution, format);
 }
 
 Solution load_solution_file(const std::string& path,

@@ -1,9 +1,11 @@
-// Plain-text persistence for scenarios and solutions.
+// Scenario / solution persistence: one format-agnostic API over two
+// on-disk formats.
 //
-// Format: a versioned, line-oriented `key value...` format (one record per
-// line, '#' comments) — trivially diffable, stable across platforms, and
-// parsed without third-party dependencies.  Floating-point values are
-// written with max_digits10 so a save/load round trip is bit-exact.
+// *Text* (the default) is a versioned, line-oriented `key value...` format
+// (one record per line, '#' comments) — trivially diffable, stable across
+// platforms, and parsed without third-party dependencies.  Floating-point
+// values are written with max_digits10 so a save/load round trip is
+// bit-exact.
 //
 //   uavcov-scenario v1
 //   area 3000 3000 300
@@ -20,33 +22,62 @@
 //   solve_seconds 12.5
 //   deployment <uav> <loc>         (per deployment)
 //   assignment <user> <deployment> (served users only)
+//
+// *Binary* (io/binary.hpp) is the column-oriented, checksummed format for
+// large instances — at 10^6 users the text parser's per-field strtod
+// dominates end-to-end time, the binary loader is one read plus memcpys.
+//
+// The loaders take either format: they read the input once, sniff the
+// leading magic, and dispatch ("UAVCBIN1"/"UAVCSOL1" → binary, anything
+// else → the text parser).  Callers choose a format only when *saving*,
+// via the Format argument (text by default, so existing fixtures and
+// golden files are unchanged).  Feeding a solution where a scenario is
+// expected (or vice versa, in either format) fails with a ContractError
+// naming the format that was actually detected.
 #pragma once
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 
 #include "core/scenario.hpp"
 #include "core/solution.hpp"
 
 namespace uavcov::io {
 
-void save_scenario(std::ostream& out, const Scenario& scenario);
-void save_scenario_file(const std::string& path, const Scenario& scenario);
+/// On-disk encoding selector for the save entry points.  Loaders never
+/// take one — they detect the format from the input's magic.
+enum class Format {
+  kText,    ///< line-oriented records (diffable; the default).
+  kBinary,  ///< sectioned little-endian columns (io/binary.hpp).
+};
 
-/// Parses a scenario; throws ContractError on malformed input (wrong
-/// magic/version, unknown keys, bad or trailing record arguments,
+void save_scenario(std::ostream& out, const Scenario& scenario,
+                   Format format = Format::kText);
+void save_scenario_file(const std::string& path, const Scenario& scenario,
+                        Format format = Format::kText);
+
+/// Parses a scenario in either format (sniffed from the magic); throws
+/// ContractError on malformed input (wrong magic/version, unknown keys or
+/// sections, bad or trailing record arguments, checksum mismatches,
 /// non-finite or overflowing grid dimensions).  Never truncates silently.
 Scenario load_scenario(std::istream& in);
+/// Same, from an in-memory image.
+Scenario load_scenario(std::string_view bytes);
 Scenario load_scenario_file(const std::string& path);
 
-void save_solution(std::ostream& out, const Solution& solution);
-void save_solution_file(const std::string& path, const Solution& solution);
+void save_solution(std::ostream& out, const Solution& solution,
+                   Format format = Format::kText);
+void save_solution_file(const std::string& path, const Solution& solution,
+                        Format format = Format::kText);
 
-/// Parses a solution.  `user_count` sizes the assignment vector (users not
-/// listed are unserved).  Throws ContractError on malformed input: negative
-/// ids/counts, users out of [0, user_count), duplicate assignments, and
-/// assignments referencing deployments the file never declared.
+/// Parses a solution in either format.  `user_count` sizes the assignment
+/// vector (users not listed are unserved).  Throws ContractError on
+/// malformed input: negative ids/counts, users out of [0, user_count),
+/// duplicate assignments, and assignments referencing deployments the
+/// input never declared.
 Solution load_solution(std::istream& in, std::int32_t user_count);
+Solution load_solution(std::string_view bytes, std::int32_t user_count);
 Solution load_solution_file(const std::string& path,
                             std::int32_t user_count);
 

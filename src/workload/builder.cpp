@@ -1,0 +1,14 @@
+#include "workload/builder.hpp"
+
+namespace uavcov::workload {
+
+Scenario ScenarioBuilder::build() const {
+  Rng rng(seed_);
+  return build(rng);
+}
+
+Scenario ScenarioBuilder::build(Rng& rng) const {
+  return make_disaster_scenario(config_, rng);
+}
+
+}  // namespace uavcov::workload

@@ -1,0 +1,119 @@
+// Fluent construction of generated scenarios.
+//
+// ScenarioConfig is a plain aggregate with three nested config structs;
+// assembling one field by field reads fine in a config file but buries the
+// scenario's shape in boilerplate at call sites.  ScenarioBuilder wraps
+// the same POD behind chainable setters so the common cases are one
+// expression:
+//
+//   Scenario s = ScenarioBuilder()
+//                    .area(3000.0, 3000.0)
+//                    .cell_side(300.0)
+//                    .users(800)
+//                    .uavs(10)
+//                    .seed(2024)
+//                    .build();
+//
+// The builder adds no policy of its own: every setter writes exactly one
+// ScenarioConfig (or nested) field, defaults are the struct defaults, and
+// build() calls make_disaster_scenario — a builder-made scenario is
+// bit-identical to one made from the equivalent hand-filled config and the
+// same seed, which tests/builder_test.cpp pins.  config() exposes the
+// accumulated POD for code that needs to cross back (e.g. bench harnesses
+// logging the exact configuration).
+#pragma once
+
+#include <cstdint>
+
+#include "workload/scenario_gen.hpp"
+
+namespace uavcov::workload {
+
+class ScenarioBuilder {
+ public:
+  ScenarioBuilder() = default;
+
+  /// Starts from an existing config (all setters still apply on top).
+  explicit ScenarioBuilder(const ScenarioConfig& config) : config_(config) {}
+
+  ScenarioBuilder& area(double width_m, double height_m) {
+    config_.width_m = width_m;
+    config_.height_m = height_m;
+    return *this;
+  }
+  ScenarioBuilder& cell_side(double cell_side_m) {
+    config_.cell_side_m = cell_side_m;
+    return *this;
+  }
+  ScenarioBuilder& altitude(double altitude_m) {
+    config_.altitude_m = altitude_m;
+    return *this;
+  }
+  ScenarioBuilder& uav_range(double uav_range_m) {
+    config_.uav_range_m = uav_range_m;
+    return *this;
+  }
+  ScenarioBuilder& min_rate(double min_rate_bps) {
+    config_.min_rate_bps = min_rate_bps;
+    return *this;
+  }
+
+  ScenarioBuilder& users(std::int32_t user_count) {
+    config_.user_count = user_count;
+    return *this;
+  }
+  ScenarioBuilder& fat_tailed_users(const FatTailedConfig& fat_tailed) {
+    config_.distribution = UserDistribution::kFatTailed;
+    config_.fat_tailed = fat_tailed;
+    return *this;
+  }
+  ScenarioBuilder& uniform_users() {
+    config_.distribution = UserDistribution::kUniform;
+    return *this;
+  }
+
+  ScenarioBuilder& uavs(std::int32_t uav_count) {
+    config_.fleet.uav_count = uav_count;
+    return *this;
+  }
+  ScenarioBuilder& capacity_range(std::int32_t capacity_min,
+                                  std::int32_t capacity_max) {
+    config_.fleet.capacity_min = capacity_min;
+    config_.fleet.capacity_max = capacity_max;
+    return *this;
+  }
+  ScenarioBuilder& user_range(double user_range_m) {
+    config_.fleet.user_range_m = user_range_m;
+    return *this;
+  }
+  /// Radio-heterogeneous fleets: `fraction` of UAVs get the heavy radio
+  /// class (see FleetConfig).
+  ScenarioBuilder& heavy_fraction(double fraction) {
+    config_.fleet.heavy_fraction = fraction;
+    return *this;
+  }
+  ScenarioBuilder& fleet(const FleetConfig& fleet) {
+    config_.fleet = fleet;
+    return *this;
+  }
+
+  /// Generator seed for build(); build(Rng&) ignores it.
+  ScenarioBuilder& seed(std::uint64_t seed) {
+    seed_ = seed;
+    return *this;
+  }
+
+  /// The accumulated configuration (what build() will generate from).
+  const ScenarioConfig& config() const { return config_; }
+
+  /// Generates with a fresh Rng(seed()) — the common case.
+  Scenario build() const;
+  /// Generates from a caller-owned Rng (for streams of scenarios).
+  Scenario build(Rng& rng) const;
+
+ private:
+  ScenarioConfig config_{};
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace uavcov::workload

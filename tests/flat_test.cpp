@@ -1,0 +1,188 @@
+// FlatScenario (core/flat.hpp): the CSR candidate index and the batched
+// channel evaluator are checked against first-principles brute force —
+// membership, ordering, stored distances, the transpose, and bit-exact
+// agreement with the scalar a2g chain.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "channel/batch.hpp"
+#include "channel/link_budget.hpp"
+#include "core/coverage.hpp"
+#include "core/flat.hpp"
+#include "workload/builder.hpp"
+
+namespace uavcov {
+namespace {
+
+Scenario heterogeneous_scenario(std::uint64_t seed) {
+  // heavy_fraction > 0 forces two radio classes so the per-class paths
+  // (radii, evaluators, eligibility filters) are all exercised.
+  return workload::ScenarioBuilder()
+      .area(1800.0, 1200.0)
+      .cell_side(300.0)
+      .users(180)
+      .uavs(7)
+      .heavy_fraction(0.4)
+      .seed(seed)
+      .build();
+}
+
+TEST(FlatScenario, SoAColumnsMirrorScenario) {
+  const Scenario scenario = heterogeneous_scenario(11);
+  const FlatScenario flat(scenario);
+  ASSERT_EQ(flat.user_count(), scenario.user_count());
+  ASSERT_EQ(flat.uav_count(), scenario.uav_count());
+  for (const UserId u : scenario.user_ids()) {
+    EXPECT_EQ(flat.user_x()[u.index()], scenario.users[u].pos.x);
+    EXPECT_EQ(flat.user_y()[u.index()], scenario.users[u].pos.y);
+    EXPECT_EQ(flat.user_min_rate_bps()[u.index()],
+              scenario.users[u].min_rate_bps);
+  }
+  for (const UavId k : scenario.uav_ids()) {
+    EXPECT_EQ(flat.uav_capacity()[k.index()], scenario.fleet[k].capacity);
+    EXPECT_EQ(flat.uav_user_range_m()[k.index()],
+              scenario.fleet[k].user_range_m);
+  }
+}
+
+TEST(FlatScenario, CsrMatchesBruteForceAndIsSorted) {
+  const Scenario scenario = heterogeneous_scenario(12);
+  const FlatScenario flat(scenario);
+  const std::int32_t classes = flat.radio_class_count();
+  ASSERT_GE(classes, 2);
+
+  // Per-user candidate radius: the largest per-class effective radius.
+  std::vector<double> max_radius(static_cast<std::size_t>(
+      scenario.user_count()));
+  for (const UserId u : scenario.user_ids()) {
+    double r = 0.0;
+    for (std::int32_t c = 0; c < classes; ++c) {
+      r = std::max(r, flat.effective_radius_m(
+                          c, scenario.users[u].min_rate_bps));
+    }
+    max_radius[u.index()] = r;
+  }
+
+  std::int64_t pairs = 0;
+  for (const LocationId v : scenario.grid.cells()) {
+    const Vec2 center = scenario.grid.center(v);
+    std::vector<UserId> expected;
+    for (const UserId u : scenario.user_ids()) {
+      const double r = max_radius[u.index()];
+      if (r > 0.0 &&
+          distance2(center, scenario.users[u].pos) <= r * r) {
+        expected.push_back(u);  // ascending by construction
+      }
+    }
+    const auto got = flat.users_near(v);
+    const auto dist2s = flat.dist2_near(v);
+    ASSERT_EQ(got.size(), expected.size());
+    ASSERT_EQ(dist2s.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(got[i], expected[i]);
+      // Stored distances are the exact same expression the scalar path
+      // evaluates — bitwise equality, not tolerance.
+      EXPECT_EQ(dist2s[i],
+                distance2(center, scenario.users[expected[i]].pos));
+    }
+    pairs += static_cast<std::int64_t>(got.size());
+  }
+  EXPECT_EQ(flat.candidate_pair_count(), pairs);
+}
+
+TEST(FlatScenario, TransposeIsConsistent) {
+  const Scenario scenario = heterogeneous_scenario(13);
+  const FlatScenario flat(scenario);
+
+  std::int64_t transpose_pairs = 0;
+  for (const UserId u : scenario.user_ids()) {
+    const auto cells = flat.cells_near(u);
+    transpose_pairs += static_cast<std::int64_t>(cells.size());
+    EXPECT_TRUE(std::is_sorted(cells.begin(), cells.end()));
+    for (const LocationId v : cells) {
+      const auto users = flat.users_near(v);
+      EXPECT_TRUE(std::binary_search(users.begin(), users.end(), u))
+          << "cells_near/users_near disagree for user " << u.value()
+          << " cell " << v.value();
+    }
+  }
+  EXPECT_EQ(transpose_pairs, flat.candidate_pair_count());
+}
+
+TEST(FlatScenario, EligibilityFilterMatchesCoverageModel) {
+  const Scenario scenario = heterogeneous_scenario(14);
+  const CoverageModel coverage(scenario);
+  const FlatScenario& flat = coverage.flat();
+  for (const LocationId v : scenario.grid.cells()) {
+    const auto candidates = flat.users_near(v);
+    const auto dist2s = flat.dist2_near(v);
+    for (std::int32_t c = 0; c < flat.radio_class_count(); ++c) {
+      std::vector<UserId> filtered;
+      for (std::size_t i = 0; i < candidates.size(); ++i) {
+        if (dist2s[i] <= flat.effective_radius2(candidates[i], c)) {
+          filtered.push_back(candidates[i]);
+        }
+      }
+      const auto eligible = coverage.eligible_users(v, c);
+      ASSERT_EQ(eligible.size(), filtered.size());
+      for (std::size_t i = 0; i < filtered.size(); ++i) {
+        EXPECT_EQ(eligible[i], filtered[i]);
+      }
+    }
+  }
+}
+
+TEST(BatchLinkEvaluator, BitExactAgainstScalarChain) {
+  const Scenario scenario = heterogeneous_scenario(15);
+  const FlatScenario flat(scenario);
+  std::vector<double> distances;
+  for (double d = 0.0; d <= 900.0; d += 37.5) distances.push_back(d);
+
+  for (std::int32_t c = 0; c < flat.radio_class_count(); ++c) {
+    const BatchLinkEvaluator evaluator = flat.class_evaluator(c);
+    std::vector<double> rates(distances.size());
+    evaluator.rates_bps(distances, rates);
+    std::vector<double> dist2(distances.size());
+    for (std::size_t i = 0; i < distances.size(); ++i) {
+      dist2[i] = distances[i] * distances[i];
+    }
+    std::vector<double> rates_from_d2(distances.size());
+    evaluator.rates_from_dist2(dist2, rates_from_d2);
+
+    for (std::size_t i = 0; i < distances.size(); ++i) {
+      const double scalar =
+          a2g_rate_bps(scenario.channel, flat.class_radio(c),
+                       scenario.receiver, distances[i],
+                       scenario.altitude_m);
+      // EXPECT_EQ on doubles: the batch path must reproduce the scalar
+      // chain bit for bit, or golden fingerprints would drift.
+      EXPECT_EQ(rates[i], scalar) << "class " << c << " d=" << distances[i];
+      EXPECT_EQ(rates_from_d2[i],
+                evaluator.rate_bps(std::sqrt(dist2[i])));
+    }
+  }
+}
+
+TEST(FlatScenario, RatesNearAlignsWithCandidates) {
+  const Scenario scenario = heterogeneous_scenario(16);
+  const FlatScenario flat(scenario);
+  std::vector<double> rates;
+  for (const LocationId v : scenario.grid.cells()) {
+    const auto users = flat.users_near(v);
+    const auto dist2s = flat.dist2_near(v);
+    for (std::int32_t c = 0; c < flat.radio_class_count(); ++c) {
+      flat.rates_near(v, c, rates);
+      ASSERT_EQ(rates.size(), users.size());
+      const BatchLinkEvaluator evaluator = flat.class_evaluator(c);
+      for (std::size_t i = 0; i < users.size(); ++i) {
+        EXPECT_EQ(rates[i], evaluator.rate_bps(std::sqrt(dist2s[i])));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace uavcov

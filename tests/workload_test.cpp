@@ -6,6 +6,7 @@
 #include <map>
 
 #include "common/rng.hpp"
+#include "workload/builder.hpp"
 #include "workload/distributions.hpp"
 #include "workload/fleet.hpp"
 #include "workload/scenario_gen.hpp"
@@ -202,6 +203,61 @@ TEST(ScenarioGen, PaperScaleParametersAccepted) {
   config.fleet.uav_count = 5;
   const Scenario sc = make_disaster_scenario(config, rng);
   EXPECT_EQ(sc.grid.size(), 3600);
+}
+
+TEST(ScenarioBuilder, BitIdenticalToHandFilledConfig) {
+  // The builder adds no policy: same fields + same seed → the same
+  // instance, down to the fingerprint.
+  ScenarioConfig config;
+  config.width_m = 2400.0;
+  config.height_m = 1800.0;
+  config.cell_side_m = 300.0;
+  config.user_count = 120;
+  config.min_rate_bps = 4e3;
+  config.fleet.uav_count = 6;
+  config.fleet.capacity_min = 40;
+  config.fleet.capacity_max = 200;
+  config.fleet.heavy_fraction = 0.5;
+  Rng rng(99);
+  const Scenario by_config = make_disaster_scenario(config, rng);
+
+  const Scenario by_builder = ScenarioBuilder()
+                                  .area(2400.0, 1800.0)
+                                  .cell_side(300.0)
+                                  .users(120)
+                                  .min_rate(4e3)
+                                  .uavs(6)
+                                  .capacity_range(40, 200)
+                                  .heavy_fraction(0.5)
+                                  .seed(99)
+                                  .build();
+  EXPECT_EQ(by_builder.fingerprint(), by_config.fingerprint());
+}
+
+TEST(ScenarioBuilder, SettersWriteExactlyTheNamedFields) {
+  const ScenarioBuilder builder = ScenarioBuilder()
+                                      .altitude(250.0)
+                                      .uav_range(700.0)
+                                      .user_range(450.0)
+                                      .uniform_users();
+  const ScenarioConfig& config = builder.config();
+  EXPECT_EQ(config.altitude_m, 250.0);
+  EXPECT_EQ(config.uav_range_m, 700.0);
+  EXPECT_EQ(config.fleet.user_range_m, 450.0);
+  EXPECT_EQ(config.distribution, UserDistribution::kUniform);
+  // Untouched fields keep the struct defaults.
+  const ScenarioConfig defaults;
+  EXPECT_EQ(config.width_m, defaults.width_m);
+  EXPECT_EQ(config.user_count, defaults.user_count);
+}
+
+TEST(ScenarioBuilder, CallerOwnedRngMatchesGeneratorCall) {
+  const ScenarioBuilder builder =
+      ScenarioBuilder().users(60).uavs(3).uniform_users();
+  Rng a(7), b(7);
+  const Scenario via_builder = builder.build(a);
+  const Scenario direct = make_disaster_scenario(builder.config(), b);
+  EXPECT_EQ(via_builder.fingerprint(), direct.fingerprint());
 }
 
 }  // namespace

@@ -1,0 +1,19 @@
+// Fixture: src/common/sync.hpp is the annotated wrapper layer, so the raw
+// std primitives are allowed here (path exemption, not suppression).
+#pragma once
+#include <condition_variable>
+#include <mutex>
+
+namespace fixture {
+
+class Mutex {
+ public:
+  void lock() { mu_.lock(); }
+  void unlock() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,22 @@
+// Fixture: disciplined concurrency code plus one justified suppression;
+// the concurrency-discipline rule must report nothing here.
+#include <atomic>
+#include <mutex>
+
+// atomic-invariant: monotonic false→true latch; a late-observed flip only
+// delays shutdown by one iteration, it never corrupts shared state.
+std::atomic<bool> stop_requested{false};
+
+// Same-line comment placement is also accepted.
+std::atomic<long> events{0};  // atomic-invariant: increment-only counter, read after join
+
+// Benchmark harnesses may need a bare thread to measure pool overhead
+// itself; the suppression documents why the wrapper is bypassed.
+#include <thread>
+void spawn_raw() {
+  // lint:allow concurrency-discipline -- harness measures raw thread spawn cost
+  std::thread t([] { stop_requested.store(true); });
+  t.join();
+}
+
+long observed() { return events.load(); }

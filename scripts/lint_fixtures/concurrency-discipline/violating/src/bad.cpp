@@ -1,0 +1,18 @@
+// Fixture: every construct here must be flagged by the
+// concurrency-discipline rule — raw primitives outside
+// src/common/{sync,thread_pool}.* and an undocumented atomic.
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+std::mutex raw_mu;                 // raw mutex outside the annotated layer
+std::condition_variable raw_cv;    // raw condition variable
+std::atomic<int> undocumented{0};  // missing the required invariant note
+
+int bad() {
+  const std::lock_guard<std::mutex> lock(raw_mu);  // raw lock scope
+  std::thread worker([] {});                       // raw thread
+  worker.join();
+  return undocumented.load();
+}

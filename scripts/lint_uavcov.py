@@ -22,6 +22,17 @@ include-hygiene  Headers under src/ must use `#pragma once`, must not
                  include <iostream>, and must be self-contained (each header
                  compiles on its own; requires g++, skipped if absent or
                  with --no-compile).
+concurrency-discipline
+                 All locking goes through the capability-annotated wrappers
+                 in src/common/sync.hpp so Clang's Thread Safety Analysis
+                 sees every lock: raw std::mutex / std::lock_guard /
+                 std::unique_lock / std::scoped_lock /
+                 std::condition_variable / std::thread are forbidden outside
+                 src/common/{sync,thread_pool}.{hpp,cpp}.  Lock-free shared
+                 state must be reviewable: every std::atomic declaration
+                 needs an adjacent `// atomic-invariant:` comment (same line
+                 or the comment block directly above) stating why it is safe
+                 without a lock.
 
 Suppression: append `// lint:allow <rule> -- <reason>` on the offending
 line, or place it alone on the line directly above.  A reason is mandatory.
@@ -39,7 +50,8 @@ import subprocess
 import sys
 from pathlib import Path
 
-RULES = ("nondeterminism", "naked-new", "metric-names", "include-hygiene")
+RULES = ("nondeterminism", "naked-new", "metric-names", "include-hygiene",
+         "concurrency-discipline")
 
 ALLOW_RE = re.compile(r"//\s*lint:allow\s+([a-z-]+)\s+--\s+\S")
 
@@ -47,6 +59,19 @@ ALLOW_RE = re.compile(r"//\s*lint:allow\s+([a-z-]+)\s+--\s+\S")
 # reads are legitimate: the stopwatch abstraction and the observability
 # layer that consumes it.
 NONDET_TIME_ALLOWED = ("src/obs/", "src/common/stopwatch.hpp")
+
+# The only files allowed to touch the raw std synchronization primitives:
+# the annotated wrapper layer itself and the thread pool (which still owns
+# std::thread workers; its locking already goes through sync::).
+CONCURRENCY_ALLOWED = (
+    "src/common/sync.hpp",
+    "src/common/sync.cpp",
+    "src/common/thread_pool.hpp",
+    "src/common/thread_pool.cpp",
+)
+
+ATOMIC_DECL_RE = re.compile(r"\bstd::atomic\b")
+ATOMIC_INVARIANT_RE = re.compile(r"//\s*atomic-invariant:\s*\S")
 
 METRIC_CALL_RE = re.compile(
     r'obs::(?:counter|gauge|histogram)\s*\(\s*"([^"]+)"\s*\)')
@@ -234,6 +259,59 @@ def check_metric_names(root: Path) -> list[Finding]:
     return findings
 
 
+def check_concurrency_discipline(root: Path) -> list[Finding]:
+    """Raw sync primitives only in the annotated layer; atomics documented."""
+    raw_primitives = [
+        (re.compile(r"\bstd::(?:recursive_|timed_|recursive_timed_|shared_)?"
+                    r"mutex\b"),
+         "raw std mutex; use sync::Mutex (common/sync.hpp) so Clang's "
+         "thread-safety analysis sees the lock"),
+        (re.compile(r"\bstd::(?:lock_guard|unique_lock|scoped_lock)\b"),
+         "raw std lock scope; use sync::LockGuard or sync::UniqueLock"),
+        (re.compile(r"\bstd::condition_variable(?:_any)?\b"),
+         "raw condition variable; use sync::CondVar"),
+        (re.compile(r"\bstd::j?thread\b"),
+         "raw std::thread; run work through common/thread_pool"),
+    ]
+    findings: list[Finding] = []
+    for path in iter_src_files(root):
+        relpath = rel(root, path)
+        text = path.read_text()
+        original_lines = text.splitlines()
+        code_lines = strip_comments_and_strings(text).splitlines()
+        allowed = suppressed_lines(text, "concurrency-discipline")
+        exempt_primitives = relpath in CONCURRENCY_ALLOWED
+        for lineno, line in enumerate(code_lines, start=1):
+            if lineno in allowed:
+                continue
+            if not exempt_primitives:
+                for pat, message in raw_primitives:
+                    if pat.search(line):
+                        findings.append(Finding(
+                            path, lineno, "concurrency-discipline", message))
+            if ATOMIC_DECL_RE.search(line):
+                if not has_adjacent_atomic_invariant(original_lines, lineno):
+                    findings.append(Finding(
+                        path, lineno, "concurrency-discipline",
+                        "std::atomic without an adjacent "
+                        "`// atomic-invariant:` comment stating why "
+                        "lock-free access is safe"))
+    return findings
+
+
+def has_adjacent_atomic_invariant(lines: list[str], lineno: int) -> bool:
+    """True if `// atomic-invariant:` sits on the declaration line or in
+    the contiguous comment block directly above it."""
+    if ATOMIC_INVARIANT_RE.search(lines[lineno - 1]):
+        return True
+    i = lineno - 2  # 0-based index of the line above the declaration
+    while i >= 0 and lines[i].lstrip().startswith("//"):
+        if ATOMIC_INVARIANT_RE.search(lines[i]):
+            return True
+        i -= 1
+    return False
+
+
 def check_include_hygiene(root: Path, compile_headers: bool) -> list[Finding]:
     findings: list[Finding] = []
     headers = [p for p in iter_src_files(root) if p.suffix == ".hpp"]
@@ -283,6 +361,8 @@ def run_rules(root: Path, rules, compile_headers: bool) -> list[Finding]:
         findings += check_metric_names(root)
     if "include-hygiene" in rules:
         findings += check_include_hygiene(root, compile_headers)
+    if "concurrency-discipline" in rules:
+        findings += check_concurrency_discipline(root)
     return findings
 
 

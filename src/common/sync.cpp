@@ -1,0 +1,26 @@
+#include "common/sync.hpp"
+
+namespace uavcov::sync {
+
+// The adopt/release dance lets CondVar keep the cheap std::condition_variable
+// (std::condition_variable_any would also work but carries an extra internal
+// mutex): we hand our already-held native mutex to a std::unique_lock for the
+// duration of the wait, then take ownership back without unlocking.  The
+// analysis does not model the release/reacquire inside the wait — it does not
+// need to: the capability is held on entry and on exit, which is exactly the
+// contract the caller's scope sees.
+void CondVar::wait(UniqueLock& lock) {
+  std::unique_lock<std::mutex> native(lock.mu_.mu_, std::adopt_lock);
+  cv_.wait(native);
+  (void)native.release();  // still locked; ownership returns to `lock`
+}
+
+bool capability_analysis_active() noexcept {
+#if defined(__clang__) && !defined(SWIG)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace uavcov::sync

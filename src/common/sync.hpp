@@ -1,0 +1,191 @@
+// Compile-time-checked synchronization layer (docs/STATIC_ANALYSIS.md,
+// "Thread-safety capability analysis").
+//
+// Every lock in the tree goes through these wrappers instead of the raw
+// <mutex> primitives, because the wrappers carry Clang Thread Safety
+// Analysis attributes: `sync::Mutex` is a capability, `sync::LockGuard` /
+// `sync::UniqueLock` are scoped capabilities, and data members annotated
+// with UAVCOV_GUARDED_BY(mu) cannot be touched on any path where the
+// analysis cannot prove `mu` is held.  Unlike TSan — which observes only
+// the interleavings a test happens to execute — the analysis proves lock
+// discipline on *every* path at compile time, and `-Werror=thread-safety`
+// (enabled for all Clang builds in the top-level CMakeLists) turns a
+// violation into a build break.
+//
+// On GCC (which has no such analysis) every UAVCOV_* annotation macro
+// expands to nothing and every wrapper inlines to the std primitive it
+// holds, so the layer is zero-cost and the tree stays buildable on both
+// toolchains.  The `concurrency-discipline` lint rule
+// (scripts/lint_uavcov.py) forbids raw std primitives outside
+// src/common/{sync,thread_pool}.*, so GCC-only contributors cannot
+// accidentally bypass the annotated layer.
+//
+// Annotation cheat-sheet (full recipe in docs/STATIC_ANALYSIS.md):
+//   int x UAVCOV_GUARDED_BY(mu_);        // reads/writes require mu_ held
+//   void f() UAVCOV_REQUIRES(mu_);       // caller must hold mu_
+//   void g() UAVCOV_EXCLUDES(mu_);       // caller must NOT hold mu_
+//   void lock() UAVCOV_ACQUIRE();        // function takes the capability
+//   void unlock() UAVCOV_RELEASE();      // function drops it
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// ---------------------------------------------------------------------------
+// Thread Safety Analysis attribute macros.  The spellings follow the
+// "mutex.h" reference header in Clang's Thread Safety Analysis
+// documentation; each expands to __attribute__((...)) under Clang and to
+// nothing elsewhere.
+
+#if defined(__clang__) && !defined(SWIG)
+#define UAVCOV_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define UAVCOV_THREAD_ANNOTATION(x)  // no-op on GCC and other compilers
+#endif
+
+/// Marks a class as a capability (a lock); the string names it in
+/// diagnostics ("mutex 'mu_' is not held on every path ...").
+#define UAVCOV_CAPABILITY(x) UAVCOV_THREAD_ANNOTATION(capability(x))
+
+/// Marks an RAII class whose constructor acquires and destructor releases.
+#define UAVCOV_SCOPED_CAPABILITY UAVCOV_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member may only be accessed while `x` is held.
+#define UAVCOV_GUARDED_BY(x) UAVCOV_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member: the pointee (not the pointer) is guarded by `x`.
+#define UAVCOV_PT_GUARDED_BY(x) UAVCOV_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The caller must hold every listed capability (exclusively).
+#define UAVCOV_REQUIRES(...) \
+  UAVCOV_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function acquires the listed capabilities and holds them on return.
+#define UAVCOV_ACQUIRE(...) \
+  UAVCOV_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases the listed capabilities (held on entry).
+#define UAVCOV_RELEASE(...) \
+  UAVCOV_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Acquires the capability iff the return value equals the first argument.
+#define UAVCOV_TRY_ACQUIRE(...) \
+  UAVCOV_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// The caller must NOT hold the listed capabilities (deadlock guard for
+/// functions that take them internally).
+#define UAVCOV_EXCLUDES(...) \
+  UAVCOV_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Declares lock acquisition order between two capabilities.
+#define UAVCOV_ACQUIRED_BEFORE(...) \
+  UAVCOV_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+#define UAVCOV_ACQUIRED_AFTER(...) \
+  UAVCOV_THREAD_ANNOTATION(acquired_after(__VA_ARGS__))
+
+/// The function returns a reference to the capability guarding its result.
+#define UAVCOV_RETURN_CAPABILITY(x) UAVCOV_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: the analysis skips this function entirely.  Every use
+/// must carry a comment justifying why the invariant holds anyway.
+#define UAVCOV_NO_THREAD_SAFETY_ANALYSIS \
+  UAVCOV_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace uavcov::sync {
+
+class CondVar;
+
+/// Annotated std::mutex.  Prefer LockGuard/UniqueLock over calling
+/// lock()/unlock() directly — manual pairs are exactly the bugs the
+/// analysis exists to catch, but they remain available for the rare
+/// split-scope pattern (each such site must annotate its functions with
+/// UAVCOV_ACQUIRE/UAVCOV_RELEASE so the discipline stays visible).
+class UAVCOV_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() UAVCOV_ACQUIRE() { mu_.lock(); }
+  void unlock() UAVCOV_RELEASE() { mu_.unlock(); }
+  bool try_lock() UAVCOV_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;  // wait() needs the native handle
+  std::mutex mu_;
+};
+
+/// RAII lock for the whole enclosing scope (std::lock_guard shape).
+class UAVCOV_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mu) UAVCOV_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~LockGuard() UAVCOV_RELEASE() { mu_.unlock(); }
+
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// RAII lock that can be dropped and retaken inside its scope — the shape
+/// CondVar::wait needs.  Unlike std::unique_lock it always starts locked
+/// and is not movable: every ownership state stays provable.
+class UAVCOV_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) UAVCOV_ACQUIRE(mu) : mu_(mu), owns_(true) {
+    mu_.lock();
+  }
+  ~UniqueLock() UAVCOV_RELEASE() {
+    if (owns_) mu_.unlock();
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() UAVCOV_ACQUIRE() {
+    mu_.lock();
+    owns_ = true;
+  }
+  void unlock() UAVCOV_RELEASE() {
+    mu_.unlock();
+    owns_ = false;
+  }
+  bool owns_lock() const { return owns_; }
+
+ private:
+  friend class CondVar;  // wait() relocks through the native handle
+  Mutex& mu_;
+  bool owns_;
+};
+
+/// Annotated condition variable.  Deliberately predicate-less: callers
+/// write `while (!cond) cv.wait(lock);` in their own body, where the
+/// analysis can see that the guarded reads in `cond` happen under the
+/// lock.  (A predicate-lambda overload would move those reads into a
+/// lambda the analysis treats as a separate, lock-free function.)
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `lock`, blocks, and reacquires before returning.
+  /// `lock` must be held on entry (spurious wakeups possible, as with any
+  /// condition variable — always wait in a predicate loop).
+  void wait(UniqueLock& lock);
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// True when this translation unit was compiled with Clang's Thread
+/// Safety Analysis attributes active (i.e. the UAVCOV_* macros are real
+/// attributes, not no-ops).  Lets tests and diagnostics report which
+/// enforcement tier the binary was built under.
+bool capability_analysis_active() noexcept;
+
+}  // namespace uavcov::sync

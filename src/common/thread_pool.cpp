@@ -36,7 +36,7 @@ ThreadPool::ThreadPool(std::int32_t thread_count) {
 
 ThreadPool::~ThreadPool() {
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const sync::LockGuard lock(mu_);
     stopping_ = true;
   }
   task_ready_.notify_all();
@@ -47,7 +47,7 @@ void ThreadPool::submit(std::function<void()> task) {
   UAVCOV_CHECK_MSG(task != nullptr, "cannot submit an empty task");
   std::size_t depth = 0;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const sync::LockGuard lock(mu_);
     queue_.push_back(std::move(task));
     depth = queue_.size();
   }
@@ -56,13 +56,15 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
-  if (first_error_) {
-    const std::exception_ptr error = std::exchange(first_error_, nullptr);
-    lock.unlock();
-    std::rethrow_exception(error);
+  std::exception_ptr error;
+  {
+    sync::UniqueLock lock(mu_);
+    // Predicate loop in this body (not a lambda handed to the condvar) so
+    // the analysis sees the guarded reads of queue_/active_ under mu_.
+    while (!queue_.empty() || active_ != 0) all_idle_.wait(lock);
+    error = std::exchange(first_error_, nullptr);
   }
+  if (error) std::rethrow_exception(error);
 }
 
 std::int32_t ThreadPool::resolve(std::int32_t requested) {
@@ -75,9 +77,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_ready_.wait(lock,
-                       [this] { return stopping_ || !queue_.empty(); });
+      sync::UniqueLock lock(mu_);
+      while (!stopping_ && queue_.empty()) task_ready_.wait(lock);
       if (queue_.empty()) return;  // stopping_ and nothing left to run
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -88,11 +89,11 @@ void ThreadPool::worker_loop() {
       const obs::ScopedTimer timer(pool_metrics().task_seconds);
       task();
     } catch (...) {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const sync::LockGuard lock(mu_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     {
-      const std::lock_guard<std::mutex> lock(mu_);
+      const sync::LockGuard lock(mu_);
       --active_;
       if (queue_.empty() && active_ == 0) all_idle_.notify_all();
     }

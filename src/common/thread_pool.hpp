@@ -11,14 +11,14 @@
 // deterministic reduction happens in caller code after wait_idle().
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.hpp"
 
 namespace uavcov {
 
@@ -39,12 +39,12 @@ class ThreadPool {
   }
 
   /// Enqueue one task.  Never blocks (the queue is unbounded).
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) UAVCOV_EXCLUDES(mu_);
 
   /// Block until the queue is drained and every worker is idle.  If any
   /// task threw, rethrows the *first* such exception (later ones are
   /// dropped); the pool stays usable afterwards.
-  void wait_idle();
+  void wait_idle() UAVCOV_EXCLUDES(mu_);
 
   /// Map the ApproAlgParams::threads convention to a worker count:
   /// 0 → hardware concurrency (at least 1), otherwise the request itself.
@@ -52,16 +52,16 @@ class ThreadPool {
   static std::int32_t resolve(std::int32_t requested);
 
  private:
-  void worker_loop();
+  void worker_loop() UAVCOV_EXCLUDES(mu_);
 
-  std::vector<std::thread> threads_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable task_ready_;   // signals workers
-  std::condition_variable all_idle_;     // signals wait_idle()
-  std::int32_t active_ = 0;              // tasks currently executing
-  bool stopping_ = false;
-  std::exception_ptr first_error_;       // guarded by mu_
+  std::vector<std::thread> threads_;  // written only by ctor/dtor
+  sync::Mutex mu_;
+  sync::CondVar task_ready_;  // signals workers
+  sync::CondVar all_idle_;    // signals wait_idle()
+  std::deque<std::function<void()>> queue_ UAVCOV_GUARDED_BY(mu_);
+  std::int32_t active_ UAVCOV_GUARDED_BY(mu_) = 0;  // tasks executing now
+  bool stopping_ UAVCOV_GUARDED_BY(mu_) = false;
+  std::exception_ptr first_error_ UAVCOV_GUARDED_BY(mu_);
 };
 
 }  // namespace uavcov

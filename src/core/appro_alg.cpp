@@ -70,6 +70,10 @@ struct DeadlineMonitor {
  private:
   const Stopwatch& watch_;
   double budget_s_;
+  // atomic-invariant: monotonic false→true latch; relaxed order is enough
+  // because a late-observed flip only delays a worker's wind-down by one
+  // subset, never changes which subsets count as evaluated (the claim
+  // order itself is serialized through the `next` ticket below).
   std::atomic<bool> expired_{false};
 };
 
@@ -481,9 +485,20 @@ Solution appro_alg(const Scenario& scenario, const CoverageModel& coverage,
     if (total > 0) {
       const std::int32_t workers = static_cast<std::int32_t>(
           std::min<std::int64_t>(requested, total));
+      // Lock-free reduction state: slot `wi` is written by exactly one
+      // worker (publication to this thread happens-before wait_idle()
+      // returns, through the pool's internal mutex); the reduction below
+      // reads the slots single-threaded afterwards, so no lock is needed.
       std::vector<std::unique_ptr<WorkerState>> states(
           static_cast<std::size_t>(workers));
+      // atomic-invariant: fetch_add ticket dispenser — every rank in
+      // [0, total) is claimed by exactly one worker, so no subset is
+      // evaluated twice or skipped; relaxed order suffices because each
+      // worker only consumes the value it drew itself.
       std::atomic<std::int64_t> next{0};
+      // atomic-invariant: count of claims that proceeded to evaluation;
+      // monotone increments only, read once after wait_idle() (which
+      // synchronizes-with every worker's increments via the pool's mutex).
       std::atomic<std::int64_t> evaluated{0};
       ThreadPool pool(workers);
       for (std::int32_t wi = 0; wi < workers; ++wi) {

@@ -13,6 +13,8 @@ namespace {
 /// Global uid source for registries; keys the thread-local shard cache so
 /// a test registry destroyed and reallocated at the same address can never
 /// inherit a stale shard.
+// atomic-invariant: fetch_add-only counter, so every registry draws a
+// distinct uid; no ordering needed beyond the RMW's own atomicity.
 std::atomic<std::uint64_t> next_registry_uid{1};
 
 const char* kind_name(MetricKind kind) {
@@ -78,9 +80,9 @@ std::int64_t Snapshot::counter_value(std::string_view name) const {
 /// so there is no cross-thread cache-line ping-pong on the hot path and
 /// merging is a simple, order-independent summation.
 struct Registry::Shard {
-  std::mutex mu;
-  std::vector<std::int64_t> counters;
-  std::vector<HistogramData> hists;
+  sync::Mutex mu;
+  std::vector<std::int64_t> counters UAVCOV_GUARDED_BY(mu);
+  std::vector<HistogramData> hists UAVCOV_GUARDED_BY(mu);
 };
 
 Registry& Registry::instance() {
@@ -99,7 +101,7 @@ Registry::~Registry() = default;
 
 std::int32_t Registry::intern(MetricKind kind, const std::string& name) {
   UAVCOV_CHECK_MSG(!name.empty(), "metric name must be non-empty");
-  const std::lock_guard<std::mutex> lock(mu_);
+  const sync::LockGuard lock(mu_);
   const auto it = std::lower_bound(
       metrics_.begin(), metrics_.end(), name,
       [](const auto& entry, const std::string& key) {
@@ -151,7 +153,7 @@ Registry::Shard& Registry::local_shard() {
   std::shared_ptr<Shard>& slot = cache[uid_];
   if (!slot) {
     slot = std::make_shared<Shard>();
-    const std::lock_guard<std::mutex> lock(mu_);
+    const sync::LockGuard lock(mu_);
     shards_.push_back(slot);
   }
   return *slot;
@@ -159,7 +161,7 @@ Registry::Shard& Registry::local_shard() {
 
 void Registry::counter_add(std::int32_t id, std::int64_t delta) {
   Shard& shard = local_shard();
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  const sync::LockGuard lock(shard.mu);
   if (static_cast<std::size_t>(id) >= shard.counters.size()) {
     shard.counters.resize(static_cast<std::size_t>(id) + 1, 0);
   }
@@ -167,14 +169,14 @@ void Registry::counter_add(std::int32_t id, std::int64_t delta) {
 }
 
 void Registry::gauge_set(std::int32_t id, std::int64_t value) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const sync::LockGuard lock(mu_);
   GaugeData& g = gauges_[static_cast<std::size_t>(id)];
   g.value = value;
   g.high_water = std::max(g.high_water, value);
 }
 
 void Registry::gauge_add(std::int32_t id, std::int64_t delta) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const sync::LockGuard lock(mu_);
   GaugeData& g = gauges_[static_cast<std::size_t>(id)];
   g.value += delta;
   g.high_water = std::max(g.high_water, g.value);
@@ -182,7 +184,7 @@ void Registry::gauge_add(std::int32_t id, std::int64_t delta) {
 
 void Registry::histogram_observe(std::int32_t id, std::int64_t value) {
   Shard& shard = local_shard();
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  const sync::LockGuard lock(shard.mu);
   if (static_cast<std::size_t>(id) >= shard.hists.size()) {
     shard.hists.resize(static_cast<std::size_t>(id) + 1);
   }
@@ -198,7 +200,7 @@ Snapshot Registry::snapshot() const {
   std::vector<GaugeData> gauges;
   std::vector<std::shared_ptr<Shard>> shards;
   {
-    const std::lock_guard<std::mutex> lock(mu_);
+    const sync::LockGuard lock(mu_);
     counter_names = counter_names_;
     gauge_names = gauge_names_;
     histogram_names = histogram_names_;
@@ -208,7 +210,7 @@ Snapshot Registry::snapshot() const {
   std::vector<std::int64_t> counters(counter_names.size(), 0);
   std::vector<HistogramData> hists(histogram_names.size());
   for (const auto& shard : shards) {
-    const std::lock_guard<std::mutex> lock(shard->mu);
+    const sync::LockGuard lock(shard->mu);
     for (std::size_t i = 0;
          i < shard->counters.size() && i < counters.size(); ++i) {
       counters[i] += shard->counters[i];
@@ -255,10 +257,10 @@ Snapshot Registry::snapshot() const {
 }
 
 void Registry::reset() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const sync::LockGuard lock(mu_);
   for (GaugeData& g : gauges_) g = GaugeData{};
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> shard_lock(shard->mu);
+    const sync::LockGuard shard_lock(shard->mu);
     std::fill(shard->counters.begin(), shard->counters.end(), 0);
     for (HistogramData& h : shard->hists) h.reset();
   }

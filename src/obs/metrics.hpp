@@ -38,13 +38,13 @@
 #include <cstdint>
 #include <limits>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/stopwatch.hpp"
+#include "common/sync.hpp"
 
 namespace uavcov::obs {
 
@@ -184,17 +184,22 @@ class Registry {
   /// Interning: returns the (stable) handle for `name`, creating the
   /// metric on first use.  Throws ContractError if `name` is already
   /// registered with a different kind.
-  Counter counter(const std::string& name);
-  Gauge gauge(const std::string& name);
-  Histogram histogram(const std::string& name);
+  Counter counter(const std::string& name) UAVCOV_EXCLUDES(mu_);
+  Gauge gauge(const std::string& name) UAVCOV_EXCLUDES(mu_);
+  Histogram histogram(const std::string& name) UAVCOV_EXCLUDES(mu_);
 
   /// Merge every shard into a deterministic, name-sorted snapshot.
-  Snapshot snapshot() const;
+  /// Thread-safe against concurrent recording: the registration tables
+  /// and shard list are copied under mu_, then each shard is merged under
+  /// its own lock, so a recording thread is never blocked for the whole
+  /// merge and a thread exiting mid-merge cannot drop its shard (the
+  /// copied shared_ptr keeps it alive).
+  Snapshot snapshot() const UAVCOV_EXCLUDES(mu_);
 
   /// Zero every metric (values only; registrations and handles stay
   /// valid).  Test/bench support — call it only while no instrumented
   /// worker threads are running.
-  void reset();
+  void reset() UAVCOV_EXCLUDES(mu_);
 
  private:
   friend class Counter;
@@ -203,33 +208,44 @@ class Registry {
 
   struct Shard;
 
-  std::int32_t intern(MetricKind kind, const std::string& name);
-  Shard& local_shard();
-  void counter_add(std::int32_t id, std::int64_t delta);
-  void gauge_set(std::int32_t id, std::int64_t value);
-  void gauge_add(std::int32_t id, std::int64_t delta);
-  void histogram_observe(std::int32_t id, std::int64_t value);
+  std::int32_t intern(MetricKind kind, const std::string& name)
+      UAVCOV_EXCLUDES(mu_);
+  Shard& local_shard() UAVCOV_EXCLUDES(mu_);
+  void counter_add(std::int32_t id, std::int64_t delta)
+      UAVCOV_EXCLUDES(mu_);
+  void gauge_set(std::int32_t id, std::int64_t value) UAVCOV_EXCLUDES(mu_);
+  void gauge_add(std::int32_t id, std::int64_t delta) UAVCOV_EXCLUDES(mu_);
+  void histogram_observe(std::int32_t id, std::int64_t value)
+      UAVCOV_EXCLUDES(mu_);
 
   struct GaugeData {
     std::int64_t value = 0;
     std::int64_t high_water = std::numeric_limits<std::int64_t>::min();
   };
 
+  // atomic-invariant: on/off flag only; read relaxed on every record, so a
+  // toggle may be observed late — recorded values themselves always travel
+  // through the shard/gauge locks below.
   std::atomic<bool> enabled_{false};
   const std::uint64_t uid_;  ///< keys the thread-local shard cache.
 
-  mutable std::mutex mu_;
+  mutable sync::Mutex mu_;
   // name → (kind, per-kind id); names_ mirrors ids back per kind.
   struct Registered {
     MetricKind kind;
     std::int32_t id;
   };
-  std::vector<std::pair<std::string, Registered>> metrics_;  // sorted lookup
-  std::vector<std::string> counter_names_;
-  std::vector<std::string> gauge_names_;
-  std::vector<std::string> histogram_names_;
-  std::vector<GaugeData> gauges_;  // gauges are global (set under mu_).
-  std::vector<std::shared_ptr<Shard>> shards_;
+  // Sorted lookup table; ids index the per-kind vectors below.
+  std::vector<std::pair<std::string, Registered>> metrics_
+      UAVCOV_GUARDED_BY(mu_);
+  std::vector<std::string> counter_names_ UAVCOV_GUARDED_BY(mu_);
+  std::vector<std::string> gauge_names_ UAVCOV_GUARDED_BY(mu_);
+  std::vector<std::string> histogram_names_ UAVCOV_GUARDED_BY(mu_);
+  // Gauges are global (no shard): every set/add lands here under mu_.
+  std::vector<GaugeData> gauges_ UAVCOV_GUARDED_BY(mu_);
+  // One recording shard per (thread, registry); shard contents are guarded
+  // by each shard's own mu, the list itself by mu_.
+  std::vector<std::shared_ptr<Shard>> shards_ UAVCOV_GUARDED_BY(mu_);
 };
 
 /// Convenience wrappers over Registry::instance().

@@ -1,0 +1,38 @@
+// Positive control for the negative-compile probes: the same shapes as
+// guarded_without_lock.cpp / requires_without_lock.cpp but with correct
+// locking, so it must compile cleanly under -Werror=thread-safety.  This
+// pins that a WILL_FAIL "pass" in the sibling probes can only come from
+// the thread-safety diagnostic, not from the harness being broken code.
+#include "common/sync.hpp"
+
+namespace {
+
+class Queue {
+ public:
+  void push_locked() UAVCOV_REQUIRES(mu_) { ++size_; }
+  int size_locked() const UAVCOV_REQUIRES(mu_) { return size_; }
+
+  uavcov::sync::Mutex mu_;
+
+ private:
+  int size_ UAVCOV_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue queue;
+  {
+    const uavcov::sync::LockGuard lock(queue.mu_);
+    queue.push_locked();
+  }
+  int size = 0;
+  {
+    uavcov::sync::UniqueLock lock(queue.mu_);
+    queue.push_locked();
+    lock.unlock();  // relockable scope: analysis tracks both states
+    lock.lock();
+    size = queue.size_locked();
+  }
+  return size == 2 ? 0 : 1;
+}

@@ -1,0 +1,22 @@
+// Negative-compile probe (docs/STATIC_ANALYSIS.md, "Thread-safety
+// capability analysis"): writing a UAVCOV_GUARDED_BY member without
+// holding its mutex must be rejected by Clang's analysis.  Compiled by
+// ctest (sync_negcompile_guarded_without_lock, WILL_FAIL) with
+// -Werror=thread-safety; if this file ever compiles, the guard
+// annotations have stopped being enforced.
+#include "common/sync.hpp"
+
+namespace {
+
+struct Account {
+  uavcov::sync::Mutex mu;
+  int balance UAVCOV_GUARDED_BY(mu) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Account account;
+  account.balance = 42;  // ERROR: writing `balance` requires holding `mu`
+  return account.balance;
+}

@@ -1,0 +1,27 @@
+// Negative-compile probe (docs/STATIC_ANALYSIS.md, "Thread-safety
+// capability analysis"): calling a UAVCOV_REQUIRES-annotated function
+// without holding the named mutex must be rejected by Clang's analysis.
+// Compiled by ctest (sync_negcompile_requires_without_lock, WILL_FAIL)
+// with -Werror=thread-safety; if this file ever compiles, the REQUIRES
+// contract has stopped being enforced.
+#include "common/sync.hpp"
+
+namespace {
+
+class Queue {
+ public:
+  void push_locked() UAVCOV_REQUIRES(mu_) { ++size_; }
+
+  uavcov::sync::Mutex mu_;
+
+ private:
+  int size_ UAVCOV_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Queue queue;
+  queue.push_locked();  // ERROR: requires holding `mu_`
+  return 0;
+}

@@ -1,0 +1,138 @@
+// Tests for the capability-annotated sync layer (common/sync.hpp):
+// zero-cost layout pins, mutual exclusion through Mutex/LockGuard/
+// UniqueLock, CondVar wakeups, and the analysis-tier reporting hook.
+// The compile-time enforcement itself is pinned by the Clang-gated
+// negative-compile probes in tests/sync_negcompile/ (see
+// tests/CMakeLists.txt); everything here must pass on any toolchain.
+#include "common/sync.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace uavcov::sync {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Zero-cost claims: the wrappers add no state to the std primitives they
+// hold, so swapping them in cannot change layout, timing, or results.
+
+static_assert(sizeof(Mutex) == sizeof(std::mutex));
+static_assert(sizeof(LockGuard) == sizeof(std::lock_guard<std::mutex>));
+
+// Capabilities must stay pinned in memory: handing out copies would let a
+// "held" capability alias a different lock.
+static_assert(!std::is_copy_constructible_v<Mutex>);
+static_assert(!std::is_copy_constructible_v<LockGuard>);
+static_assert(!std::is_copy_constructible_v<UniqueLock>);
+static_assert(!std::is_copy_constructible_v<CondVar>);
+static_assert(!std::is_move_constructible_v<UniqueLock>);
+
+TEST(SyncMutex, TryLockReflectsOwnership) {
+  Mutex mu;
+  ASSERT_TRUE(mu.try_lock());
+  // A second thread must see the mutex as taken (same-thread re-try_lock
+  // is UB for std::mutex, so probe from another thread).
+  bool second_acquired = true;
+  std::thread prober([&] {
+    second_acquired = mu.try_lock();
+    if (second_acquired) mu.unlock();
+  });
+  prober.join();
+  EXPECT_FALSE(second_acquired);
+  mu.unlock();
+  ASSERT_TRUE(mu.try_lock());
+  mu.unlock();
+}
+
+TEST(SyncMutex, GuardsCounterAcrossThreads) {
+  Mutex mu;
+  std::int64_t counter = 0;  // guarded by mu (by construction below)
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const LockGuard lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(counter, std::int64_t{kThreads} * kPerThread);
+}
+
+TEST(SyncUniqueLock, UnlockAndRelockTrackOwnership) {
+  Mutex mu;
+  UniqueLock lock(mu);
+  EXPECT_TRUE(lock.owns_lock());
+  lock.unlock();
+  EXPECT_FALSE(lock.owns_lock());
+  ASSERT_TRUE(mu.try_lock());  // really released
+  mu.unlock();
+  lock.lock();
+  EXPECT_TRUE(lock.owns_lock());
+}
+
+TEST(SyncCondVar, WaitWakesOnNotifyAndReacquires) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+  std::int64_t produced = 0;
+
+  std::thread producer([&] {
+    const LockGuard lock(mu);
+    produced = 99;
+    ready = true;
+    cv.notify_one();
+  });
+
+  {
+    UniqueLock lock(mu);
+    while (!ready) cv.wait(lock);
+    // The lock is held again after wait: this read is race-free (TSan
+    // verifies under the tsan preset).
+    EXPECT_EQ(produced, 99);
+    EXPECT_TRUE(lock.owns_lock());
+  }
+  producer.join();
+}
+
+TEST(SyncCondVar, NotifyAllReleasesEveryWaiter) {
+  Mutex mu;
+  CondVar cv;
+  bool go = false;
+  int awake = 0;
+  constexpr int kWaiters = 3;
+  std::vector<std::thread> waiters;
+  waiters.reserve(kWaiters);
+  for (int i = 0; i < kWaiters; ++i) {
+    waiters.emplace_back([&] {
+      UniqueLock lock(mu);
+      while (!go) cv.wait(lock);
+      ++awake;
+    });
+  }
+  {
+    const LockGuard lock(mu);
+    go = true;
+  }
+  cv.notify_all();
+  for (std::thread& t : waiters) t.join();
+  EXPECT_EQ(awake, kWaiters);
+}
+
+TEST(SyncAnalysis, TierMatchesCompiler) {
+#if defined(__clang__)
+  EXPECT_TRUE(capability_analysis_active());
+#else
+  EXPECT_FALSE(capability_analysis_active());
+#endif
+}
+
+}  // namespace
+}  // namespace uavcov::sync

@@ -31,6 +31,7 @@
 #include "obs/metrics.hpp"
 #include "resilience/fault_plan.hpp"
 #include "resilience/repair.hpp"
+#include "stream/engine.hpp"
 #include "workload/builder.hpp"
 
 namespace {
@@ -383,6 +384,97 @@ int main(int argc, char** argv) {
       uavcov::obs::write_snapshot(w, snapshot);
       w.end_object();
     }
+  }
+
+  // Streaming churn drill (docs/STREAMING.md): one pinned (scenario,
+  // churn trace) pair through the StreamEngine — epoch-batched ingest,
+  // delta patches, hysteresis-gated full re-solves.  Append-only like the
+  // other cases; part of the quick subset.  The identity entries are the
+  // first-epoch full solve and the final standing solution, so any
+  // behavioral change to the trace generator, ingest, patch path, or
+  // hysteresis moves a pinned fingerprint here; the stream.* counters land
+  // in the embedded metrics snapshot.
+  {
+    const BenchCase c{"stream_churn_s1", 109, 400, 8, 2, 150, true};
+    std::cerr << "[bench_runner] " << c.name << " (n=" << c.users
+              << ", K=" << c.uavs << ", s=" << c.s << ")\n";
+    const uavcov::eval::RunConfig config = make_config(c);
+    uavcov::Rng rng(config.seed);
+    const uavcov::Scenario scenario =
+        uavcov::workload::make_disaster_scenario(config.scenario, rng);
+
+    uavcov::stream::ChurnTraceConfig trace_config;
+    trace_config.epochs = 8;
+    trace_config.max_arrivals_per_epoch = 12;
+    trace_config.max_departures_per_epoch = 8;
+    trace_config.flash_crowd_epoch = 4;
+    trace_config.flash_crowd_size = 40;
+    const uavcov::stream::ChurnTrace trace =
+        uavcov::stream::generate_trace(scenario, trace_config,
+                                       c.seed * 1013);
+
+    uavcov::stream::StreamPolicy policy;
+    policy.appro = config.appro;
+    std::uint64_t initial_fp = 0;
+    std::uint64_t final_fp = 0;
+    std::int64_t initial_served = 0;
+    std::int64_t final_served = 0;
+    std::int64_t full_solves = 0;
+    std::int64_t patches = 0;
+    double stream_seconds = 1e300;
+    for (std::int32_t rep = 0; rep < repeats; ++rep) {
+      if (rep == repeats - 1) registry.reset();
+      uavcov::stream::StreamEngine engine(scenario, policy);
+      const uavcov::Stopwatch watch;
+      const std::vector<uavcov::stream::EpochResult> results =
+          engine.run(trace);
+      const double run_s = watch.elapsed_s();
+      const std::uint64_t fp0 = results.front().solution.fingerprint();
+      const std::uint64_t fpN = results.back().solution.fingerprint();
+      if (rep == 0) {
+        initial_fp = fp0;
+        initial_served = results.front().solution.served;
+        final_fp = fpN;
+        final_served = results.back().solution.served;
+        full_solves = engine.full_solves();
+        patches = engine.patches();
+      } else {
+        UAVCOV_CHECK_MSG(fp0 == initial_fp && fpN == final_fp &&
+                             engine.full_solves() == full_solves,
+                         "non-deterministic streamed run in stream_churn_s1");
+      }
+      stream_seconds = std::min(stream_seconds, run_s);
+    }
+    const uavcov::obs::Snapshot snapshot = registry.snapshot();
+
+    w.begin_object();
+    w.kv("name", c.name);
+    w.kv("seed", static_cast<std::int64_t>(c.seed));
+    w.kv("users", c.users);
+    w.kv("uavs", c.uavs);
+    w.kv("s", c.s);
+    w.kv("scenario_fingerprint",
+         uavcov::fingerprint_hex(scenario.fingerprint()));
+    w.kv("trace_fingerprint", uavcov::fingerprint_hex(trace.fingerprint()));
+    w.kv("full_solves", full_solves);
+    w.kv("patches", patches);
+    w.key("algorithms").begin_array();
+    w.begin_object();
+    w.kv("name", "stream_initial");
+    w.kv("served", initial_served);
+    w.kv("fingerprint", uavcov::fingerprint_hex(initial_fp));
+    w.kv("seconds", stream_seconds);
+    w.end_object();
+    w.begin_object();
+    w.kv("name", "stream_final");
+    w.kv("served", final_served);
+    w.kv("fingerprint", uavcov::fingerprint_hex(final_fp));
+    w.kv("seconds", stream_seconds);
+    w.end_object();
+    w.end_array();
+    w.key("metrics");
+    uavcov::obs::write_snapshot(w, snapshot);
+    w.end_object();
   }
 
   w.end_array();

@@ -15,9 +15,11 @@
 #include "core/solution.hpp"
 #include "fuzz/oracle_matching.hpp"
 #include "fuzz/scenario_decoder.hpp"
+#include "fuzz/stream_decoder.hpp"
 #include "io/serialize.hpp"
 #include "resilience/impact.hpp"
 #include "resilience/repair.hpp"
+#include "stream/engine.hpp"
 
 namespace uavcov::fuzz {
 
@@ -448,13 +450,78 @@ void run_repair_harness(const std::uint8_t* data, std::size_t size) {
   }
 }
 
+void run_stream_harness(const std::uint8_t* data, std::size_t size) {
+  ByteReader r(data, size);
+  StreamCase c = decode_stream_case(r);
+  try {
+    c.scenario.validate();
+    c.trace.validate(c.scenario.user_count());
+  } catch (const ContractError&) {
+    return;  // liveness-violating trace — clean rejection is correct.
+  } catch (const std::invalid_argument&) {
+    return;
+  }
+
+  stream::StreamPolicy policy;
+  policy.served_floor = r.take_double(0.5, 1.0);
+  policy.max_drift_fraction = r.take_double(0.1, 1.0);
+  policy.appro.s = 2;
+  policy.appro.max_seed_subsets = 50;
+  policy.appro.threads = 1;
+  policy.appro.audit = true;  // deep-audit every epoch, patched ones too.
+
+  stream::StreamEngine engine(c.scenario, policy);
+  stream::Ingest shadow(c.scenario);
+  std::int64_t served_at_last_full = 0;
+  for (const stream::Epoch& epoch : c.trace.epochs) {
+    const stream::EpochResult res = engine.step(epoch);
+    shadow.apply(epoch);
+    const Scenario& materialized = shadow.scenario();
+    require(res.scenario_fingerprint == materialized.fingerprint(),
+            "stream: engine materialization diverged from the shadow "
+            "ingest");
+    require(engine.ingest().scenario().fingerprint() ==
+                materialized.fingerprint(),
+            "stream: engine ingest state diverged from the shadow ingest");
+
+    const CoverageModel coverage(materialized);
+    try {
+      validate_solution(materialized, coverage, res.solution);
+    } catch (const ContractError& err) {
+      throw FuzzFailure(std::string("stream: standing solution infeasible "
+                                    "for the materialized scenario: ") +
+                        err.what());
+    }
+    if (materialized.user_count() == 0) {
+      require(res.solution.served == 0,
+              "stream: empty population claims served users");
+      served_at_last_full = 0;
+    } else if (res.full_solve) {
+      const Solution fresh =
+          stream::solve_snapshot(materialized, policy.appro);
+      require(fresh.fingerprint() == res.solution.fingerprint() &&
+                  fresh.served == res.solution.served,
+              "stream: full-solve epoch differs from a from-scratch solve");
+      served_at_last_full = res.solution.served;
+    } else {
+      require(res.served_at_last_full_solve == served_at_last_full,
+              "stream: hysteresis reference served count drifted");
+      require(!(static_cast<double>(res.solution.served) <
+                policy.served_floor *
+                    static_cast<double>(served_at_last_full)),
+              "stream: kept patch below the hysteresis floor");
+    }
+  }
+}
+
 std::span<const HarnessInfo> all_harnesses() {
-  static constexpr std::array<HarnessInfo, 5> kHarnesses{{
+  static constexpr std::array<HarnessInfo, 6> kHarnesses{{
       {"fuzz_assignment", &run_assignment_harness},
       {"fuzz_appro_alg", &run_appro_alg_harness},
       {"fuzz_segment_plan", &run_segment_plan_harness},
       {"fuzz_serialize_roundtrip", &run_serialize_roundtrip_harness},
       {"fuzz_repair", &run_repair_harness},
+      {"fuzz_stream", &run_stream_harness},
   }};
   return kHarnesses;
 }

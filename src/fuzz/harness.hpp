@@ -1,4 +1,4 @@
-// The five fuzzing harness bodies, shared verbatim by
+// The six fuzzing harness bodies, shared verbatim by
 //   * the libFuzzer entry points in src/fuzz/targets/ (-DUAVCOV_FUZZ=ON),
 //   * the standalone replay driver (uavcov_fuzz_driver), and
 //   * the deterministic ctest property tests (tests/fuzz_property_test.cpp,
@@ -62,6 +62,16 @@ void run_serialize_roundtrip_harness(const std::uint8_t* data,
 /// no-repair numbers against the repaired ones.
 void run_repair_harness(const std::uint8_t* data, std::size_t size);
 
+/// Streaming engine (docs/STREAMING.md): decode a scenario plus a churn
+/// trace (audits forced on), run the StreamEngine epoch by epoch against a
+/// shadow ingest, and require: identical materialized-scenario
+/// fingerprints, §II-C feasibility of every standing solution, full-solve
+/// epochs bit-identical to a from-scratch solve_snapshot of the
+/// materialized scenario, and patched epochs at or above the hysteresis
+/// floor.  Liveness-violating traces must be rejected cleanly by
+/// ChurnTrace::validate before the engine ever runs.
+void run_stream_harness(const std::uint8_t* data, std::size_t size);
+
 using HarnessFn = void (*)(const std::uint8_t*, std::size_t);
 
 struct HarnessInfo {
@@ -69,7 +79,7 @@ struct HarnessInfo {
   HarnessFn fn;
 };
 
-/// All five harnesses, in a fixed order (drives the replay driver and the
+/// All six harnesses, in a fixed order (drives the replay driver and the
 /// corpus-replay ctest).
 std::span<const HarnessInfo> all_harnesses();
 

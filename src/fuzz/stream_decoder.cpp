@@ -1,0 +1,117 @@
+#include "fuzz/stream_decoder.hpp"
+
+#include <vector>
+
+#include "fuzz/scenario_decoder.hpp"
+
+namespace uavcov::fuzz {
+
+namespace {
+
+using stream::ChurnEvent;
+using stream::ChurnKind;
+using stream::Epoch;
+
+/// Event with grid-relative coordinates: the scenario (and thus the area)
+/// is decoded after the trace shape, so positions are held as fractions
+/// and mapped once the grid dimensions are known.
+struct ProtoEvent {
+  ChurnKind kind = ChurnKind::kArrive;
+  std::int64_t uid = 0;
+  double fx = 0.0;
+  double fy = 0.0;
+  double min_rate_bps = 2e3;
+};
+
+/// Stretch a [0, 1] fraction past the area on both sides: ~17% of decoded
+/// positions land outside [0, dim] and must be clamped by the ingest.
+double stretch(double fraction, double dim) {
+  return (fraction * 1.2 - 0.1) * dim;
+}
+
+}  // namespace
+
+StreamCase decode_stream_case(ByteReader& r) {
+  // Rates an arrival may demand: the nominal 2 kbps, an easy 1 kbps, an
+  // often-unsatisfiable 50 kbps, and a trivial 100 bps.
+  static constexpr double kRates[] = {2e3, 1e3, 5e4, 1e2};
+
+  const std::int64_t epoch_count = r.take_int(0, 4);
+  std::vector<std::vector<ProtoEvent>> epochs(
+      static_cast<std::size_t>(epoch_count));
+  std::vector<std::int64_t> live;  // decoder's own liveness model.
+  std::int64_t next_uid = 0;
+  for (auto& epoch : epochs) {
+    const std::int64_t events = r.take_int(0, 5);
+    for (std::int64_t i = 0; i < events; ++i) {
+      ProtoEvent ev;
+      const std::int64_t kind = r.take_int(0, 2);
+      const std::int64_t misuse = r.take_int(0, 7);
+      if (kind == 0) {
+        ev.kind = ChurnKind::kArrive;
+        // misuse == 0 replays a live uid — an invalid trace the harness
+        // must see ChurnTrace::validate reject cleanly.
+        ev.uid = (misuse == 0 && !live.empty()) ? live.front() : next_uid;
+        ev.fx = static_cast<double>(r.take_int(0, 255)) / 255.0;
+        ev.fy = static_cast<double>(r.take_int(0, 255)) / 255.0;
+        ev.min_rate_bps = kRates[static_cast<std::size_t>(r.take_int(0, 3))];
+        if (ev.uid == next_uid) {
+          live.push_back(next_uid++);
+        }
+      } else if (kind == 1) {
+        ev.kind = ChurnKind::kDepart;
+        if (misuse == 0 || live.empty()) {
+          ev.uid = next_uid + 7;  // unknown uid → invalid trace.
+        } else {
+          const std::size_t idx = static_cast<std::size_t>(
+              r.take_int(0, static_cast<std::int64_t>(live.size()) - 1));
+          ev.uid = live[idx];
+          live.erase(live.begin() + static_cast<std::ptrdiff_t>(idx));
+        }
+      } else {
+        ev.kind = ChurnKind::kMove;
+        if (misuse == 0 || live.empty()) {
+          ev.uid = next_uid + 7;  // unknown uid → invalid trace.
+        } else {
+          const std::size_t idx = static_cast<std::size_t>(
+              r.take_int(0, static_cast<std::int64_t>(live.size()) - 1));
+          ev.uid = live[idx];
+        }
+        ev.fx = static_cast<double>(r.take_int(0, 255)) / 255.0;
+        ev.fy = static_cast<double>(r.take_int(0, 255)) / 255.0;
+      }
+      epoch.push_back(ev);
+    }
+  }
+
+  // Small instances keep the per-epoch cross-checks (fresh approAlg solves
+  // under audit) tractable.
+  ScenarioLimits limits;
+  limits.max_users = 0;  // population comes from the trace alone.
+  StreamCase out{decode_scenario(r, limits), {}};
+  out.scenario.users.clear();
+
+  const double width = out.scenario.grid.width();
+  const double height = out.scenario.grid.height();
+  out.trace.epochs.resize(epochs.size());
+  for (std::size_t e = 0; e < epochs.size(); ++e) {
+    Epoch& epoch = out.trace.epochs[e];
+    epoch.events.reserve(epochs[e].size());
+    for (const ProtoEvent& p : epochs[e]) {
+      ChurnEvent ev;
+      ev.kind = p.kind;
+      ev.uid = p.uid;
+      ev.pos = {stretch(p.fx, width), stretch(p.fy, height)};
+      ev.min_rate_bps = p.min_rate_bps;
+      if (ev.kind == ChurnKind::kDepart) {
+        ev.pos = {};
+        ev.min_rate_bps = 0.0;
+      }
+      if (ev.kind == ChurnKind::kMove) ev.min_rate_bps = 0.0;
+      epoch.events.push_back(ev);
+    }
+  }
+  return out;
+}
+
+}  // namespace uavcov::fuzz

@@ -1,0 +1,34 @@
+// Byte-stream → (Scenario, ChurnTrace) decoder for the fuzz_stream harness.
+//
+// Structured like fuzz/scenario_decoder.hpp: bytes pick semantic features,
+// so mutated inputs stay meaningful.  The trace shape is decoded FIRST
+// with single-byte take_int draws (epoch count, per-event kind/uid/grid
+// fractions), which makes corpus files hand-craftable; the scenario comes
+// from decode_scenario on the remaining bytes (exhaustion yields the
+// minimal default instance) and supplies only grid/fleet/channel — the
+// population starts EMPTY and is built entirely by the trace's arrivals.
+//
+// The decoder intentionally produces a small share of liveness-violating
+// traces (duplicate arrive, unknown depart/move) and out-of-area
+// positions: the former must be rejected cleanly by ChurnTrace::validate,
+// the latter clamped by stream::Ingest.
+#pragma once
+
+#include "core/scenario.hpp"
+#include "fuzz/byte_reader.hpp"
+#include "stream/churn.hpp"
+
+namespace uavcov::fuzz {
+
+struct StreamCase {
+  Scenario scenario;  ///< users cleared; grid/fleet/channel only.
+  stream::ChurnTrace trace;
+};
+
+/// Total function: every byte string decodes to a case whose scenario
+/// passes Scenario::validate().  The trace may violate the liveness
+/// discipline on purpose — callers route ChurnTrace::validate() failures
+/// through the clean-rejection path.
+StreamCase decode_stream_case(ByteReader& r);
+
+}  // namespace uavcov::fuzz

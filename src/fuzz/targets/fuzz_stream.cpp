@@ -1,0 +1,11 @@
+// libFuzzer entry point: churn trace → streaming engine with deep audits
+// forced on; every standing solution must stay §II-C feasible and every
+// full re-solve must match a from-scratch solve bit-for-bit.
+// Build with -DUAVCOV_FUZZ=ON (clang).
+#include "fuzz/harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  uavcov::fuzz::run_stream_harness(data, size);
+  return 0;
+}

@@ -1,0 +1,433 @@
+#include "io/trace.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <istream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/fingerprint.hpp"
+#include "io/binary.hpp"
+
+namespace uavcov::io {
+
+namespace {
+
+using stream::ChurnEvent;
+using stream::ChurnKind;
+using stream::ChurnTrace;
+using stream::Epoch;
+
+// ---- shared parsing scaffolding (mirrors io/serialize.cpp) --------------
+
+void open_checked(std::ifstream& in, const std::string& path) {
+  in.open(path, std::ios::in | std::ios::binary);
+  UAVCOV_CHECK_MSG(in.good(), "cannot open for reading: " + path);
+}
+
+void open_checked(std::ofstream& out, const std::string& path) {
+  out.open(path, std::ios::out | std::ios::binary);
+  UAVCOV_CHECK_MSG(out.good(), "cannot open for writing: " + path);
+}
+
+std::string slurp(std::istream& in) {
+  std::string data;
+  char buffer[1 << 16];
+  while (in.read(buffer, sizeof(buffer)) || in.gcount() > 0) {
+    data.append(buffer, static_cast<std::size_t>(in.gcount()));
+  }
+  return data;
+}
+
+bool next_record(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+struct Record {
+  std::string key;
+  std::istringstream args;
+};
+
+Record parse_record(const std::string& line) {
+  Record r;
+  r.args.str(line);
+  r.args >> r.key;
+  return r;
+}
+
+template <typename T>
+T read_arg(Record& r, const char* what) {
+  T value;
+  r.args >> value;
+  UAVCOV_CHECK_MSG(!r.args.fail(), std::string("malformed ") + what +
+                                       " in record '" + r.key + "'");
+  return value;
+}
+
+void expect_end(Record& r) {
+  std::string extra;
+  r.args >> extra;
+  UAVCOV_CHECK_MSG(extra.empty(), "trailing data '" + extra +
+                                      "' in record '" + r.key + "'");
+}
+
+std::ostream& full_precision(std::ostream& out) {
+  out << std::setprecision(std::numeric_limits<double>::max_digits10);
+  return out;
+}
+
+void check_event_fields(const ChurnEvent& ev, const char* where) {
+  UAVCOV_CHECK_MSG(ev.uid >= 0, std::string(where) + ": negative uid");
+  UAVCOV_CHECK_MSG(std::isfinite(ev.pos.x) && std::isfinite(ev.pos.y),
+                   std::string(where) + ": non-finite position");
+  UAVCOV_CHECK_MSG(std::isfinite(ev.min_rate_bps),
+                   std::string(where) + ": non-finite rate");
+}
+
+// ---- text format --------------------------------------------------------
+
+void save_trace_text(std::ostream& out, const ChurnTrace& trace) {
+  full_precision(out);
+  out << "uavcov-trace v1\n";
+  out << "epochs " << trace.epochs.size() << '\n';
+  for (std::size_t e = 0; e < trace.epochs.size(); ++e) {
+    const Epoch& epoch = trace.epochs[e];
+    out << "epoch " << e << ' ' << epoch.events.size() << '\n';
+    for (const ChurnEvent& ev : epoch.events) {
+      switch (ev.kind) {
+        case ChurnKind::kArrive:
+          out << "arrive " << ev.uid << ' ' << ev.pos.x << ' ' << ev.pos.y
+              << ' ' << ev.min_rate_bps << '\n';
+          break;
+        case ChurnKind::kDepart:
+          out << "depart " << ev.uid << '\n';
+          break;
+        case ChurnKind::kMove:
+          out << "move " << ev.uid << ' ' << ev.pos.x << ' ' << ev.pos.y
+              << '\n';
+          break;
+      }
+    }
+  }
+}
+
+ChurnTrace load_trace_text(std::istream& in) {
+  std::string line;
+  UAVCOV_CHECK_MSG(next_record(in, line),
+                   "empty input, expected uavcov-trace");
+  {
+    Record r = parse_record(line);
+    const auto version = read_arg<std::string>(r, "version");
+    UAVCOV_CHECK_MSG(r.key == "uavcov-trace" && version == "v1",
+                     "bad header: expected 'uavcov-trace v1', got '" + line +
+                         "'");
+    expect_end(r);
+  }
+  ChurnTrace trace;
+  UAVCOV_CHECK_MSG(next_record(in, line), "missing 'epochs' record");
+  std::int64_t declared = 0;
+  {
+    Record r = parse_record(line);
+    UAVCOV_CHECK_MSG(r.key == "epochs", "expected 'epochs', got '" + r.key +
+                                            "'");
+    declared = read_arg<std::int64_t>(r, "epoch count");
+    UAVCOV_CHECK_MSG(declared >= 0, "epoch count must be nonnegative");
+    expect_end(r);
+  }
+  trace.epochs.reserve(static_cast<std::size_t>(declared));
+  for (std::int64_t e = 0; e < declared; ++e) {
+    UAVCOV_CHECK_MSG(next_record(in, line),
+                     "missing 'epoch' record " + std::to_string(e));
+    Record r = parse_record(line);
+    UAVCOV_CHECK_MSG(r.key == "epoch",
+                     "expected 'epoch', got '" + r.key + "'");
+    const auto index = read_arg<std::int64_t>(r, "epoch index");
+    UAVCOV_CHECK_MSG(index == e, "epoch records out of order: expected " +
+                                     std::to_string(e) + ", got " +
+                                     std::to_string(index));
+    const auto count = read_arg<std::int64_t>(r, "event count");
+    UAVCOV_CHECK_MSG(count >= 0, "event count must be nonnegative");
+    expect_end(r);
+
+    Epoch epoch;
+    epoch.events.reserve(static_cast<std::size_t>(count));
+    for (std::int64_t i = 0; i < count; ++i) {
+      UAVCOV_CHECK_MSG(next_record(in, line),
+                       "truncated epoch " + std::to_string(e));
+      Record ev_r = parse_record(line);
+      ChurnEvent ev;
+      if (ev_r.key == "arrive") {
+        ev.kind = ChurnKind::kArrive;
+        ev.uid = read_arg<std::int64_t>(ev_r, "uid");
+        ev.pos.x = read_arg<double>(ev_r, "x");
+        ev.pos.y = read_arg<double>(ev_r, "y");
+        ev.min_rate_bps = read_arg<double>(ev_r, "rate");
+      } else if (ev_r.key == "depart") {
+        ev.kind = ChurnKind::kDepart;
+        ev.uid = read_arg<std::int64_t>(ev_r, "uid");
+        ev.pos = {};
+        ev.min_rate_bps = 0.0;
+      } else if (ev_r.key == "move") {
+        ev.kind = ChurnKind::kMove;
+        ev.uid = read_arg<std::int64_t>(ev_r, "uid");
+        ev.pos.x = read_arg<double>(ev_r, "x");
+        ev.pos.y = read_arg<double>(ev_r, "y");
+        ev.min_rate_bps = 0.0;
+      } else {
+        UAVCOV_CHECK_MSG(false, "unknown trace record: " + ev_r.key);
+      }
+      expect_end(ev_r);
+      check_event_fields(ev, "text trace");
+      epoch.events.push_back(ev);
+    }
+    trace.epochs.push_back(std::move(epoch));
+  }
+  UAVCOV_CHECK_MSG(!next_record(in, line),
+                   "trailing record after the declared epochs: " + line);
+  return trace;
+}
+
+// ---- binary format ------------------------------------------------------
+//
+// Same envelope as io/binary.cpp (whose helpers are deliberately
+// file-local): header magic[8] + u32 version + u32 section count +
+// u64 total size; 32-byte table entries (id, reserved, offset, size, FNV
+// checksum); 8-byte-aligned payloads.
+
+constexpr std::size_t kMagicBytes = 8;
+constexpr std::size_t kHeaderBytes = 24;
+constexpr std::size_t kEntryBytes = 32;
+constexpr std::size_t kAlign = 8;
+
+constexpr std::uint32_t kSecEpochCounts = 1;  // u64 E, then E u64 counts.
+constexpr std::uint32_t kSecEvents = 2;       // 40-byte records, in order.
+constexpr std::size_t kEventBytes = 40;       // kind,pad,uid,x,y,rate.
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t payload_checksum(const std::uint8_t* data, std::size_t size) {
+  Fnv1a h;
+  for (std::size_t i = 0; i < size; ++i) h.mix_byte(data[i]);
+  return h.digest();
+}
+
+std::size_t align_up(std::size_t at) {
+  return (at + kAlign - 1) / kAlign * kAlign;
+}
+
+void save_trace_binary(std::ostream& out, const ChurnTrace& trace) {
+  std::vector<std::uint8_t> counts(8 + 8 * trace.epochs.size());
+  put_u64(counts.data(), static_cast<std::uint64_t>(trace.epochs.size()));
+  std::size_t total_events = 0;
+  for (std::size_t e = 0; e < trace.epochs.size(); ++e) {
+    put_u64(counts.data() + 8 + 8 * e,
+            static_cast<std::uint64_t>(trace.epochs[e].events.size()));
+    total_events += trace.epochs[e].events.size();
+  }
+
+  std::vector<std::uint8_t> events(total_events * kEventBytes);
+  std::size_t at = 0;
+  for (const Epoch& epoch : trace.epochs) {
+    for (const ChurnEvent& ev : epoch.events) {
+      std::uint8_t* rec = events.data() + at;
+      put_u32(rec, static_cast<std::uint32_t>(ev.kind));
+      put_u32(rec + 4, 0);  // reserved.
+      put_u64(rec + 8, static_cast<std::uint64_t>(ev.uid));
+      put_u64(rec + 16, std::bit_cast<std::uint64_t>(ev.pos.x));
+      put_u64(rec + 24, std::bit_cast<std::uint64_t>(ev.pos.y));
+      put_u64(rec + 32, std::bit_cast<std::uint64_t>(ev.min_rate_bps));
+      at += kEventBytes;
+    }
+  }
+
+  const std::uint8_t* payloads[2] = {counts.data(), events.data()};
+  const std::size_t sizes[2] = {counts.size(), events.size()};
+  const std::uint32_t ids[2] = {kSecEpochCounts, kSecEvents};
+
+  std::size_t offset = align_up(kHeaderBytes + 2 * kEntryBytes);
+  std::size_t offsets[2];
+  for (int i = 0; i < 2; ++i) {
+    offsets[i] = offset;
+    offset = align_up(offset + sizes[i]);
+  }
+  const std::size_t total = offsets[1] + sizes[1];
+  std::vector<std::uint8_t> file(total, 0);
+  std::memcpy(file.data(), kBinaryTraceMagic.data(), kMagicBytes);
+  put_u32(file.data() + 8, kBinaryFormatVersion);
+  put_u32(file.data() + 12, 2);
+  put_u64(file.data() + 16, static_cast<std::uint64_t>(total));
+  for (int i = 0; i < 2; ++i) {
+    std::uint8_t* entry = file.data() + kHeaderBytes +
+                          static_cast<std::size_t>(i) * kEntryBytes;
+    put_u32(entry, ids[i]);
+    put_u32(entry + 4, 0);
+    put_u64(entry + 8, static_cast<std::uint64_t>(offsets[i]));
+    put_u64(entry + 16, static_cast<std::uint64_t>(sizes[i]));
+    put_u64(entry + 24, payload_checksum(payloads[i], sizes[i]));
+    if (sizes[i] > 0) {
+      std::memcpy(file.data() + offsets[i], payloads[i], sizes[i]);
+    }
+  }
+  out.write(reinterpret_cast<const char*>(file.data()),
+            static_cast<std::streamsize>(file.size()));
+  UAVCOV_CHECK_MSG(out.good(), "failed writing binary trace");
+}
+
+ChurnTrace load_trace_binary(std::string_view data) {
+  UAVCOV_CHECK_MSG(data.size() >= kHeaderBytes,
+                   "binary trace: truncated header (" +
+                       std::to_string(data.size()) + " bytes)");
+  UAVCOV_CHECK_MSG(data.substr(0, kMagicBytes) == kBinaryTraceMagic,
+                   "binary trace: bad magic");
+  const std::uint8_t* raw =
+      reinterpret_cast<const std::uint8_t*>(data.data());
+  const std::uint32_t version = get_u32(raw + 8);
+  UAVCOV_CHECK_MSG(version == kBinaryFormatVersion,
+                   "binary trace: unsupported format version " +
+                       std::to_string(version));
+  const std::uint32_t count = get_u32(raw + 12);
+  UAVCOV_CHECK_MSG(count == 2, "binary trace: expected 2 sections, got " +
+                                   std::to_string(count));
+  const std::uint64_t declared_size = get_u64(raw + 16);
+  UAVCOV_CHECK_MSG(declared_size == data.size(),
+                   "binary trace: declared size " +
+                       std::to_string(declared_size) + " != actual " +
+                       std::to_string(data.size()) + " (truncated?)");
+
+  std::string_view sections[2];
+  std::uint32_t ids[2];
+  for (int i = 0; i < 2; ++i) {
+    const std::uint8_t* entry = raw + kHeaderBytes +
+                                static_cast<std::size_t>(i) * kEntryBytes;
+    ids[i] = get_u32(entry);
+    const std::uint64_t offset = get_u64(entry + 8);
+    const std::uint64_t size = get_u64(entry + 16);
+    const std::uint64_t checksum = get_u64(entry + 24);
+    UAVCOV_CHECK_MSG(offset <= data.size() && size <= data.size() - offset,
+                     "binary trace: section " + std::to_string(ids[i]) +
+                         " exceeds the file");
+    sections[i] = data.substr(offset, size);
+    UAVCOV_CHECK_MSG(
+        payload_checksum(
+            reinterpret_cast<const std::uint8_t*>(sections[i].data()),
+            sections[i].size()) == checksum,
+        "binary trace: checksum mismatch in section " +
+            std::to_string(ids[i]));
+  }
+  UAVCOV_CHECK_MSG(ids[0] == kSecEpochCounts && ids[1] == kSecEvents,
+                   "binary trace: unexpected section ids");
+
+  const std::uint8_t* counts =
+      reinterpret_cast<const std::uint8_t*>(sections[0].data());
+  UAVCOV_CHECK_MSG(sections[0].size() >= 8,
+                   "binary trace: truncated epoch-count section");
+  const std::uint64_t epoch_count = get_u64(counts);
+  UAVCOV_CHECK_MSG(sections[0].size() == 8 + 8 * epoch_count,
+                   "binary trace: epoch-count section size disagrees with "
+                   "the declared epoch count");
+
+  ChurnTrace trace;
+  trace.epochs.resize(static_cast<std::size_t>(epoch_count));
+  std::uint64_t total_events = 0;
+  for (std::uint64_t e = 0; e < epoch_count; ++e) {
+    total_events += get_u64(counts + 8 + 8 * e);
+  }
+  UAVCOV_CHECK_MSG(sections[1].size() == total_events * kEventBytes,
+                   "binary trace: event section size disagrees with the "
+                   "declared event counts");
+
+  const std::uint8_t* rec =
+      reinterpret_cast<const std::uint8_t*>(sections[1].data());
+  for (std::uint64_t e = 0; e < epoch_count; ++e) {
+    const std::uint64_t n = get_u64(counts + 8 + 8 * e);
+    Epoch& epoch = trace.epochs[static_cast<std::size_t>(e)];
+    epoch.events.reserve(static_cast<std::size_t>(n));
+    for (std::uint64_t i = 0; i < n; ++i, rec += kEventBytes) {
+      const std::uint32_t kind = get_u32(rec);
+      UAVCOV_CHECK_MSG(kind <= 2, "binary trace: unknown event kind " +
+                                      std::to_string(kind));
+      ChurnEvent ev;
+      ev.kind = static_cast<ChurnKind>(kind);
+      ev.uid = static_cast<std::int64_t>(get_u64(rec + 8));
+      ev.pos.x = std::bit_cast<double>(get_u64(rec + 16));
+      ev.pos.y = std::bit_cast<double>(get_u64(rec + 24));
+      ev.min_rate_bps = std::bit_cast<double>(get_u64(rec + 32));
+      check_event_fields(ev, "binary trace");
+      epoch.events.push_back(ev);
+    }
+  }
+  return trace;
+}
+
+}  // namespace
+
+void save_trace(std::ostream& out, const stream::ChurnTrace& trace,
+                Format format) {
+  if (format == Format::kBinary) {
+    save_trace_binary(out, trace);
+  } else {
+    save_trace_text(out, trace);
+  }
+}
+
+void save_trace_file(const std::string& path, const stream::ChurnTrace& trace,
+                     Format format) {
+  std::ofstream out;
+  open_checked(out, path);
+  save_trace(out, trace, format);
+  UAVCOV_CHECK_MSG(out.good(), "failed writing trace to " + path);
+}
+
+stream::ChurnTrace load_trace(std::string_view bytes) {
+  if (bytes.substr(0, kBinaryTraceMagic.size()) == kBinaryTraceMagic) {
+    return load_trace_binary(bytes);
+  }
+  UAVCOV_CHECK_MSG(!has_binary_scenario_magic(bytes) &&
+                       !has_binary_solution_magic(bytes),
+                   "expected a churn trace but detected a binary uavcov "
+                   "scenario/solution document");
+  std::istringstream in{std::string(bytes)};
+  return load_trace_text(in);
+}
+
+stream::ChurnTrace load_trace(std::istream& in) {
+  return load_trace(std::string_view(slurp(in)));
+}
+
+stream::ChurnTrace load_trace_file(const std::string& path) {
+  std::ifstream in;
+  open_checked(in, path);
+  return load_trace(in);
+}
+
+}  // namespace uavcov::io

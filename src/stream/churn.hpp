@@ -1,0 +1,102 @@
+// Epoch-batched churn-event model for streaming coverage (docs/STREAMING.md).
+//
+// Production traffic is a stream, not a snapshot: between two solver
+// invocations users arrive, leave, and move.  A ChurnTrace captures that as
+// a sequence of epochs, each a batch of events applied atomically before
+// the engine re-evaluates coverage.  Events reference users by a
+// *trace-level* uid that is never reused within a trace (the materialized
+// UserId slots are recycled by stream::Ingest; uids are the stable
+// handles).
+//
+// Traces are deterministic data: seeded generation (flash-crowd surges,
+// mobility-driven drift via workload/mobility), a replayable validity
+// check, and an FNV-1a fingerprint so golden tests can pin a trace.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "workload/mobility.hpp"
+
+namespace uavcov::stream {
+
+enum class ChurnKind : std::int32_t {
+  kArrive = 0,  ///< new user appears at `pos` with demand `min_rate_bps`.
+  kDepart = 1,  ///< user `uid` leaves; `pos`/`min_rate_bps` are ignored.
+  kMove = 2,    ///< user `uid` relocates to `pos`.
+};
+
+struct ChurnEvent {
+  ChurnKind kind = ChurnKind::kArrive;
+  std::int64_t uid = 0;  ///< trace-level user id (monotonic, never reused).
+  Vec2 pos{};
+  double min_rate_bps = 2e3;  ///< arrive only.
+  bool operator==(const ChurnEvent&) const = default;
+};
+
+/// One batch of events; the engine sees the scenario only at epoch
+/// boundaries, so an epoch is the unit of both ingestion and re-solving.
+struct Epoch {
+  std::vector<ChurnEvent> events;
+  bool operator==(const Epoch&) const = default;
+};
+
+struct ChurnTrace {
+  std::vector<Epoch> epochs;
+
+  std::int64_t event_count() const;
+
+  /// Replays the liveness discipline from an initial population of
+  /// `initial_users` uids [0, initial_users) and throws ContractError on
+  /// the first violation: arrive of a live or negative uid, depart/move of
+  /// an unknown uid, or a non-finite position / non-positive rate on an
+  /// arrive.  Moves may land outside the area on purpose (Ingest clamps).
+  void validate(std::int64_t initial_users = 0) const;
+
+  /// FNV-1a 64-bit digest of every epoch and event, in order.
+  std::uint64_t fingerprint() const;
+
+  bool operator==(const ChurnTrace&) const = default;
+};
+
+/// Knobs for the seeded trace generator.  Counts are drawn per epoch from
+/// the portable Rng, so a (scenario, config, seed) triple pins the trace
+/// bit-for-bit on every platform.
+struct ChurnTraceConfig {
+  std::int32_t epochs = 8;
+  /// Arrivals per epoch are uniform in [0, max_arrivals_per_epoch].
+  std::int32_t max_arrivals_per_epoch = 6;
+  /// Departures per epoch are uniform in [0, max_departures_per_epoch],
+  /// capped by the live population (drawn from the epoch-start population,
+  /// so a user never departs in its arrival epoch).
+  std::int32_t max_departures_per_epoch = 4;
+  /// P(a regular arrival lands near an existing user) — preserves the
+  /// fat-tailed density, mirroring workload's waypoint bias.
+  double arrival_cluster_bias = 0.7;
+  double arrival_sigma_m = 150.0;
+  /// Epoch index of a flash-crowd surge (-1 = none): `flash_crowd_size`
+  /// extra arrivals clustered around one uniformly drawn hotspot.
+  std::int32_t flash_crowd_epoch = -1;
+  std::int32_t flash_crowd_size = 30;
+  double flash_crowd_sigma_m = 150.0;
+  /// Mobility-driven drift: every epoch advances the live population by
+  /// `drift_dt_s` seconds of workload::MobilityModel walk and emits the
+  /// resulting moves (0 disables drift).
+  double drift_dt_s = 30.0;
+  workload::MobilityConfig mobility{};
+  /// Rate demand of generated arrivals.
+  double min_rate_bps = 2e3;
+
+  /// Throws std::invalid_argument on out-of-domain fields, matching the
+  /// ApproAlgParams::validate() style.
+  void validate() const;
+};
+
+/// Generates a deterministic trace over `base`'s area.  The initial
+/// population is base.users (uids [0, n)); generated uids continue from n.
+/// The result always passes `validate(base.user_count())`.
+ChurnTrace generate_trace(const Scenario& base, const ChurnTraceConfig& config,
+                          std::uint64_t seed);
+
+}  // namespace uavcov::stream

@@ -85,12 +85,13 @@ TEST(FuzzHarness, DecoderIsDeterministicAndTotal) {
 }
 
 TEST(FuzzHarness, AllHarnessesRegistered) {
-  ASSERT_EQ(all_harnesses().size(), 5u);
+  ASSERT_EQ(all_harnesses().size(), 6u);
   EXPECT_NE(find_harness("fuzz_assignment"), nullptr);
   EXPECT_NE(find_harness("fuzz_appro_alg"), nullptr);
   EXPECT_NE(find_harness("fuzz_segment_plan"), nullptr);
   EXPECT_NE(find_harness("fuzz_serialize_roundtrip"), nullptr);
   EXPECT_NE(find_harness("fuzz_repair"), nullptr);
+  EXPECT_NE(find_harness("fuzz_stream"), nullptr);
   EXPECT_EQ(find_harness("no_such_target"), nullptr);
 }
 
@@ -116,6 +117,10 @@ TEST(FuzzHarness, SerializeRoundTripProperties) {
 
 TEST(FuzzHarness, RepairFeasibilityProperties) {
   run_seeded(&run_repair_harness, 60, 0x4EA1);
+}
+
+TEST(FuzzHarness, StreamEquivalenceProperties) {
+  run_seeded(&run_stream_harness, 60, 0x57E4);
 }
 
 // ---- Corpus replay ------------------------------------------------------

@@ -15,6 +15,7 @@
 #include "common/fingerprint.hpp"
 #include "core/segment_plan.hpp"
 #include "eval/experiment.hpp"
+#include "stream/engine.hpp"
 
 namespace uavcov {
 namespace {
@@ -142,6 +143,78 @@ TEST(Regression, SolutionFingerprintsPinned) {
   };
   for (const GoldenScenario& g : goldens) {
     const std::string actual = golden_table(g);
+    EXPECT_EQ(actual, g.table)
+        << "seed " << g.seed << ": paste the table below if intentional\n"
+        << actual;
+  }
+}
+
+/// Streamed-churn golden: run the pinned trace through the StreamEngine
+/// and pin the whole run's identity — trace fingerprint, escalation
+/// pattern, and the final standing solution.  Any change to the trace
+/// generator, ingest, patch path, or hysteresis trips it.
+std::string streamed_table(std::uint64_t seed) {
+  Rng rng(seed);
+  workload::ScenarioConfig scenario_config;
+  scenario_config.width_m = 1500;
+  scenario_config.height_m = 1500;
+  scenario_config.cell_side_m = 300;
+  scenario_config.user_count = 40;
+  scenario_config.fleet.uav_count = 5;
+  scenario_config.fleet.capacity_min = 10;
+  scenario_config.fleet.capacity_max = 30;
+  const Scenario base =
+      workload::make_disaster_scenario(scenario_config, rng);
+
+  stream::ChurnTraceConfig trace_config;
+  trace_config.epochs = 6;
+  trace_config.max_arrivals_per_epoch = 5;
+  trace_config.max_departures_per_epoch = 4;
+  trace_config.flash_crowd_epoch = 3;
+  trace_config.flash_crowd_size = 12;
+  const stream::ChurnTrace trace =
+      stream::generate_trace(base, trace_config, seed * 7 + 1);
+
+  stream::StreamPolicy policy;
+  policy.appro.s = 2;
+  policy.appro.max_seed_subsets = 64;
+  stream::StreamEngine engine(base, policy);
+  const std::vector<stream::EpochResult> results = engine.run(trace);
+
+  std::ostringstream out;
+  out << "scenario " << fingerprint_hex(base.fingerprint()) << "\n";
+  out << "trace " << fingerprint_hex(trace.fingerprint()) << "\n";
+  out << "escalations";
+  for (const stream::EpochResult& r : results) {
+    out << " " << (r.full_solve ? "full" : "patch");
+  }
+  out << "\n";
+  const stream::EpochResult& last = results.back();
+  out << "final " << last.solution.served << " "
+      << fingerprint_hex(last.solution.fingerprint()) << " "
+      << fingerprint_hex(last.scenario_fingerprint) << "\n";
+  return out.str();
+}
+
+TEST(Regression, StreamedTraceFingerprintsPinned) {
+  struct GoldenStream {
+    std::uint64_t seed;
+    const char* table;
+  };
+  const std::vector<GoldenStream> goldens = {
+      {11,
+       "scenario 0x034bcccabd89e78d\n"
+       "trace 0xe1bb9189f23e0376\n"
+       "escalations full patch patch patch patch patch\n"
+       "final 50 0x86b297281cf4e4f6 0x4f450f7e2ba1f02f\n"},
+      {66,
+       "scenario 0x228602225abe5e38\n"
+       "trace 0x8a45e88077c54e1d\n"
+       "escalations full patch patch patch full patch\n"
+       "final 55 0x9d13d9509a8664b1 0xaae14cd3fc7a3d05\n"},
+  };
+  for (const GoldenStream& g : goldens) {
+    const std::string actual = streamed_table(g.seed);
     EXPECT_EQ(actual, g.table)
         << "seed " << g.seed << ": paste the table below if intentional\n"
         << actual;

@@ -31,6 +31,7 @@
 #include "obs/metrics.hpp"
 #include "resilience/fault_plan.hpp"
 #include "resilience/repair.hpp"
+#include "service/service.hpp"
 #include "stream/engine.hpp"
 #include "workload/builder.hpp"
 
@@ -470,6 +471,90 @@ int main(int argc, char** argv) {
     w.kv("served", final_served);
     w.kv("fingerprint", uavcov::fingerprint_hex(final_fp));
     w.kv("seconds", stream_seconds);
+    w.end_object();
+    w.end_array();
+    w.key("metrics");
+    uavcov::obs::write_snapshot(w, snapshot);
+    w.end_object();
+  }
+
+  // Sharded mission-service drill (docs/SERVICE.md): one pinned
+  // (scenario, tiling, shard-fault plan) triple through solve_mission —
+  // tile, supervise with retries and a seeded fault, fall back, stitch.
+  // Append-only like the other cases; part of the quick subset.  The
+  // identity entry is the stitched solution (algorithm service.sharded),
+  // and the degraded-tile / attempt counters ride along as extra keys; the
+  // service.* counters land in the embedded metrics snapshot.
+  {
+    const BenchCase c{"service_sharded_s1", 110, 400, 8, 1, 150, true};
+    std::cerr << "[bench_runner] " << c.name << " (n=" << c.users
+              << ", K=" << c.uavs << ", s=" << c.s << ")\n";
+    const uavcov::eval::RunConfig config = make_config(c);
+    uavcov::Rng rng(config.seed);
+    const uavcov::Scenario scenario =
+        uavcov::workload::make_disaster_scenario(config.scenario, rng);
+
+    uavcov::service::MissionConfig mission;
+    mission.tiling.tiles_x = 2;
+    mission.tiling.tiles_y = 2;
+    mission.tiling.halo_cells = 1;
+    mission.appro = config.appro;
+    mission.threads = 1;  // deterministic metrics counters
+    uavcov::service::ShardFaultConfig chaos_config;
+    chaos_config.faults = 2;
+    chaos_config.max_poison_depth = 3;
+    const uavcov::service::ShardFaultPlan chaos =
+        uavcov::service::make_shard_fault_plan(
+            mission.tiling.tiles_x * mission.tiling.tiles_y, chaos_config,
+            c.seed * 1019);
+
+    std::uint64_t solution_fp = 0;
+    std::int64_t served = 0;
+    std::int32_t degraded = 0;
+    std::int32_t attempts = 0;
+    std::int32_t retries = 0;
+    double mission_seconds = 1e300;
+    for (std::int32_t rep = 0; rep < repeats; ++rep) {
+      if (rep == repeats - 1) registry.reset();
+      const uavcov::Stopwatch watch;
+      const uavcov::service::JobResult result =
+          uavcov::service::solve_mission(scenario, mission, &chaos);
+      const double run_s = watch.elapsed_s();
+      if (rep == 0) {
+        solution_fp = result.solution.fingerprint();
+        served = result.solution.served;
+        degraded = result.report.degraded_tiles();
+        attempts = result.stats.attempts;
+        retries = result.stats.retries;
+      } else {
+        UAVCOV_CHECK_MSG(result.solution.fingerprint() == solution_fp &&
+                             result.stats.attempts == attempts,
+                         "non-deterministic sharded mission in "
+                         "service_sharded_s1");
+      }
+      mission_seconds = std::min(mission_seconds, run_s);
+    }
+    const uavcov::obs::Snapshot snapshot = registry.snapshot();
+
+    w.begin_object();
+    w.kv("name", c.name);
+    w.kv("seed", static_cast<std::int64_t>(c.seed));
+    w.kv("users", c.users);
+    w.kv("uavs", c.uavs);
+    w.kv("s", c.s);
+    w.kv("scenario_fingerprint",
+         uavcov::fingerprint_hex(scenario.fingerprint()));
+    w.kv("fault_plan_fingerprint",
+         uavcov::fingerprint_hex(chaos.fingerprint()));
+    w.kv("degraded_tiles", static_cast<std::int64_t>(degraded));
+    w.kv("attempts", static_cast<std::int64_t>(attempts));
+    w.kv("retries", static_cast<std::int64_t>(retries));
+    w.key("algorithms").begin_array();
+    w.begin_object();
+    w.kv("name", "service_sharded");
+    w.kv("served", served);
+    w.kv("fingerprint", uavcov::fingerprint_hex(solution_fp));
+    w.kv("seconds", mission_seconds);
     w.end_object();
     w.end_array();
     w.key("metrics");

@@ -1,0 +1,6 @@
+// Fixture: wait calls outside src/service/ are out of the rule's scope —
+// a finding here would mean the path filter regressed.
+void pump(Pool& pool, CondVar& cv, UniqueLock& lock) {
+  pool.wait_idle();
+  cv.wait(lock);
+}

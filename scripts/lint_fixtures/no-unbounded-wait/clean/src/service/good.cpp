@@ -1,0 +1,11 @@
+// Fixture: every blocking wait in the service layer names its bound.
+void drain_everything(Pool& pool, CondVar& cv, UniqueLock& lock) {
+  // deadline: every task is bounded by the supervisor's attempt ladder.
+  pool.wait_idle();
+  cv.wait(lock);  // deadline: notified by the finite job set; shutdown_now.
+  // Declarations and definitions of methods *named* wait are not call
+  // sites, so they need no annotation:
+  struct Queue {
+    void wait(int job);
+  };
+}

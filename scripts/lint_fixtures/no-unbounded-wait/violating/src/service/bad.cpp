@@ -1,0 +1,8 @@
+// Fixture: blocking waits in the service layer with no `// deadline:`
+// comment — every call site below must be flagged.
+void drain_everything(Pool& pool, CondVar& cv, UniqueLock& lock) {
+  pool.wait_idle();
+  cv.wait(lock);
+  // A comment that is not a deadline annotation does not count.
+  pool_->wait_idle();
+}

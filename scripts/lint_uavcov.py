@@ -33,6 +33,15 @@ concurrency-discipline
                  needs an adjacent `// atomic-invariant:` comment (same line
                  or the comment block directly above) stating why it is safe
                  without a lock.
+no-unbounded-wait
+                 The mission service must never block forever: every
+                 blocking wait call site (`.wait(` / `->wait(` /
+                 `.wait_idle(` / `->wait_idle(`) in src/service/ needs an
+                 adjacent `// deadline:` comment (same line or the comment
+                 block directly above) naming the bound that guarantees the
+                 wait terminates (a deadline, a finite attempt ladder, a
+                 shutdown path).  Other directories are out of scope — the
+                 service layer is the one that owns job deadlines.
 
 Suppression: append `// lint:allow <rule> -- <reason>` on the offending
 line, or place it alone on the line directly above.  A reason is mandatory.
@@ -51,7 +60,7 @@ import sys
 from pathlib import Path
 
 RULES = ("nondeterminism", "naked-new", "metric-names", "include-hygiene",
-         "concurrency-discipline")
+         "concurrency-discipline", "no-unbounded-wait")
 
 ALLOW_RE = re.compile(r"//\s*lint:allow\s+([a-z-]+)\s+--\s+\S")
 
@@ -72,6 +81,11 @@ CONCURRENCY_ALLOWED = (
 
 ATOMIC_DECL_RE = re.compile(r"\bstd::atomic\b")
 ATOMIC_INVARIANT_RE = re.compile(r"//\s*atomic-invariant:\s*\S")
+
+# Blocking-wait call sites in the service layer (member calls only, so
+# declarations and definitions of methods *named* wait don't trip it).
+WAIT_CALL_RE = re.compile(r"(?:\.|->)\s*wait(?:_idle)?\s*\(")
+DEADLINE_COMMENT_RE = re.compile(r"//\s*deadline:\s*\S")
 
 METRIC_CALL_RE = re.compile(
     r'obs::(?:counter|gauge|histogram)\s*\(\s*"([^"]+)"\s*\)')
@@ -302,14 +316,45 @@ def check_concurrency_discipline(root: Path) -> list[Finding]:
 def has_adjacent_atomic_invariant(lines: list[str], lineno: int) -> bool:
     """True if `// atomic-invariant:` sits on the declaration line or in
     the contiguous comment block directly above it."""
-    if ATOMIC_INVARIANT_RE.search(lines[lineno - 1]):
+    return has_adjacent_comment(lines, lineno, ATOMIC_INVARIANT_RE)
+
+
+def has_adjacent_comment(lines: list[str], lineno: int,
+                         pattern: re.Pattern) -> bool:
+    """True if `pattern` matches on line `lineno` (1-based) or in the
+    contiguous comment block directly above it."""
+    if pattern.search(lines[lineno - 1]):
         return True
-    i = lineno - 2  # 0-based index of the line above the declaration
+    i = lineno - 2  # 0-based index of the line above
     while i >= 0 and lines[i].lstrip().startswith("//"):
-        if ATOMIC_INVARIANT_RE.search(lines[i]):
+        if pattern.search(lines[i]):
             return True
         i -= 1
     return False
+
+
+def check_no_unbounded_wait(root: Path) -> list[Finding]:
+    """Every blocking wait in src/service/ names its termination bound."""
+    findings: list[Finding] = []
+    for path in iter_src_files(root):
+        if not rel(root, path).startswith("src/service/"):
+            continue
+        text = path.read_text()
+        original_lines = text.splitlines()
+        code_lines = strip_comments_and_strings(text).splitlines()
+        allowed = suppressed_lines(text, "no-unbounded-wait")
+        for lineno, line in enumerate(code_lines, start=1):
+            if lineno in allowed:
+                continue
+            if WAIT_CALL_RE.search(line):
+                if not has_adjacent_comment(original_lines, lineno,
+                                            DEADLINE_COMMENT_RE):
+                    findings.append(Finding(
+                        path, lineno, "no-unbounded-wait",
+                        "blocking wait without an adjacent `// deadline:` "
+                        "comment naming the bound that guarantees it "
+                        "terminates"))
+    return findings
 
 
 def check_include_hygiene(root: Path, compile_headers: bool) -> list[Finding]:
@@ -363,6 +408,8 @@ def run_rules(root: Path, rules, compile_headers: bool) -> list[Finding]:
         findings += check_include_hygiene(root, compile_headers)
     if "concurrency-discipline" in rules:
         findings += check_concurrency_discipline(root)
+    if "no-unbounded-wait" in rules:
+        findings += check_no_unbounded_wait(root)
     return findings
 
 

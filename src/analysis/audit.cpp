@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <iterator>
 #include <queue>
 #include <sstream>
 #include <string_view>
@@ -58,6 +59,11 @@ const char* to_string(ViolationCode code) {
     case ViolationCode::kPlanQuotaMismatch: return "plan.quota_mismatch";
     case ViolationCode::kPlanQuotaNotMonotone:
       return "plan.quota_not_monotone";
+    case ViolationCode::kShardUserUnassigned:
+      return "shard.user_unassigned";
+    case ViolationCode::kShardUavReused: return "shard.uav_reused";
+    case ViolationCode::kShardShapeMismatch:
+      return "shard.shape_mismatch";
   }
   return "unknown";
 }
@@ -514,6 +520,56 @@ AuditReport audit_segment_plan(const SegmentPlan& plan) {
                      std::to_string(plan.quotas[h]) + " > Q_" +
                      std::to_string(h - 1) + " = " +
                      std::to_string(plan.quotas[h - 1]));
+    }
+  }
+  return report;
+}
+
+AuditReport audit_shard_partition(const Scenario& scenario,
+                                  std::span<const std::int32_t> tile_of_user,
+                                  std::span<const std::int32_t> tile_of_uav,
+                                  std::int32_t tile_count) {
+  AuditReport report;
+  report.subject = "audit_shard_partition";
+
+  ++report.checks;
+  if (std::ssize(tile_of_user) != scenario.user_count() ||
+      std::ssize(tile_of_uav) != scenario.uav_count() || tile_count < 1) {
+    report.add(ViolationCode::kShardShapeMismatch,
+               "|tile_of_user| = " + std::to_string(tile_of_user.size()) +
+                   " (users = " + std::to_string(scenario.user_count()) +
+                   "), |tile_of_uav| = " + std::to_string(tile_of_uav.size()) +
+                   " (fleet = " + std::to_string(scenario.uav_count()) +
+                   "), tiles = " + std::to_string(tile_count));
+    return report;  // per-entity range checks need well-shaped maps.
+  }
+
+  // Users: owned by exactly one valid tile — the stitcher would silently
+  // drop an unowned user, so -1 is a violation here (unlike UAVs).
+  for (std::size_t u = 0; u < tile_of_user.size(); ++u) {
+    ++report.checks;
+    const std::int32_t t = tile_of_user[u];
+    if (t < 0 || t >= tile_count) {
+      report.add(ViolationCode::kShardUserUnassigned,
+                 "user " + std::to_string(u) + " maps to tile " +
+                     std::to_string(t) + " outside [0, " +
+                     std::to_string(tile_count) + ")");
+    }
+  }
+
+  // UAVs: each sliced into at most one tile fleet (-1 = held in reserve).
+  // The per-entity map makes double-slicing unrepresentable for a single
+  // UAV id, so the residual check is range validity; callers that build
+  // the map from per-tile fleet slices report a duplicate insertion as
+  // kShardUavReused before calling in.
+  for (std::size_t k = 0; k < tile_of_uav.size(); ++k) {
+    ++report.checks;
+    const std::int32_t t = tile_of_uav[k];
+    if (t < -1 || t >= tile_count) {
+      report.add(ViolationCode::kShardUavReused,
+                 "uav " + std::to_string(k) + " maps to tile " +
+                     std::to_string(t) + " outside [-1, " +
+                     std::to_string(tile_count) + ")");
     }
   }
   return report;

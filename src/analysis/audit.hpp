@@ -72,6 +72,10 @@ enum class ViolationCode : std::int32_t {
   kPlanHopLimitMismatch,      ///< stored h_max != recomputed hop limit.
   kPlanQuotaMismatch,         ///< stored quotas != Eq. 1 recomputation.
   kPlanQuotaNotMonotone,      ///< Q_h increases with h (laminar order broken).
+  // audit_shard_partition (docs/SERVICE.md)
+  kShardUserUnassigned,       ///< user owned by no tile or an invalid one.
+  kShardUavReused,            ///< one UAV sliced into two tile fleets.
+  kShardShapeMismatch,        ///< map sizes disagree with the scenario.
 };
 
 const char* to_string(ViolationCode code);
@@ -163,5 +167,15 @@ bool audit_env_enabled();
 /// vector equal to an Eq. 1 recomputation, monotone nonincreasing, with
 /// Q_0 = L_max.
 [[nodiscard]] AuditReport audit_segment_plan(const SegmentPlan& plan);
+
+/// Sharded-mission partition audit (docs/SERVICE.md): the stitcher's
+/// correctness rests on the tiling being a true partition — every user
+/// owned by exactly one tile and every UAV sliced into at most one tile
+/// fleet.  Expressed over plain ownership maps (`tile_of_user[u]` /
+/// `tile_of_uav[k]`, -1 = unassigned; UAVs may be unassigned, users may
+/// not) so the auditor stays independent of the service layer's types.
+[[nodiscard]] AuditReport audit_shard_partition(
+    const Scenario& scenario, std::span<const std::int32_t> tile_of_user,
+    std::span<const std::int32_t> tile_of_uav, std::int32_t tile_count);
 
 }  // namespace uavcov::analysis

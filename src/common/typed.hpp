@@ -89,16 +89,19 @@ class StrongId {
   underlying_type value_ = 0;
 };
 
-/// The four index spaces of the coverage problem (§II-A).
+/// The index spaces of the coverage problem (§II-A) plus the sharded
+/// mission service (docs/SERVICE.md).
 struct UserTag {};     ///< ground users u_1..u_n.
 struct CellTag {};     ///< candidate hovering locations v_1..v_m.
 struct UavTag {};      ///< the heterogeneous fleet x_1..x_K.
 struct SegmentTag {};  ///< Euler-subpath segments 1..s+1 (Algorithm 1).
+struct TileTag {};     ///< spatial shards of the mission service.
 
 using UserId = StrongId<UserTag>;
 using CellId = StrongId<CellTag>;
 using UavId = StrongId<UavTag>;
 using SegmentId = StrongId<SegmentTag>;
+using TileId = StrongId<TileTag>;
 
 static_assert(std::is_trivially_copyable_v<UserId> &&
               sizeof(UserId) == sizeof(std::uint32_t));
@@ -108,6 +111,8 @@ static_assert(std::is_trivially_copyable_v<UavId> &&
               sizeof(UavId) == sizeof(std::uint32_t));
 static_assert(std::is_trivially_copyable_v<SegmentId> &&
               sizeof(SegmentId) == sizeof(std::uint32_t));
+static_assert(std::is_trivially_copyable_v<TileId> &&
+              sizeof(TileId) == sizeof(std::uint32_t));
 
 /// Half-open range [begin, end) of ids, for typed counting loops:
 ///

@@ -56,6 +56,64 @@ std::uint64_t Scenario::fingerprint() const {
   return h.digest();
 }
 
+LocationId RestrictedScenario::parent_cell(LocationId local) const {
+  UAVCOV_DCHECK(local.valid() && local.value() < scenario.grid.size());
+  const std::int32_t row = row0 + scenario.grid.row_of(local);
+  const std::int32_t col = col0 + scenario.grid.col_of(local);
+  return LocationId{row * parent_cols + col};
+}
+
+RestrictedScenario restrict_to_window(const Scenario& parent,
+                                      std::int32_t col0, std::int32_t row0,
+                                      std::int32_t col1, std::int32_t row1,
+                                      std::span<const UserId> users,
+                                      std::span<const UavId> fleet) {
+  UAVCOV_CHECK_MSG(0 <= col0 && col0 < col1 && col1 <= parent.grid.cols() &&
+                       0 <= row0 && row0 < row1 && row1 <= parent.grid.rows(),
+                   "restrict_to_window: window outside the parent grid");
+  const double side = parent.grid.cell_side();
+  const double width = (col1 - col0) * side;
+  const double height = (row1 - row0) * side;
+  const double ox = col0 * side;
+  const double oy = row0 * side;
+  RestrictedScenario out{
+      .scenario = Scenario{.grid = Grid(width, height, side),
+                           .altitude_m = parent.altitude_m,
+                           .uav_range_m = parent.uav_range_m,
+                           .channel = parent.channel,
+                           .receiver = parent.receiver,
+                           .users = {},
+                           .fleet = {}},
+      .users = {},
+      .fleet = {},
+      .col0 = col0,
+      .row0 = row0,
+      .parent_cols = parent.grid.cols()};
+  out.users.reserve(users.size());
+  out.scenario.users.reserve(users.size());
+  for (const UserId u : users) {
+    UAVCOV_CHECK_MSG(u.valid() && u.value() < parent.user_count(),
+                     "restrict_to_window: user id outside the parent");
+    User local = parent.users[u];
+    // Translate into the window frame; the clamp absorbs the floating
+    // rounding of the origin subtraction for users sitting exactly on the
+    // window border (they are inside the window by precondition).
+    local.pos.x = std::clamp(local.pos.x - ox, 0.0, width);
+    local.pos.y = std::clamp(local.pos.y - oy, 0.0, height);
+    out.users.push_back(u);
+    out.scenario.users.push_back(local);
+  }
+  out.fleet.reserve(fleet.size());
+  out.scenario.fleet.reserve(fleet.size());
+  for (const UavId k : fleet) {
+    UAVCOV_CHECK_MSG(k.valid() && k.value() < parent.uav_count(),
+                     "restrict_to_window: UAV id outside the parent");
+    out.fleet.push_back(k);
+    out.scenario.fleet.push_back(parent.fleet[k]);
+  }
+  return out;
+}
+
 std::vector<UavId> Scenario::uavs_by_capacity_desc() const {
   std::vector<UavId> order(fleet.size());
   std::iota(order.begin(), order.end(), UavId{0});

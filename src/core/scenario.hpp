@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -71,5 +72,35 @@ struct Scenario {
   /// emits bit-identical instances for a pinned seed.
   std::uint64_t fingerprint() const;
 };
+
+/// A window-restricted sub-instance (the tile-restricted solve entry used
+/// by the sharded mission service, docs/SERVICE.md): the parent scenario
+/// cropped to a rectangle of whole grid cells, with a subset of the users
+/// and fleet renumbered densely.  The two id maps are the only sanctioned
+/// crossing between the parent's and the restriction's index spaces.
+struct RestrictedScenario {
+  Scenario scenario;           ///< the sub-instance (own grid origin).
+  std::vector<UserId> users;   ///< local UserId value -> parent UserId.
+  std::vector<UavId> fleet;    ///< local UavId value -> parent UavId.
+  std::int32_t col0 = 0;       ///< window origin, parent grid columns.
+  std::int32_t row0 = 0;       ///< window origin, parent grid rows.
+  std::int32_t parent_cols = 0;
+
+  /// Translate a sub-grid cell back into the parent grid.
+  LocationId parent_cell(LocationId local) const;
+};
+
+/// Crops `parent` to the half-open cell window [col0, col1) x [row0, row1)
+/// and keeps exactly `users` / `fleet` (parent ids; every user must lie
+/// inside the window).  Channel, receiver, altitude, and R_uav carry over
+/// unchanged, so eligibility and connectivity inside the window are
+/// identical to the parent's.  `fleet` may be empty (the restriction is
+/// then unsolvable and Scenario::validate on it will throw — callers gate
+/// on that, e.g. user-free tiles are never solved).
+RestrictedScenario restrict_to_window(const Scenario& parent,
+                                      std::int32_t col0, std::int32_t row0,
+                                      std::int32_t col1, std::int32_t row1,
+                                      std::span<const UserId> users,
+                                      std::span<const UavId> fleet);
 
 }  // namespace uavcov

@@ -19,6 +19,7 @@
 #include "io/serialize.hpp"
 #include "resilience/impact.hpp"
 #include "resilience/repair.hpp"
+#include "service/service.hpp"
 #include "stream/engine.hpp"
 
 namespace uavcov::fuzz {
@@ -514,14 +515,107 @@ void run_stream_harness(const std::uint8_t* data, std::size_t size) {
   }
 }
 
+void run_service_harness(const std::uint8_t* data, std::size_t size) {
+  ByteReader r(data, size);
+  ScenarioLimits limits;
+  limits.max_cols = 6;   // small instances keep the per-tile solves and
+  limits.max_rows = 6;   // the deep stitched-solution audits fast
+  limits.max_users = 16;
+  limits.max_uavs = 6;
+  limits.max_capacity = 8;
+  const Scenario scenario = decode_scenario(r, limits);
+
+  service::MissionConfig config;
+  config.tiling.tiles_x = static_cast<std::int32_t>(
+      r.take_int(1, std::min<std::int64_t>(3, scenario.grid.cols())));
+  config.tiling.tiles_y = static_cast<std::int32_t>(
+      r.take_int(1, std::min<std::int64_t>(3, scenario.grid.rows())));
+  config.tiling.halo_cells = static_cast<std::int32_t>(r.take_int(0, 2));
+  config.supervision.max_attempts =
+      static_cast<std::int32_t>(r.take_int(1, 3));
+  config.appro.s = static_cast<std::int32_t>(r.take_int(1, 2));
+  config.appro.max_seed_subsets = 50;
+  config.appro.threads = 1;
+  config.threads = r.take_bool() ? 2 : 1;
+  config.audit = true;  // deep §II-C + shard-partition audits every mission
+
+  service::TilePlan plan;
+  try {
+    plan = service::make_tiling(scenario, config.tiling);
+  } catch (const ContractError&) {
+    return;  // untileable (e.g. fleet < populated tiles) — clean rejection.
+  }
+
+  service::ShardFaultConfig chaos_config;
+  chaos_config.faults = static_cast<std::int32_t>(
+      r.take_int(0, std::min<std::int64_t>(3, plan.tile_count())));
+  chaos_config.max_poison_depth =
+      static_cast<std::int32_t>(r.take_int(1, 5));
+  chaos_config.include_unrecoverable = r.take_bool();
+  const service::ShardFaultPlan chaos = service::make_shard_fault_plan(
+      plan.tile_count(), chaos_config,
+      static_cast<std::uint64_t>(r.take_int(0, 1 << 20)));
+
+  const auto run = [&]() -> service::JobResult {
+    try {
+      return service::solve_mission(scenario, config, &chaos);
+    } catch (const analysis::AuditError& e) {
+      throw FuzzFailure(
+          std::string("service: stitched mission failed the deep audits: ") +
+          e.what());
+    }
+  };
+  const service::JobResult result = run();
+
+  const CoverageModel coverage(scenario);
+  try {
+    validate_solution(scenario, coverage, result.solution);
+  } catch (const ContractError& e) {
+    throw FuzzFailure(
+        std::string("service: stitched solution infeasible for the parent "
+                    "scenario: ") +
+        e.what());
+  }
+
+  // Every injected shard failure recovered or named — never a clean
+  // kSolved on a poisoned populated tile, never an unlisted loss.
+  for (const service::ShardFault& fault : chaos.faults) {
+    const service::TileStatus status =
+        result.report.tiles[static_cast<std::size_t>(fault.tile.value())]
+            .status;
+    require(status != service::TileStatus::kSolved,
+            "service: poisoned tile reported a clean first-try solve");
+  }
+  std::int64_t journaled = 0;
+  for (const service::AttemptRecord& rec : result.attempts) {
+    (void)rec;
+    ++journaled;
+  }
+  require(journaled == result.stats.attempts,
+          "service: attempt journal disagrees with the attempts counter");
+  require(result.report.tiles.size() ==
+              static_cast<std::size_t>(plan.tile_count()),
+          "service: degradation report dropped tiles");
+
+  // Bit-identical re-run: same scenario, config, and fault plan.
+  const service::JobResult again = run();
+  require(again.solution.fingerprint() == result.solution.fingerprint(),
+          "service: mission re-run diverged");
+  for (std::size_t t = 0; t < result.report.tiles.size(); ++t) {
+    require(again.report.tiles[t].status == result.report.tiles[t].status,
+            "service: tile status diverged across identical re-runs");
+  }
+}
+
 std::span<const HarnessInfo> all_harnesses() {
-  static constexpr std::array<HarnessInfo, 6> kHarnesses{{
+  static constexpr std::array<HarnessInfo, 7> kHarnesses{{
       {"fuzz_assignment", &run_assignment_harness},
       {"fuzz_appro_alg", &run_appro_alg_harness},
       {"fuzz_segment_plan", &run_segment_plan_harness},
       {"fuzz_serialize_roundtrip", &run_serialize_roundtrip_harness},
       {"fuzz_repair", &run_repair_harness},
       {"fuzz_stream", &run_stream_harness},
+      {"fuzz_service", &run_service_harness},
   }};
   return kHarnesses;
 }

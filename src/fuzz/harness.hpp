@@ -1,4 +1,4 @@
-// The six fuzzing harness bodies, shared verbatim by
+// The seven fuzzing harness bodies, shared verbatim by
 //   * the libFuzzer entry points in src/fuzz/targets/ (-DUAVCOV_FUZZ=ON),
 //   * the standalone replay driver (uavcov_fuzz_driver), and
 //   * the deterministic ctest property tests (tests/fuzz_property_test.cpp,
@@ -72,6 +72,16 @@ void run_repair_harness(const std::uint8_t* data, std::size_t size);
 /// ChurnTrace::validate before the engine ever runs.
 void run_stream_harness(const std::uint8_t* data, std::size_t size);
 
+/// Sharded mission service (docs/SERVICE.md): decode a scenario, a tiling,
+/// and a seeded ShardFaultPlan; run the whole supervised mission with deep
+/// audits forced on and require: the stitched solution §II-C feasible for
+/// the parent scenario, every injected shard failure either recovered
+/// (retry / fallback) or named in the DegradationReport — never silently
+/// lost — journals consistent with the attempt counters, and the mission
+/// bit-identical when re-run.  Untileable instances (fleet smaller than
+/// the populated-tile count) must be rejected cleanly.
+void run_service_harness(const std::uint8_t* data, std::size_t size);
+
 using HarnessFn = void (*)(const std::uint8_t*, std::size_t);
 
 struct HarnessInfo {
@@ -79,7 +89,7 @@ struct HarnessInfo {
   HarnessFn fn;
 };
 
-/// All six harnesses, in a fixed order (drives the replay driver and the
+/// All seven harnesses, in a fixed order (drives the replay driver and the
 /// corpus-replay ctest).
 std::span<const HarnessInfo> all_harnesses();
 

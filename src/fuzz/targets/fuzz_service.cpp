@@ -1,0 +1,11 @@
+// libFuzzer entry point: sharded mission service with seeded shard-fault
+// injection and deep audits forced on; every injected failure must be
+// recovered or named in the DegradationReport and the stitched solution
+// must stay §II-C feasible.  Build with -DUAVCOV_FUZZ=ON (clang).
+#include "fuzz/harness.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  uavcov::fuzz::run_service_harness(data, size);
+  return 0;
+}

@@ -183,8 +183,9 @@ std::vector<SectionView> parse_document(std::string_view data,
                                         std::string_view magic,
                                         const std::string& what) {
   UAVCOV_CHECK_MSG(data.size() >= kHeaderBytes,
-                   "binary " + what + ": truncated header (" +
-                       std::to_string(data.size()) + " bytes)");
+                   "binary " + what + ": truncated header at byte offset " +
+                       std::to_string(data.size()) + " (need " +
+                       std::to_string(kHeaderBytes) + " bytes)");
   if (data.substr(0, kMagicBytes) != magic) {
     const std::string_view other = (magic == kBinaryScenarioMagic)
                                        ? kBinarySolutionMagic
@@ -210,29 +211,41 @@ std::vector<SectionView> parse_document(std::string_view data,
   const std::uint64_t declared_size = get_u64(raw + 16);
   UAVCOV_CHECK_MSG(declared_size == data.size(),
                    "binary " + what + ": declared size " +
-                       std::to_string(declared_size) + " != actual " +
+                       std::to_string(declared_size) +
+                       " (size field at byte offset 16) != actual " +
                        std::to_string(data.size()) + " (truncated?)");
   const std::size_t table_end = kHeaderBytes + count * kEntryBytes;
   UAVCOV_CHECK_MSG(table_end <= data.size(),
-                   "binary " + what + ": section table exceeds the file");
+                   "binary " + what +
+                       ": section table ends at byte offset " +
+                       std::to_string(table_end) + " but the file is " +
+                       std::to_string(data.size()) + " bytes");
 
   std::vector<SectionView> sections;
   sections.reserve(count);
   std::set<std::uint32_t> seen;
   for (std::uint32_t i = 0; i < count; ++i) {
-    const std::uint8_t* entry = raw + kHeaderBytes + i * kEntryBytes;
+    const std::size_t entry_offset = kHeaderBytes + i * kEntryBytes;
+    const std::uint8_t* entry = raw + entry_offset;
     SectionView s;
     s.id = get_u32(entry);
     const std::uint64_t offset = get_u64(entry + 8);
     const std::uint64_t size = get_u64(entry + 16);
     const std::uint64_t checksum = get_u64(entry + 24);
-    const std::string where =
-        "binary " + what + " section " + std::to_string(s.id);
+    const std::string where = "binary " + what + " section " +
+                              std::to_string(s.id) +
+                              " (table entry at byte offset " +
+                              std::to_string(entry_offset) + ")";
     UAVCOV_CHECK_MSG(seen.insert(s.id).second, where + ": duplicate id");
-    UAVCOV_CHECK_MSG(offset % kAlign == 0, where + ": unaligned offset");
+    UAVCOV_CHECK_MSG(offset % kAlign == 0,
+                     where + ": unaligned offset " + std::to_string(offset));
     UAVCOV_CHECK_MSG(offset >= table_end && size <= data.size() &&
                          offset <= data.size() - size,
-                     where + ": payload out of bounds");
+                     where + ": payload out of bounds (bytes [" +
+                         std::to_string(offset) + ", " +
+                         std::to_string(offset) + "+" + std::to_string(size) +
+                         ") in a " + std::to_string(data.size()) +
+                         "-byte file)");
     s.bytes = data.substr(static_cast<std::size_t>(offset),
                           static_cast<std::size_t>(size));
     UAVCOV_CHECK_MSG(payload_checksum(s.bytes) == checksum,

@@ -305,8 +305,9 @@ void save_trace_binary(std::ostream& out, const ChurnTrace& trace) {
 
 ChurnTrace load_trace_binary(std::string_view data) {
   UAVCOV_CHECK_MSG(data.size() >= kHeaderBytes,
-                   "binary trace: truncated header (" +
-                       std::to_string(data.size()) + " bytes)");
+                   "binary trace: truncated header at byte offset " +
+                       std::to_string(data.size()) + " (need " +
+                       std::to_string(kHeaderBytes) + " bytes)");
   UAVCOV_CHECK_MSG(data.substr(0, kMagicBytes) == kBinaryTraceMagic,
                    "binary trace: bad magic");
   const std::uint8_t* raw =
@@ -321,21 +322,29 @@ ChurnTrace load_trace_binary(std::string_view data) {
   const std::uint64_t declared_size = get_u64(raw + 16);
   UAVCOV_CHECK_MSG(declared_size == data.size(),
                    "binary trace: declared size " +
-                       std::to_string(declared_size) + " != actual " +
+                       std::to_string(declared_size) +
+                       " (size field at byte offset 16) != actual " +
                        std::to_string(data.size()) + " (truncated?)");
 
   std::string_view sections[2];
   std::uint32_t ids[2];
   for (int i = 0; i < 2; ++i) {
-    const std::uint8_t* entry = raw + kHeaderBytes +
-                                static_cast<std::size_t>(i) * kEntryBytes;
+    const std::size_t entry_offset =
+        kHeaderBytes + static_cast<std::size_t>(i) * kEntryBytes;
+    const std::uint8_t* entry = raw + entry_offset;
     ids[i] = get_u32(entry);
     const std::uint64_t offset = get_u64(entry + 8);
     const std::uint64_t size = get_u64(entry + 16);
     const std::uint64_t checksum = get_u64(entry + 24);
     UAVCOV_CHECK_MSG(offset <= data.size() && size <= data.size() - offset,
                      "binary trace: section " + std::to_string(ids[i]) +
-                         " exceeds the file");
+                         " (table entry at byte offset " +
+                         std::to_string(entry_offset) +
+                         ") exceeds the file (bytes [" +
+                         std::to_string(offset) + ", " +
+                         std::to_string(offset) + "+" + std::to_string(size) +
+                         ") in a " + std::to_string(data.size()) +
+                         "-byte file)");
     sections[i] = data.substr(offset, size);
     UAVCOV_CHECK_MSG(
         payload_checksum(
@@ -350,11 +359,18 @@ ChurnTrace load_trace_binary(std::string_view data) {
   const std::uint8_t* counts =
       reinterpret_cast<const std::uint8_t*>(sections[0].data());
   UAVCOV_CHECK_MSG(sections[0].size() >= 8,
-                   "binary trace: truncated epoch-count section");
+                   "binary trace: truncated epoch-count section (" +
+                       std::to_string(sections[0].size()) +
+                       " bytes at byte offset " +
+                       std::to_string(sections[0].data() - data.data()) +
+                       ", need 8)");
   const std::uint64_t epoch_count = get_u64(counts);
   UAVCOV_CHECK_MSG(sections[0].size() == 8 + 8 * epoch_count,
-                   "binary trace: epoch-count section size disagrees with "
-                   "the declared epoch count");
+                   "binary trace: epoch-count section at byte offset " +
+                       std::to_string(sections[0].data() - data.data()) +
+                       " has " + std::to_string(sections[0].size()) +
+                       " bytes, but the declared epoch count needs " +
+                       std::to_string(8 + 8 * epoch_count));
 
   ChurnTrace trace;
   trace.epochs.resize(static_cast<std::size_t>(epoch_count));
@@ -363,8 +379,11 @@ ChurnTrace load_trace_binary(std::string_view data) {
     total_events += get_u64(counts + 8 + 8 * e);
   }
   UAVCOV_CHECK_MSG(sections[1].size() == total_events * kEventBytes,
-                   "binary trace: event section size disagrees with the "
-                   "declared event counts");
+                   "binary trace: event section at byte offset " +
+                       std::to_string(sections[1].data() - data.data()) +
+                       " has " + std::to_string(sections[1].size()) +
+                       " bytes, but the declared event counts need " +
+                       std::to_string(total_events * kEventBytes));
 
   const std::uint8_t* rec =
       reinterpret_cast<const std::uint8_t*>(sections[1].data());

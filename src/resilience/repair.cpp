@@ -62,6 +62,20 @@ std::vector<std::int64_t> loads_of(
 
 }  // namespace
 
+ApproAlgParams with_remaining_budget(const ApproAlgParams& base,
+                                     double elapsed_s) {
+  ApproAlgParams params = base;
+  if (params.time_budget_s > 0.0) {
+    // Floor keeps the params valid and guarantees the solve still returns
+    // a feasible best-effort solution (appro_alg always evaluates at least
+    // one subset before checking the deadline).
+    constexpr double kMinBudgetS = 1e-4;
+    params.time_budget_s =
+        std::max(kMinBudgetS, params.time_budget_s - elapsed_s);
+  }
+  return params;
+}
+
 const char* to_string(RepairAction action) {
   switch (action) {
     case RepairAction::kNone: return "none";
@@ -389,9 +403,13 @@ RepairOutcome RepairController::on_fault(const FaultEvent& event) {
        policy_.escalate_on_gateway_loss) ||
       static_cast<double>(work.served) < floor;
   if (escalate) {
+    // The policy budget bounds the *whole* on_fault call, so the full
+    // re-solve only gets what local repair has not already spent.  With an
+    // unbudgeted policy this is bit-identical to passing policy_.appro.
+    const ApproAlgParams effective =
+        with_remaining_budget(policy_.appro, watch.elapsed_s());
     ApproAlgStats stats;
-    Solution solved =
-        appro_alg(degraded_, *coverage_, policy_.appro, &stats);
+    Solution solved = appro_alg(degraded_, *coverage_, effective, &stats);
     outcome.deadline_hit = stats.deadline_hit;
     if (stats.deadline_hit) resilience_metrics().deadline_hits.inc();
     solved.algorithm = "repair.full";

@@ -85,13 +85,14 @@ TEST(FuzzHarness, DecoderIsDeterministicAndTotal) {
 }
 
 TEST(FuzzHarness, AllHarnessesRegistered) {
-  ASSERT_EQ(all_harnesses().size(), 6u);
+  ASSERT_EQ(all_harnesses().size(), 7u);
   EXPECT_NE(find_harness("fuzz_assignment"), nullptr);
   EXPECT_NE(find_harness("fuzz_appro_alg"), nullptr);
   EXPECT_NE(find_harness("fuzz_segment_plan"), nullptr);
   EXPECT_NE(find_harness("fuzz_serialize_roundtrip"), nullptr);
   EXPECT_NE(find_harness("fuzz_repair"), nullptr);
   EXPECT_NE(find_harness("fuzz_stream"), nullptr);
+  EXPECT_NE(find_harness("fuzz_service"), nullptr);
   EXPECT_EQ(find_harness("no_such_target"), nullptr);
 }
 
@@ -117,6 +118,10 @@ TEST(FuzzHarness, SerializeRoundTripProperties) {
 
 TEST(FuzzHarness, RepairFeasibilityProperties) {
   run_seeded(&run_repair_harness, 60, 0x4EA1);
+}
+
+TEST(FuzzHarness, ServiceChaosRecoveryProperties) {
+  run_seeded(&run_service_harness, 60, 0x5E41CE);
 }
 
 TEST(FuzzHarness, StreamEquivalenceProperties) {

@@ -12,6 +12,8 @@
 #include "common/check.hpp"
 #include "io/binary.hpp"
 #include "io/serialize.hpp"
+#include "io/trace.hpp"
+#include "stream/churn.hpp"
 #include "workload/builder.hpp"
 
 namespace uavcov {
@@ -128,10 +130,11 @@ TEST(IoBinary, CorruptHeaderRejected) {
   const Scenario scenario = make_pinned(pinned_instances().front());
   const std::string good = scenario_bytes(scenario, io::Format::kBinary);
 
-  // Truncated to a partial header.
+  // Truncated to a partial header: the message names the byte offset where
+  // the input ended.
   expect_contract_error(
       [&] { (void)io::load_scenario_binary(good.substr(0, 11)); },
-      "truncated header");
+      "truncated header at byte offset 11");
 
   // Unsupported schema version (byte 8 is the low byte of the u32).
   std::string version = good;
@@ -160,6 +163,13 @@ TEST(IoBinary, TruncatedFileRejected) {
             std::string_view(good).substr(0, good.size() - 1));
       },
       "truncated?");
+  // The message points at the header's size field, not a generic failure.
+  expect_contract_error(
+      [&] {
+        (void)io::load_scenario_binary(
+            std::string_view(good).substr(0, good.size() - 1));
+      },
+      "size field at byte offset 16");
 }
 
 TEST(IoBinary, BadChecksumRejected) {
@@ -176,14 +186,31 @@ TEST(IoBinary, BadChecksumRejected) {
 TEST(IoBinary, BadSectionTableRejected) {
   const Scenario scenario = make_pinned(pinned_instances().front());
   const std::string good = scenario_bytes(scenario, io::Format::kBinary);
-  constexpr std::size_t kEntry0 = 24;  // first table entry.
+  constexpr std::size_t kEntry0 = 24;     // first table entry.
+  constexpr std::size_t kEntryBytes = 32;  // one table entry.
 
-  // Out-of-bounds payload offset (u64 at entry+8).
+  // Out-of-bounds payload offset (u64 at entry+8).  The error names the
+  // byte offset of the offending table entry so a corrupt file can be
+  // inspected with a hex dump.
   std::string bounds = good;
   bounds[kEntry0 + 8 + 6] = static_cast<char>(0x7f);  // offset ~= 2^54
   expect_contract_error(
       [&] { (void)io::load_scenario_binary(std::string_view(bounds)); },
       "payload out of bounds");
+  expect_contract_error(
+      [&] { (void)io::load_scenario_binary(std::string_view(bounds)); },
+      "table entry at byte offset 24");
+
+  // Oversized section length (u64 at entry+16): also out of bounds, also
+  // pinned to the entry's byte offset.
+  std::string oversized = good;
+  oversized[kEntry0 + kEntryBytes + 16 + 6] = static_cast<char>(0x7f);
+  expect_contract_error(
+      [&] { (void)io::load_scenario_binary(std::string_view(oversized)); },
+      "payload out of bounds");
+  expect_contract_error(
+      [&] { (void)io::load_scenario_binary(std::string_view(oversized)); },
+      "table entry at byte offset 56");
 
   // Unaligned payload offset.
   std::string unaligned = good;
@@ -234,6 +261,47 @@ TEST(IoBinary, CrossFormatMagicIsNamedInErrors) {
         (void)io::load_solution_binary(std::string_view(scenario_bin), 1);
       },
       "is a binary uavcov scenario, not a solution");
+}
+
+TEST(IoBinary, TraceSectionErrorsNameByteOffsets) {
+  stream::ChurnTrace trace;
+  stream::Epoch epoch;
+  epoch.events.push_back(
+      {stream::ChurnKind::kArrive, 0, {10.0, 20.0}, 2e3});
+  epoch.events.push_back({stream::ChurnKind::kMove, 0, {30.0, 40.0}, 0.0});
+  trace.epochs.push_back(std::move(epoch));
+  std::ostringstream out;
+  io::save_trace(out, trace, io::Format::kBinary);
+  const std::string good = out.str();
+  ASSERT_EQ(good.substr(0, 8), io::kBinaryTraceMagic);
+
+  // Sanity: the good bytes load back.
+  EXPECT_EQ(io::load_trace(std::string_view(good)).fingerprint(),
+            trace.fingerprint());
+
+  // Truncated header: offset named.
+  expect_contract_error(
+      [&] { (void)io::load_trace(std::string_view(good).substr(0, 13)); },
+      "truncated header at byte offset 13");
+
+  // Truncated file: the header's size field is named.
+  expect_contract_error(
+      [&] {
+        (void)io::load_trace(
+            std::string_view(good).substr(0, good.size() - 1));
+      },
+      "size field at byte offset 16");
+
+  // Oversized section length (u64 at entry+16 of the first table entry):
+  // the error names the table entry's byte offset and the payload range.
+  std::string oversized = good;
+  oversized[24 + 16 + 6] = static_cast<char>(0x7f);
+  expect_contract_error(
+      [&] { (void)io::load_trace(std::string_view(oversized)); },
+      "table entry at byte offset 24");
+  expect_contract_error(
+      [&] { (void)io::load_trace(std::string_view(oversized)); },
+      "exceeds the file");
 }
 
 TEST(IoBinary, FileEntryPointsSniffBothFormats) {

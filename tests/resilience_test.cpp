@@ -326,6 +326,50 @@ TEST(Repair, GatewayLossEscalatesToFullResolve) {
   }
 }
 
+TEST(Repair, EscalatedResolveRespectsRemainingTimeBudget) {
+  // The policy's time_budget_s must bound the *escalated* full re-solve,
+  // not just the initial deploy: with a sub-millisecond budget the
+  // gateway-loss escalation has to stop early and report deadline_hit.
+  const Scenario sc = drill_scenario(32);
+  RepairPolicy tight = drill_policy();
+  tight.appro.time_budget_s = 1e-4;
+  RepairController controller(sc, tight);
+  const Solution initial = controller.deploy();
+  ASSERT_FALSE(initial.deployments.empty());
+  const RepairOutcome out = controller.on_fault(
+      {10.0, FaultKind::kGatewayLoss, initial.deployments[0].uav, 1.0});
+  EXPECT_EQ(out.action, RepairAction::kFullResolve);
+  EXPECT_TRUE(out.deadline_hit);
+
+  // A generous budget never trips it — and the emitted solution is still
+  // audited (UAVCOV_AUDIT=1) either way.
+  RepairPolicy roomy = drill_policy();
+  roomy.appro.time_budget_s = 1000.0;
+  RepairController relaxed(sc, roomy);
+  const Solution initial2 = relaxed.deploy();
+  ASSERT_FALSE(initial2.deployments.empty());
+  const RepairOutcome out2 = relaxed.on_fault(
+      {10.0, FaultKind::kGatewayLoss, initial2.deployments[0].uav, 1.0});
+  EXPECT_EQ(out2.action, RepairAction::kFullResolve);
+  EXPECT_FALSE(out2.deadline_hit);
+}
+
+TEST(Repair, WithRemainingBudgetDeductsElapsedTime) {
+  ApproAlgParams base;
+  base.time_budget_s = 2.0;
+  EXPECT_DOUBLE_EQ(resilience::with_remaining_budget(base, 0.5).time_budget_s,
+                   1.5);
+  // Overspent budgets floor at a tiny positive value (the solve must still
+  // evaluate one subset) instead of going unbudgeted or negative.
+  EXPECT_DOUBLE_EQ(resilience::with_remaining_budget(base, 5.0).time_budget_s,
+                   1e-4);
+  // Unbudgeted bases pass through bit-identical.
+  ApproAlgParams unbounded;
+  unbounded.time_budget_s = 0.0;
+  EXPECT_DOUBLE_EQ(
+      resilience::with_remaining_budget(unbounded, 3.0).time_budget_s, 0.0);
+}
+
 TEST(Repair, PolicyValidationShared) {
   const Scenario sc = drill_scenario(33);
   RepairPolicy bad = drill_policy();

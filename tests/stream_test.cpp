@@ -12,11 +12,14 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "common/check.hpp"
+#include "core/flat.hpp"
 #include "io/trace.hpp"
 #include "obs/metrics.hpp"
 #include "stream/churn.hpp"
@@ -205,6 +208,100 @@ TEST(StreamIngest, DepartOfUnknownUidThrowsAndDiscardsTheEpoch) {
   Epoch dup;
   dup.events.push_back({ChurnKind::kArrive, 0, {1.0, 1.0}, 2e3});
   EXPECT_THROW(ingest.apply(dup), ContractError);
+}
+
+/// Serialized text image of the materialized scenario — the byte-identity
+/// witness for the all-or-nothing apply() contract.
+std::string scenario_image(const Ingest& ingest) {
+  std::ostringstream out;
+  io::save_scenario(out, ingest.scenario());
+  return out.str();
+}
+
+/// Copies every FlatScenario column the solvers read (SoA user columns,
+/// UAV columns, and both CSR directions) into one comparable snapshot.
+struct FlatSnapshot {
+  std::vector<double> user_x, user_y, user_rate;
+  std::vector<std::int32_t> uav_capacity;
+  std::vector<double> uav_range;
+  std::vector<UserId> cell_users;
+  std::vector<LocationId> user_cells;
+  std::int64_t pairs = 0;
+
+  explicit FlatSnapshot(const FlatScenario& flat)
+      : user_x(flat.user_x().begin(), flat.user_x().end()),
+        user_y(flat.user_y().begin(), flat.user_y().end()),
+        user_rate(flat.user_min_rate_bps().begin(),
+                  flat.user_min_rate_bps().end()),
+        uav_capacity(flat.uav_capacity().begin(), flat.uav_capacity().end()),
+        uav_range(flat.uav_user_range_m().begin(),
+                  flat.uav_user_range_m().end()),
+        pairs(flat.candidate_pair_count()) {
+    for (std::int32_t v = 0; v < flat.cell_count(); ++v) {
+      const auto users = flat.users_near(LocationId{v});
+      cell_users.insert(cell_users.end(), users.begin(), users.end());
+    }
+    for (std::int32_t u = 0; u < flat.user_count(); ++u) {
+      const auto cells = flat.cells_near(UserId{u});
+      user_cells.insert(user_cells.end(), cells.begin(), cells.end());
+    }
+  }
+
+  bool operator==(const FlatSnapshot&) const = default;
+};
+
+TEST(StreamIngest, MidEpochFaultLeavesTheMaterializedPairByteIdentical) {
+  const Scenario base = stream_scenario(11, /*users=*/10, /*uavs=*/3);
+  Ingest ingest(base);
+
+  // Two good epochs establish a materialized state well away from the
+  // seed population.
+  Epoch first;
+  first.events.push_back({ChurnKind::kDepart, 1, {}, 0.0});
+  first.events.push_back(
+      {ChurnKind::kArrive, ingest.next_uid(), {120.0, 80.0}, 3e3});
+  ingest.apply(first);
+  Epoch second;
+  second.events.push_back({ChurnKind::kMove, 0, {700.0, 900.0}, 0.0});
+  ingest.apply(second);
+
+  const std::string good_bytes = scenario_image(ingest);
+  const std::uint64_t good_fp = ingest.scenario().fingerprint();
+  const FlatSnapshot good_flat(ingest.flat());
+  const std::int64_t good_live = ingest.live_users();
+  const std::int64_t good_next_uid = ingest.next_uid();
+
+  // A batch that stages real mutations (arrive + move + depart) before a
+  // throwing event in the middle: arrive of an already-live uid.
+  Epoch faulted;
+  faulted.events.push_back(
+      {ChurnKind::kArrive, ingest.next_uid(), {50.0, 60.0}, 2e3});
+  faulted.events.push_back({ChurnKind::kMove, 2, {400.0, 400.0}, 0.0});
+  faulted.events.push_back({ChurnKind::kDepart, 3, {}, 0.0});
+  faulted.events.push_back({ChurnKind::kArrive, 0, {1.0, 1.0}, 2e3});  // boom
+  faulted.events.push_back({ChurnKind::kDepart, 4, {}, 0.0});  // never reached
+  EXPECT_THROW(ingest.apply(faulted), ContractError);
+
+  // All-or-nothing: the Scenario serializes to the same bytes, the
+  // FlatScenario columns and CSR index are unchanged, and the liveness
+  // bookkeeping still reflects the last good epoch.
+  EXPECT_EQ(scenario_image(ingest), good_bytes);
+  EXPECT_EQ(ingest.scenario().fingerprint(), good_fp);
+  EXPECT_TRUE(FlatSnapshot(ingest.flat()) == good_flat);
+  EXPECT_EQ(ingest.live_users(), good_live);
+  EXPECT_EQ(ingest.next_uid(), good_next_uid);
+  EXPECT_TRUE(ingest.is_live(3));   // the staged depart was rolled back
+  EXPECT_TRUE(ingest.is_live(4));
+
+  // The ingest is still usable: the same batch without the poison applies.
+  Epoch repaired;
+  repaired.events.push_back(
+      {ChurnKind::kArrive, ingest.next_uid(), {50.0, 60.0}, 2e3});
+  repaired.events.push_back({ChurnKind::kMove, 2, {400.0, 400.0}, 0.0});
+  repaired.events.push_back({ChurnKind::kDepart, 3, {}, 0.0});
+  ingest.apply(repaired);
+  EXPECT_FALSE(ingest.is_live(3));
+  EXPECT_NE(ingest.scenario().fingerprint(), good_fp);
 }
 
 TEST(StreamIngest, SlotRecyclingNeverAliasesALiveUser) {
